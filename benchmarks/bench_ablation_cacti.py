@@ -1,0 +1,47 @@
+"""Ablation: the Figure 6 sweep with *realistic* CACTI access latencies.
+
+Figure 6 itself assumes fixed access times; the paper's text explains
+that larger/wider TLBs "actually have much higher access times that
+degrade performance", making 128 entries / 4 ports the practical knee.
+This ablation re-runs the sweep with the latency model enabled so the
+knee is visible.
+"""
+
+from repro.core import presets
+from repro.harness.experiment import (
+    DEFAULT_WARMUP,
+    FigureResult,
+    run_matrix,
+    speedups_vs_baseline,
+)
+
+_KW = dict(warmup_instructions=DEFAULT_WARMUP)
+
+
+def _sweep():
+    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    for entries in (64, 128, 256, 512):
+        configs[f"{entries}e/4p real"] = (
+            lambda entries=entries: presets.tlb_with_geometry(
+                entries, 4, ideal=False, **_KW
+            )
+        )
+    for ports in (4, 8, 32):
+        configs[f"128e/{ports}p real"] = (
+            lambda ports=ports: presets.tlb_with_geometry(
+                128, ports, ideal=False, **_KW
+            )
+        )
+    results = run_matrix(configs)
+    return FigureResult(
+        figure="ablation_cacti",
+        title="Size/port sweep with realistic access latencies "
+        "(128e/4p should be the knee)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+    )
+
+
+def test_ablation_cacti(benchmark, record_figure):
+    """Realistic-latency size/port sweep."""
+    figure = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    record_figure(figure)

@@ -1,0 +1,50 @@
+"""Ablation: Common Page Matrix flush-interval sensitivity.
+
+The paper flushes the CPM every 500 cycles; at this reproduction's
+timescale the counters need longer to saturate (see TBCConfig).  The
+sweep shows the CPM degenerating to stack-like conservative compaction
+when flushed too often, and approaching unguarded TBC when never
+flushed.
+"""
+
+from repro.core import presets
+from repro.harness.experiment import (
+    FigureResult,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from dataclasses import replace
+
+_WORKLOADS = ["bfs", "mummergpu", "memcached"]
+
+
+def _tlb_tbc(flush_interval: int):
+    config = presets.with_tbc(
+        presets.augmented_tlb(warmup_instructions=0), "tlb-tbc"
+    )
+    return replace(config, tbc=replace(config.tbc, cpm_flush_interval=flush_interval))
+
+
+def _sweep():
+    configs = {
+        "stack-no-tlb": lambda: presets.no_tlb(warmup_instructions=0),
+        "tbc+augmented": lambda: presets.with_tbc(
+            presets.augmented_tlb(warmup_instructions=0), "tbc"
+        ),
+    }
+    for interval in (500, 2000, 5000, 20000):
+        configs[f"tlb-tbc flush={interval}"] = (
+            lambda interval=interval: _tlb_tbc(interval)
+        )
+    results = run_matrix(configs, workloads=_WORKLOADS, form="blocks")
+    return FigureResult(
+        figure="ablation_cpm_flush",
+        title="TLB-aware TBC vs CPM flush interval (vs stack, no TLB)",
+        series=speedups_vs_baseline(results, "stack-no-tlb"),
+    )
+
+
+def test_ablation_cpm_flush(benchmark, record_figure):
+    """CPM flush interval sweep."""
+    figure = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    record_figure(figure)

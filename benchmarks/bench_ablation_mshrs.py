@@ -1,0 +1,44 @@
+"""Ablation: TLB MSHR count sensitivity.
+
+The paper provisions one TLB MSHR per warp thread (32).  This ablation
+shrinks the file to show when translation miss tracking starts to
+throttle the augmented design.
+"""
+
+from dataclasses import replace
+
+from repro.core import presets
+from repro.harness.experiment import (
+    DEFAULT_WARMUP,
+    FigureResult,
+    run_matrix,
+    speedups_vs_baseline,
+)
+
+_KW = dict(warmup_instructions=DEFAULT_WARMUP)
+_WORKLOADS = ["bfs", "mummergpu", "memcached"]
+
+
+def _with_mshrs(entries: int):
+    config = presets.augmented_tlb(**_KW)
+    return replace(config, tlb=replace(config.tlb, mshr_entries=entries))
+
+
+def _sweep():
+    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    for entries in (4, 8, 16, 32):
+        configs[f"aug {entries} MSHRs"] = (
+            lambda entries=entries: _with_mshrs(entries)
+        )
+    results = run_matrix(configs, workloads=_WORKLOADS)
+    return FigureResult(
+        figure="ablation_mshrs",
+        title="Augmented TLB with shrinking MSHR files (vs no-TLB)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+    )
+
+
+def test_ablation_mshrs(benchmark, record_figure):
+    """TLB MSHR sensitivity on the divergent workloads."""
+    figure = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 2: naive 3-port TLBs degrade performance in every case (alone, under CCWS, and under TBC)."""
+
+from repro.harness import figures
+
+
+def test_fig02_naive_tlb(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig02_naive_tlb, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 3: workload characterization - memory fraction, 128-entry TLB miss rates, page divergence (unscaled characterization stream)."""
+
+from repro.harness import figures
+
+
+def test_fig03_divergence(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig03_characterization, iterations=1, rounds=1
+    )
+    record_figure(figure)

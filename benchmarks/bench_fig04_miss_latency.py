@@ -1,0 +1,11 @@
+"""Figure 4: average cycles per TLB miss vs per L1 cache miss on the naive design."""
+
+from repro.harness import figures
+
+
+def test_fig04_miss_latency(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig04_miss_latency, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 6: TLB size (64-512 entries) and port (3-32) sweep at fixed access times."""
+
+from repro.harness import figures
+
+
+def test_fig06_size_ports(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig06_size_ports, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 7: non-blocking TLB steps (hit-under-miss, overlapped cache access) vs the ideal TLB."""
+
+from repro.harness import figures
+
+
+def test_fig07_nonblocking(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig07_nonblocking, iterations=1, rounds=1
+    )
+    record_figure(figure)

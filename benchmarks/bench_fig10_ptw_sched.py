@@ -1,0 +1,11 @@
+"""Figure 10: the coalescing PTW scheduler brings the augmented 128-entry TLB near the ideal; also reports walk-reference elimination and walk cache hit rates."""
+
+from repro.harness import figures
+
+
+def test_fig10_ptw_sched(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig10_ptw_scheduling, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 11: one augmented PTW vs pools of 2-8 naive serial PTWs."""
+
+from repro.harness import figures
+
+
+def test_fig11_multi_ptw(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig11_multi_ptw, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 13: CCWS with naive and augmented TLBs vs TLB-less CCWS."""
+
+from repro.harness import figures
+
+
+def test_fig13_ccws(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig13_ccws, iterations=1, rounds=1
+    )
+    record_figure(figure)

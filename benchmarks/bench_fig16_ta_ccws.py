@@ -1,0 +1,11 @@
+"""Figure 16: TA-CCWS TLB-miss weight sweep (1:1 .. 8:1)."""
+
+from repro.harness import figures
+
+
+def test_fig16_ta_ccws(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig16_ta_ccws, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 17: TCWS victim tag array entries-per-warp sweep (2-16)."""
+
+from repro.harness import figures
+
+
+def test_fig17_tcws_epw(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig17_tcws_epw, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,11 @@
+"""Figure 18: TCWS LRU-depth weight sweep ((1,2,3,4), (1,2,4,8), (1,3,6,9))."""
+
+from repro.harness import figures
+
+
+def test_fig18_tcws_lru(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig18_tcws_lru, iterations=1, rounds=1
+    )
+    record_figure(figure)

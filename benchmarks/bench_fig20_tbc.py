@@ -1,0 +1,11 @@
+"""Figure 20: TBC with naive and augmented TLBs vs TLB-less TBC, plus page-divergence amplification."""
+
+from repro.harness import figures
+
+
+def test_fig20_tbc(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig20_tbc, iterations=1, rounds=1
+    )
+    record_figure(figure)

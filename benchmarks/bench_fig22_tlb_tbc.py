@@ -1,0 +1,11 @@
+"""Figure 22: TLB-aware TBC (Common Page Matrix), CPM counter bits swept 1-3."""
+
+from repro.harness import figures
+
+
+def test_fig22_tlb_tbc(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.fig22_tlb_tbc, iterations=1, rounds=1
+    )
+    record_figure(figure)

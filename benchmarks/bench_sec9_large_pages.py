@@ -1,0 +1,11 @@
+"""Section 9: initial 2 MB large-page results - divergence collapses except for bfs and mummergpu."""
+
+from repro.harness import figures
+
+
+def test_sec9_large_pages(benchmark, record_figure):
+    """Regenerate and archive the figure (single timed round)."""
+    figure = benchmark.pedantic(
+        figures.sec9_large_pages, iterations=1, rounds=1
+    )
+    record_figure(figure)

@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper via its
+:mod:`repro.harness.figures` driver, times it with pytest-benchmark,
+prints the figure's series, and archives the rendered table under
+``benchmarks/results/`` so the artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory the rendered figure tables are archived into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir):
+    """Return a callable that archives and prints a FigureResult."""
+
+    def _record(figure):
+        text = figure.render()
+        (results_dir / f"{figure.figure}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return figure
+
+    return _record

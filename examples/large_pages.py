@@ -1,0 +1,57 @@
+"""Section 9's large-page study: when do 2 MB pages solve the problem?
+
+Runs each workload with 4 KB and 2 MB pages on the naive TLB and prints
+miss rates and page divergence side by side.  Regular workloads get
+near-total relief; bfs and mummergpu keep high divergence because their
+accesses span many 2 MB regions — the paper's argument that large pages
+are "a natural next step" but not a substitute for TLB-aware design.
+
+Run:  python examples/large_pages.py
+"""
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.stats.report import format_table
+from repro.workloads import get_workload, workload_names
+
+
+def run(config, workload):
+    # Characterization stream: Section 9 reports trace properties.
+    work = workload.build(config, miss_scale=1.0)
+    return Simulator(config, work, workload.name).run()
+
+
+def main():
+    rows = []
+    for name in workload_names():
+        workload = get_workload(name)
+        small = run(presets.naive_tlb(ports=4, warmup_instructions=20), workload)
+        large = run(
+            presets.naive_tlb(ports=4, page_shift=21, warmup_instructions=20),
+            workload,
+        )
+        rows.append(
+            [
+                name,
+                f"{small.stats.tlb_miss_rate:.1%}",
+                f"{large.stats.tlb_miss_rate:.1%}",
+                f"{small.stats.average_page_divergence:.1f}",
+                f"{large.stats.average_page_divergence:.1f}",
+            ]
+        )
+    print("large pages (2 MB) vs base pages (4 KB), naive 128-entry TLB\n")
+    print(
+        format_table(
+            ["workload", "miss 4KB", "miss 2MB", "pdiv 4KB", "pdiv 2MB"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "note: bfs and mummergpu retain divergence under 2 MB pages — "
+        "their warps gather across tens of megabytes (Section 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Design-space walk: from the CPU-style strawman to the augmented MMU.
+
+Reproduces the paper's Section 6 narrative on one workload of your
+choice: starting from the naive blocking 3-port TLB, each step adds one
+of the paper's augmentations and reports the recovered performance —
+ports, hit-under-miss, overlapped cache access, PTW scheduling — ending
+at the impractical ideal TLB for reference.
+
+Run:  python examples/mmu_design_space.py [workload]
+"""
+
+import sys
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.stats.report import ascii_bar_chart, format_table
+from repro.workloads import TIMING_MISS_SCALE, get_workload, workload_names
+
+
+def run(config, workload):
+    """Simulate and return the result."""
+    work = workload.build(config, miss_scale=TIMING_MISS_SCALE)
+    return Simulator(config, work, workload.name).run()
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; pick from {workload_names()}")
+    workload = get_workload(name)
+    warm = dict(warmup_instructions=20)
+
+    steps = [
+        ("no TLB (baseline)", presets.no_tlb(**warm)),
+        ("naive 3-port blocking", presets.naive_tlb(ports=3, **warm)),
+        ("4 ports", presets.naive_tlb(ports=4, **warm)),
+        ("+ hit under miss", presets.hit_under_miss_tlb(**warm)),
+        ("+ overlapped cache access", presets.overlap_tlb(**warm)),
+        ("+ PTW scheduling (augmented)", presets.augmented_tlb(**warm)),
+        ("ideal 512e/32p (impractical)", presets.ideal_tlb(**warm)),
+    ]
+
+    results = {label: run(config, workload) for label, config in steps}
+    baseline = results["no TLB (baseline)"]
+
+    print(f"MMU design walk on {name}\n")
+    speedups = {
+        label: result.speedup_vs(baseline)
+        for label, result in results.items()
+        if label != "no TLB (baseline)"
+    }
+    print(ascii_bar_chart(speedups))
+
+    print()
+    rows = []
+    for label, result in results.items():
+        if label == "no TLB (baseline)":
+            continue
+        stats = result.stats
+        rows.append(
+            [
+                label,
+                f"{stats.tlb_miss_rate:.1%}",
+                stats.walks,
+                f"{result.avg_walk_cycles:.0f}",
+                f"{stats.idle_fraction:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["design", "TLB miss", "walks", "avg walk cyc", "idle"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The paper's Figure 8 worked example, step by step.
+
+Three warp threads miss the TLB on virtual pages
+
+    (0xb9, 0x0c, 0xac, 0x03)
+    (0xb9, 0x0c, 0xac, 0x04)
+    (0xb9, 0x0c, 0xad, 0x05)
+
+A conventional serial walker performs three independent four-load walks
+(12 loads).  The coalescing PTW scheduler recognizes that all three
+share PML4 and PDP entries, that the two PD entries share a cache line,
+and that two PT entries share a cache line — and issues 7 loads.
+
+Run:  python examples/ptw_walkthrough.py
+"""
+
+from repro.mem.hierarchy import SharedMemory
+from repro.ptw.scheduler import ScheduledPageTableWalker, plan_batch
+from repro.ptw.walker import PageTableWalker
+from repro.vm.address import compose_vpn, split_vpn
+from repro.vm.page_table import PageTable
+
+PAGES = [
+    compose_vpn(0xB9, 0x0C, 0xAC, 0x03),
+    compose_vpn(0xB9, 0x0C, 0xAC, 0x04),
+    compose_vpn(0xB9, 0x0C, 0xAD, 0x05),
+]
+LEVELS = ("PML4", "PDP", "PD", "PT")
+
+
+def main():
+    table = PageTable()
+    for vpn in PAGES:
+        table.map_page(vpn)
+
+    print("concurrent TLB misses:")
+    for vpn in PAGES:
+        indices = ", ".join(f"{i:#04x}" for i in split_vpn(vpn))
+        print(f"  vpn {vpn:#011x}  = ({indices})")
+    print()
+
+    naive = PageTableWalker(table, SharedMemory(num_channels=1))
+    serial = naive.walk_many(PAGES, now=0)
+    print(
+        f"serial walker : {serial.refs} loads, "
+        f"batch completes at cycle {serial.ready_time}"
+    )
+
+    sched = ScheduledPageTableWalker(table, SharedMemory(num_channels=1))
+    plan = plan_batch(sched.steps_for(PAGES))
+    batch = sched.walk_many(PAGES, now=0)
+    print(
+        f"scheduled     : {batch.refs} loads, "
+        f"batch completes at cycle {batch.ready_time} "
+        f"({plan.refs_eliminated} loads eliminated)"
+    )
+    print()
+
+    print("scheduled load plan (level by level):")
+    for level, loads in enumerate(plan.loads_per_level):
+        lines = {}
+        for addr in loads:
+            lines.setdefault(addr // 128, []).append(addr)
+        parts = []
+        for line, addrs in lines.items():
+            tag = " (same line)" if len(addrs) > 1 else ""
+            parts.append(
+                " + ".join(f"{a:#x}" for a in addrs) + tag
+            )
+        print(f"  step {level} {LEVELS[level]:>4}: {' | '.join(parts)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Warp-scheduler study: CCWS, TA-CCWS and TCWS under address translation.
+
+Reproduces the paper's Section 7 story on a cache-sensitive workload:
+CCWS recovers intra-warp locality, naive TLBs erase most of the gain,
+and the TLB-aware variants (TA-CCWS weighting, TCWS with page-grain
+victim tag arrays) win it back — TCWS with half the VTA hardware.
+
+Run:  python examples/scheduler_study.py [workload]
+"""
+
+import sys
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.gpu.scheduler.tcws import TCWSScheduler
+from repro.stats.report import ascii_bar_chart
+from repro.tlb.victim_array import VictimTagArray
+from repro.workloads import TIMING_MISS_SCALE, get_workload, workload_names
+
+
+def run(config, workload):
+    work = workload.build(config, miss_scale=TIMING_MISS_SCALE)
+    return Simulator(config, work, workload.name).run()
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "streamcluster"
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; pick from {workload_names()}")
+    workload = get_workload(name)
+    warm = dict(warmup_instructions=20)
+
+    configs = {
+        "round-robin (no TLB)": presets.no_tlb(**warm),
+        "ccws (no TLB)": presets.with_ccws(presets.no_tlb(**warm)),
+        "ccws + naive TLB": presets.with_ccws(presets.naive_tlb(ports=4, **warm)),
+        "ccws + augmented TLB": presets.with_ccws(presets.augmented_tlb(**warm)),
+        "ta-ccws 4:1 + augmented": presets.with_ta_ccws(
+            presets.augmented_tlb(**warm), tlb_miss_weight=4
+        ),
+        "tcws 8epw + augmented": presets.with_tcws(
+            presets.augmented_tlb(**warm), entries_per_warp=8
+        ),
+    }
+    results = {label: run(config, workload) for label, config in configs.items()}
+    baseline = results["round-robin (no TLB)"]
+
+    print(f"warp-scheduler study on {name}\n")
+    print(
+        ascii_bar_chart(
+            {
+                label: result.speedup_vs(baseline)
+                for label, result in results.items()
+                if label != "round-robin (no TLB)"
+            }
+        )
+    )
+
+    ccws_tags = VictimTagArray(48, entries_per_warp=16).storage_tags()
+    tcws_tags = TCWSScheduler(48).storage_tags()
+    print()
+    print(
+        f"hardware: CCWS victim tag arrays hold {ccws_tags} tags; "
+        f"TCWS holds {tcws_tags} ({tcws_tags / ccws_tags:.0%} of CCWS)"
+    )
+
+
+if __name__ == "__main__":
+    main()

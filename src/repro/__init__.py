@@ -1,0 +1,43 @@
+"""repro: reproduction of "Architectural Support for Address Translation on GPUs".
+
+This package implements, from scratch, a trace-driven GPU timing simulator
+with per-shader-core Memory Management Units (TLBs and hardware page table
+walkers), cache-conscious wavefront scheduling (CCWS and the paper's
+TLB-aware variants TA-CCWS / TCWS), and thread block compaction (TBC and
+the paper's TLB-aware variant built on the Common Page Matrix).
+
+Public entry points:
+
+- :class:`repro.core.GPUConfig` and friends describe a machine.
+- :mod:`repro.core.presets` holds the paper's named configurations.
+- :class:`repro.core.Simulator` runs a workload on a configuration.
+- :func:`repro.workloads.get_workload` builds the calibrated synthetic
+  workloads standing in for the paper's Rodinia + memcached traces.
+- :mod:`repro.harness` regenerates every figure in the evaluation.
+"""
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    PTWConfig,
+    TLBConfig,
+)
+from repro.core.results import SimulationResult, speedup
+from repro.core.simulator import Simulator
+from repro.workloads import get_workload, workload_names
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "PTWConfig",
+    "TLBConfig",
+    "SimulationResult",
+    "Simulator",
+    "get_workload",
+    "workload_names",
+    "speedup",
+]
+
+__version__ = "1.0.0"

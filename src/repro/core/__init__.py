@@ -1,0 +1,28 @@
+"""Core: machine configuration, named presets, simulator driver, results."""
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    PTWConfig,
+    SchedulerConfig,
+    TBCConfig,
+    TLBConfig,
+)
+from repro.core.results import SimulationResult, speedup
+from repro.core.simulator import Simulator
+from repro.core import presets
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "PTWConfig",
+    "SchedulerConfig",
+    "TBCConfig",
+    "TLBConfig",
+    "SimulationResult",
+    "Simulator",
+    "speedup",
+    "presets",
+]

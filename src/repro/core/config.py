@@ -1,0 +1,257 @@
+"""Machine configuration dataclasses.
+
+Defaults reproduce the paper's methodology (Section 5.2): 32-thread
+warps, 48 warps per shader core, 32 KB L1 data caches with 128-byte
+lines, 8 memory channels with 128 KB of unified L2 per channel, and a
+128-entry per-core TLB with one hardware page table walker.
+
+The paper simulates 30 SIMT cores; this reproduction simulates a
+configurable subset (default 4) with statistically identical per-core
+workloads — every reported metric is either per-core or a ratio against
+a no-TLB baseline of the same core count, so the shape of the results is
+insensitive to the core count (and the benchmarks run in seconds rather
+than hours of pure-Python simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.vm.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Per-shader-core TLB design point (Section 6.1 design space).
+
+    Attributes
+    ----------
+    enabled:
+        False models the paper's no-TLB baseline (all speedups are
+        reported against it).
+    entries / associativity / ports:
+        Geometry; the naive baseline is 128-entry, 3-port, the augmented
+        design 4-port, the "ideal impractical" point 512-entry, 32-port.
+    blocking:
+        A blocking TLB services nothing while any miss is outstanding;
+        warps with memory instructions stall behind it.
+    hit_under_miss:
+        Non-blocking level 1: other warps may translate (and proceed on
+        hits) while misses are pending.
+    cache_overlap:
+        Non-blocking level 2: the TLB-hitting threads of a *missing*
+        warp access the L1 immediately, overlapping cache latency with
+        the walk (Section 6.3).
+    ideal_latency:
+        Waive the CACTI size/port access-time penalty (only the ideal
+        comparison point uses this).
+    mshr_entries:
+        TLB miss status holding registers; one per warp thread (32).
+    """
+
+    enabled: bool = True
+    entries: int = 128
+    associativity: int = 4
+    ports: int = 4
+    blocking: bool = True
+    hit_under_miss: bool = False
+    cache_overlap: bool = False
+    ideal_latency: bool = False
+    mshr_entries: int = 32
+
+    def __post_init__(self):
+        if self.enabled:
+            if self.entries <= 0 or self.ports <= 0:
+                raise ValueError("TLB entries and ports must be positive")
+            if self.entries % self.associativity:
+                raise ValueError("TLB entries must divide into sets")
+            if self.cache_overlap and self.blocking:
+                raise ValueError(
+                    "cache_overlap requires a non-blocking TLB "
+                    "(set blocking=False, hit_under_miss=True)"
+                )
+
+
+@dataclass(frozen=True)
+class PTWConfig:
+    """Page table walker arrangement (Sections 6.2-6.3).
+
+    ``count`` serial walkers per core; ``scheduled=True`` replaces them
+    with the single coalescing scheduled walker of Figures 8-9
+    (mutually exclusive with count > 1).
+    """
+
+    count: int = 1
+    scheduled: bool = False
+
+    def __post_init__(self):
+        if self.count <= 0:
+            raise ValueError("need at least one walker")
+        if self.scheduled and self.count != 1:
+            raise ValueError("the scheduled walker design uses a single walker")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """L1 and L2 cache geometry.
+
+    L1 parameters are the paper's (32 KB, 128-byte lines).  L2 defaults
+    describe the *per-core slice* of the machine: the paper's 30 cores
+    share 8 x 128 KB of L2, but its workloads also have ~30x our
+    per-core footprint, so each simulated core gets a 1 MB slice —
+    preserving the footprint:capacity ratio that determines hit rates.
+    """
+
+    l1_bytes: int = 32 * 1024
+    line_bytes: int = 128
+    l1_associativity: int = 8
+    l1_latency: int = 1
+    l1_mshr_entries: int = 16
+    l2_bytes_per_channel: int = 1024 * 1024
+    l2_associativity: int = 8
+    l2_latency: int = 12
+    l2_service_interval: int = 2
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Memory channels and latencies (per-core slice).
+
+    The paper's 30 cores share 8 channels (~0.27 channels/core); we
+    give each simulated core one channel with the service interval
+    scaled to match the per-core bandwidth share.
+    """
+
+    num_channels: int = 1
+    access_latency: int = 350
+    service_interval: int = 4
+    interconnect_latency: int = 4
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Warp scheduler selection and CCWS-family tuning knobs.
+
+    ``kind`` is one of:
+
+    - ``"rr"`` — loose round-robin (the GPU default).
+    - ``"gto"`` — greedy-then-oldest.
+    - ``"ccws"`` — cache-conscious wavefront scheduling with cache-line
+      victim tag arrays (Section 7.1).
+    - ``"ta-ccws"`` — CCWS whose lost-locality scoring weights cache
+      misses that also TLB-missed ``tlb_miss_weight`` times as much
+      (Section 7.2, Figure 14).
+    - ``"tcws"`` — TLB-conscious warp scheduling: page-grain VTAs fed by
+      TLB evictions, plus LRU-depth-weighted score updates on TLB hits
+      (Section 7.2, Figure 15).
+    """
+
+    kind: str = "rr"
+    vta_entries_per_warp: int = 16
+    vta_associativity: int = 8
+    lls_cutoff: int = 64
+    base_score: int = 1
+    tlb_miss_weight: int = 4
+    lru_hit_weights: Tuple[int, ...] = (1, 2, 4, 8)
+    score_halflife: int = 4096
+    min_active_warps: int = 8
+
+    _KINDS = ("rr", "gto", "ccws", "ta-ccws", "tcws")
+
+    def __post_init__(self):
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown scheduler kind {self.kind!r}; one of {self._KINDS}")
+        if self.tlb_miss_weight < 1:
+            raise ValueError("tlb_miss_weight must be >= 1")
+        if not self.lru_hit_weights:
+            raise ValueError("lru_hit_weights must be non-empty")
+
+
+@dataclass(frozen=True)
+class TBCConfig:
+    """Thread block compaction settings (Section 8).
+
+    ``mode`` is one of:
+
+    - ``"stack"`` — baseline per-warp reconvergence stacks (no
+      compaction).
+    - ``"tbc"`` — baseline thread block compaction [Fung & Aamodt].
+    - ``"tlb-tbc"`` — TLB-aware TBC gated by the Common Page Matrix.
+    """
+
+    mode: str = "stack"
+    cpm_counter_bits: int = 3
+    #: The paper flushes every 500 cycles; our regions span thousands of
+    #: cycles (shorter traces, deeper per-access latencies), so the
+    #: default scales accordingly.  bench_ablation_cpm_flush.py sweeps it.
+    cpm_flush_interval: int = 5000
+
+    _MODES = ("stack", "tbc", "tlb-tbc")
+
+    def __post_init__(self):
+        if self.mode not in self._MODES:
+            raise ValueError(f"unknown TBC mode {self.mode!r}; one of {self._MODES}")
+        if not 1 <= self.cpm_counter_bits <= 8:
+            raise ValueError("CPM counters are 1-8 bits")
+        if self.cpm_flush_interval <= 0:
+            raise ValueError("CPM flush interval must be positive")
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Complete machine description."""
+
+    num_cores: int = 1
+    warps_per_core: int = 48
+    warp_width: int = 32
+    page_shift: int = PAGE_SHIFT_4K
+    #: Warp instructions per warp excluded from measurement (structures
+    #: stay warm; the clock and every counter restart once the core has
+    #: issued ``warmup_instructions * warps`` instructions).  Standard
+    #: steady-state methodology: compulsory TLB/cache misses of our
+    #: short traces would otherwise be over-weighted relative to the
+    #: paper's billions-of-instructions runs.
+    warmup_instructions: int = 0
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    ptw: PTWConfig = field(default_factory=PTWConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    tbc: TBCConfig = field(default_factory=TBCConfig)
+
+    def __post_init__(self):
+        if self.num_cores <= 0 or self.warps_per_core <= 0 or self.warp_width <= 0:
+            raise ValueError("core/warp geometry must be positive")
+        if self.page_shift not in (PAGE_SHIFT_4K, PAGE_SHIFT_2M):
+            raise ValueError("page_shift must be 12 (4 KB) or 21 (2 MB)")
+
+    def with_(self, **kwargs) -> "GPUConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for bench output."""
+        if not self.tlb.enabled:
+            mmu = "no-TLB"
+        else:
+            bits = [f"{self.tlb.entries}e/{self.tlb.ports}p"]
+            if self.tlb.ideal_latency:
+                bits.append("ideal")
+            if self.tlb.cache_overlap:
+                bits.append("overlap")
+            elif self.tlb.hit_under_miss:
+                bits.append("HuM")
+            elif self.tlb.blocking:
+                bits.append("blocking")
+            if self.ptw.scheduled:
+                bits.append("ptw-sched")
+            elif self.ptw.count > 1:
+                bits.append(f"{self.ptw.count}ptw")
+            mmu = "TLB " + "+".join(bits)
+        parts = [mmu, f"sched={self.scheduler.kind}"]
+        if self.tbc.mode != "stack":
+            parts.append(f"tbc={self.tbc.mode}")
+        if self.page_shift == PAGE_SHIFT_2M:
+            parts.append("2MB-pages")
+        return ", ".join(parts)

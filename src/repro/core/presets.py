@@ -1,0 +1,169 @@
+"""Named machine configurations: every design point the paper evaluates.
+
+Each function returns a fresh :class:`GPUConfig`.  Keyword arguments
+(``num_cores``, scheduler overrides, TBC mode...) pass through so the
+benchmarks can combine MMU design points with scheduler/TBC variants —
+exactly the config matrix of Figures 2, 13 and 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import (
+    GPUConfig,
+    PTWConfig,
+    SchedulerConfig,
+    TBCConfig,
+    TLBConfig,
+)
+
+
+def _base(**overrides) -> GPUConfig:
+    return GPUConfig(**overrides)
+
+
+def no_tlb(**overrides) -> GPUConfig:
+    """The baseline every figure normalizes against: no address
+    translation at all (today's separate-address-space GPUs)."""
+    return _base(tlb=TLBConfig(enabled=False), **overrides)
+
+
+def naive_tlb(ports: int = 3, **overrides) -> GPUConfig:
+    """Section 6.2's strawman: 128-entry blocking TLB (3 ports as in
+    Figure 2; pass ``ports=4`` for the Figure 6+ baseline) with one
+    serial page table walker."""
+    return _base(
+        tlb=TLBConfig(entries=128, ports=ports, blocking=True),
+        ptw=PTWConfig(count=1, scheduled=False),
+        **overrides,
+    )
+
+
+def tlb_with_geometry(entries: int, ports: int, ideal: bool = False, **overrides) -> GPUConfig:
+    """A naive blocking TLB with arbitrary geometry (Figure 6 sweep)."""
+    associativity = 4 if entries % 4 == 0 else 1
+    return _base(
+        tlb=TLBConfig(
+            entries=entries,
+            associativity=associativity,
+            ports=ports,
+            blocking=True,
+            ideal_latency=ideal,
+        ),
+        **overrides,
+    )
+
+
+def hit_under_miss_tlb(**overrides) -> GPUConfig:
+    """First non-blocking step (Figure 7): hits from other warps may
+    proceed under an outstanding miss."""
+    return _base(
+        tlb=TLBConfig(entries=128, ports=4, blocking=False, hit_under_miss=True),
+        **overrides,
+    )
+
+
+def overlap_tlb(**overrides) -> GPUConfig:
+    """Second non-blocking step (Figure 7): TLB-hitting threads of a
+    missing warp also access the cache immediately."""
+    return _base(
+        tlb=TLBConfig(
+            entries=128,
+            ports=4,
+            blocking=False,
+            hit_under_miss=True,
+            cache_overlap=True,
+        ),
+        **overrides,
+    )
+
+
+def augmented_tlb(**overrides) -> GPUConfig:
+    """The paper's recommended design (Figure 10 onwards): 128-entry
+    4-port non-blocking TLB with cache overlap plus the coalescing PTW
+    scheduler."""
+    return _base(
+        tlb=TLBConfig(
+            entries=128,
+            ports=4,
+            blocking=False,
+            hit_under_miss=True,
+            cache_overlap=True,
+        ),
+        ptw=PTWConfig(count=1, scheduled=True),
+        **overrides,
+    )
+
+
+def multi_ptw_tlb(num_walkers: int, **overrides) -> GPUConfig:
+    """Naive blocking TLB with a pool of serial walkers (Figure 11)."""
+    return _base(
+        tlb=TLBConfig(entries=128, ports=4, blocking=True),
+        ptw=PTWConfig(count=num_walkers, scheduled=False),
+        **overrides,
+    )
+
+
+def ideal_tlb(**overrides) -> GPUConfig:
+    """The impractical comparison point: 512 entries, 32 ports, no
+    access-latency penalty, fully non-blocking, scheduled walker."""
+    return _base(
+        tlb=TLBConfig(
+            entries=512,
+            ports=32,
+            blocking=False,
+            hit_under_miss=True,
+            cache_overlap=True,
+            ideal_latency=True,
+        ),
+        ptw=PTWConfig(count=1, scheduled=True),
+        **overrides,
+    )
+
+
+# ---------------------------------------------------------------------
+# Scheduler / TBC combinators
+# ---------------------------------------------------------------------
+
+
+def with_ccws(config: GPUConfig, **sched_overrides) -> GPUConfig:
+    """Swap in cache-conscious wavefront scheduling."""
+    return replace(
+        config, scheduler=SchedulerConfig(kind="ccws", **sched_overrides)
+    )
+
+
+def with_ta_ccws(config: GPUConfig, tlb_miss_weight: int = 4, **sched_overrides) -> GPUConfig:
+    """Swap in TLB-aware CCWS with the given miss weight (Figure 16)."""
+    return replace(
+        config,
+        scheduler=SchedulerConfig(
+            kind="ta-ccws", tlb_miss_weight=tlb_miss_weight, **sched_overrides
+        ),
+    )
+
+
+def with_tcws(
+    config: GPUConfig,
+    entries_per_warp: int = 8,
+    lru_hit_weights=(1, 2, 4, 8),
+    **sched_overrides,
+) -> GPUConfig:
+    """Swap in TLB-conscious warp scheduling (Figures 17-18)."""
+    return replace(
+        config,
+        scheduler=SchedulerConfig(
+            kind="tcws",
+            vta_entries_per_warp=entries_per_warp,
+            lru_hit_weights=tuple(lru_hit_weights),
+            **sched_overrides,
+        ),
+    )
+
+
+def with_tbc(config: GPUConfig, mode: str = "tbc", counter_bits: int = 3) -> GPUConfig:
+    """Enable thread block compaction (``"tbc"`` or ``"tlb-tbc"``)."""
+    return replace(
+        config, tbc=TBCConfig(mode=mode, cpm_counter_bits=counter_bits)
+    )

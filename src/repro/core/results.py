@@ -1,0 +1,68 @@
+"""Simulation results and the speedup arithmetic every figure uses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.stats.counters import CoreStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything a benchmark needs from one simulation run.
+
+    All of the paper's figures plot *speedup versus a no-TLB baseline*
+    of the same machine; compute it with :func:`speedup` or
+    :meth:`speedup_vs`.
+    """
+
+    workload: str
+    config_description: str
+    cycles: int
+    stats: CoreStats
+    l1_hits: int = 0
+    l1_misses: int = 0
+    avg_l1_miss_cycles: float = 0.0
+    avg_walk_cycles: float = 0.0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    ptw_refs: int = 0
+    ptw_l2_hit_rate: float = 0.0
+    dram_requests: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """Demand L1 miss rate across all cores."""
+        total = self.l1_hits + self.l1_misses
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """Coalesced TLB miss rate across all cores."""
+        return self.stats.tlb_miss_rate
+
+    def speedup_vs(self, baseline: "SimulationResult") -> float:
+        """Runtime ratio baseline/self (>1 means this run is faster)."""
+        return speedup(baseline, self)
+
+    def overhead_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional runtime overhead of this run versus the baseline.
+
+        The paper's acceptability criterion is 5-15 % of runtime.
+        """
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles - 1.0
+
+
+def speedup(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Speedup of ``candidate`` over ``baseline`` (cycles ratio).
+
+    Values above 1 are improvements, below 1 degradations — the y-axis
+    convention of every figure in the paper.
+    """
+    if candidate.cycles == 0:
+        raise ValueError("candidate run has zero cycles")
+    return baseline.cycles / candidate.cycles

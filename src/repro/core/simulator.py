@@ -1,0 +1,177 @@
+"""The top-level simulator: build the machine, run the workload.
+
+Responsibilities: allocate physical memory and the process page table,
+pre-map every page the workload touches (the paper's workloads never
+page-fault, Section 6.2), instantiate the shared memory system and one
+shader core per configured core, execute, and aggregate statistics into
+a :class:`repro.core.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.config import GPUConfig
+from repro.core.results import SimulationResult
+from repro.gpu.instruction import MemoryInstruction, WarpTrace
+from repro.gpu.shader_core import ShaderCore
+from repro.gpu.tbc.blocks import ThreadBlock
+from repro.mem.hierarchy import SharedMemory
+from repro.ptw.multi import WalkerPool
+from repro.stats.counters import CoreStats
+from repro.vm.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
+from repro.vm.page_table import PageTable
+from repro.vm.physical_memory import PhysicalMemory
+
+CoreWork = Union[Sequence[WarpTrace], Sequence[ThreadBlock]]
+
+
+def _addresses_of(work: CoreWork) -> Iterable[int]:
+    """Yield every virtual address a core's work touches."""
+    for item in work:
+        if isinstance(item, ThreadBlock):
+            for region in item.regions:
+                for addresses in region.thread_addresses.values():
+                    yield from addresses
+        else:
+            for instr in item.instructions:
+                if isinstance(instr, MemoryInstruction):
+                    for addr in instr.addresses:
+                        if addr is not None:
+                            yield addr
+
+
+class Simulator:
+    """Run a workload on a machine configuration.
+
+    Parameters
+    ----------
+    config:
+        The machine.
+    per_core_work:
+        One work list per core: warp traces (linear mode) or thread
+        blocks (TBC modes).  Workload objects produce this via
+        :meth:`repro.workloads.base.Workload.build`.
+    workload_name:
+        Label carried into the result.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        per_core_work: Sequence[CoreWork],
+        workload_name: str = "custom",
+    ):
+        if len(per_core_work) != config.num_cores:
+            raise ValueError(
+                f"workload provides {len(per_core_work)} cores of work; "
+                f"config has {config.num_cores}"
+            )
+        self.config = config
+        self.workload_name = workload_name
+        self.memory = PhysicalMemory()
+        self.page_table = PageTable(self.memory)
+        self._map_pages(per_core_work)
+        dram = config.dram
+        cache = config.cache
+        # Cores execute sequentially in this simulator, and the
+        # workloads give every core disjoint pages, so cores interact
+        # only through shared *bandwidth*.  Each core therefore gets its
+        # own memory-system instance carrying its 1/num_cores share of
+        # the channels (service intervals scale when channels do not
+        # divide evenly), which models contention without coupling the
+        # cores' clocks.
+        channels_per_core = max(1, dram.num_channels // config.num_cores)
+        scale = config.num_cores * channels_per_core / dram.num_channels
+        self.shared_per_core: List[SharedMemory] = [
+            SharedMemory(
+                num_channels=channels_per_core,
+                l2_bytes_per_channel=cache.l2_bytes_per_channel
+                * dram.num_channels
+                // (config.num_cores * channels_per_core),
+                line_bytes=cache.line_bytes,
+                l2_associativity=cache.l2_associativity,
+                l2_latency=cache.l2_latency,
+                l2_service_interval=max(
+                    1, round(cache.l2_service_interval * scale)
+                ),
+                interconnect_latency=dram.interconnect_latency,
+                dram_latency=dram.access_latency,
+                dram_service_interval=max(
+                    1, round(dram.service_interval * scale)
+                ),
+            )
+            for _ in range(config.num_cores)
+        ]
+        self.cores: List[ShaderCore] = [
+            ShaderCore(
+                core_id,
+                config,
+                self.page_table,
+                self.shared_per_core[core_id],
+                work,
+                frame_map=self.frame_map,
+            )
+            for core_id, work in enumerate(per_core_work)
+        ]
+
+    def _map_pages(self, per_core_work: Sequence[CoreWork]) -> None:
+        """Pre-map every touched page (4 KB, or 2 MB in large-page mode).
+
+        Also records ``frame_map`` (vpn → pfn at the configured page
+        size): the no-TLB baseline uses it for zero-latency physical
+        addressing, so baseline and TLB runs exercise identical cache
+        set behaviour and differ only in translation cost.
+        """
+        large = self.config.page_shift == PAGE_SHIFT_2M
+        self.frame_map = {}
+        for work in per_core_work:
+            for addr in _addresses_of(work):
+                if large:
+                    vpn = addr >> PAGE_SHIFT_2M
+                    if vpn not in self.frame_map:
+                        self.frame_map[vpn] = self.page_table.ensure_mapped_large(vpn)
+                else:
+                    vpn = addr >> PAGE_SHIFT_4K
+                    if vpn not in self.frame_map:
+                        self.frame_map[vpn] = self.page_table.ensure_mapped(vpn)
+
+    def run(self) -> SimulationResult:
+        """Execute every core and aggregate the statistics."""
+        merged = CoreStats(cores=0)
+        l1_hits = l1_misses = 0
+        total_l1_miss_latency = 0
+        walk_cycles = 0
+        walks = 0
+        for core in self.cores:
+            stats = core.run()
+            merged.merge(stats)
+            hits, misses, miss_latency = core.steady_memory_counters()
+            l1_hits += hits
+            l1_misses += misses
+            total_l1_miss_latency += miss_latency
+            core_walks, _, _, core_walk_cycles = core.steady_walker_counters()
+            walk_cycles += core_walk_cycles
+            walks += core_walks
+        l2_hits = sum(s.l2_hits for s in self.shared_per_core)
+        l2_misses = sum(s.l2_misses for s in self.shared_per_core)
+        ptw_refs = sum(s.ptw_refs for s in self.shared_per_core)
+        ptw_l2_hits = sum(s.ptw_l2_hits for s in self.shared_per_core)
+        dram_requests = sum(s.dram.requests for s in self.shared_per_core)
+        return SimulationResult(
+            workload=self.workload_name,
+            config_description=self.config.describe(),
+            cycles=merged.cycles,
+            stats=merged,
+            l1_hits=l1_hits,
+            l1_misses=l1_misses,
+            avg_l1_miss_cycles=(
+                total_l1_miss_latency / l1_misses if l1_misses else 0.0
+            ),
+            avg_walk_cycles=walk_cycles / walks if walks else 0.0,
+            l2_hits=l2_hits,
+            l2_misses=l2_misses,
+            ptw_refs=ptw_refs,
+            ptw_l2_hit_rate=ptw_l2_hits / ptw_refs if ptw_refs else 0.0,
+            dram_requests=dram_requests,
+        )

@@ -1,0 +1,20 @@
+"""GPU execution model: warps, coalescing, the SIMT shader core."""
+
+from repro.gpu.instruction import (
+    ComputeInstruction,
+    MemoryInstruction,
+    WarpTrace,
+)
+from repro.gpu.coalescer import CoalescedAccess, coalesce
+from repro.gpu.warp import Warp
+from repro.gpu.shader_core import ShaderCore
+
+__all__ = [
+    "ComputeInstruction",
+    "MemoryInstruction",
+    "WarpTrace",
+    "CoalescedAccess",
+    "coalesce",
+    "Warp",
+    "ShaderCore",
+]

@@ -1,0 +1,71 @@
+"""The memory unit's intra-warp coalescer.
+
+"The memory unit's address generator calculates virtual addresses, which
+are coalesced into unique cache line references.  We enhance this logic
+by also coalescing multiple intra-warp requests to the same virtual page
+(and hence PTE).  This reduces TLB access traffic and port counts.  At
+this point, two sets of accesses are available: (1) unique cache
+accesses; and (2) unique PTE accesses." — Section 6.2, Figure 5.
+
+The number of unique pages a warp instruction requests is its *page
+divergence* (Figure 3, right), the central quantity of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CoalescedAccess:
+    """The two request sets for one warp memory instruction.
+
+    Attributes
+    ----------
+    lines:
+        Unique cache-line virtual addresses (line aligned), in first-lane
+        order.
+    vpns:
+        Unique virtual page numbers, in first-lane order.
+    lines_by_vpn:
+        For each vpn, the lines that fall in that page — needed by the
+        cache-overlap optimization, where lines whose page hit in the TLB
+        access the cache before the missing pages translate.
+    """
+
+    lines: Tuple[int, ...]
+    vpns: Tuple[int, ...]
+    lines_by_vpn: Dict[int, Tuple[int, ...]]
+
+    @property
+    def page_divergence(self) -> int:
+        """Distinct translations this warp instruction needs."""
+        return len(self.vpns)
+
+
+def coalesce(
+    addresses: Sequence[Optional[int]],
+    line_bytes: int = 128,
+    page_shift: int = 12,
+) -> CoalescedAccess:
+    """Coalesce per-lane addresses into unique line and page requests."""
+    line_mask = line_bytes - 1
+    if line_bytes & line_mask:
+        raise ValueError("line size must be a power of two")
+    lines: Dict[int, None] = {}
+    vpns: Dict[int, None] = {}
+    lines_by_vpn: Dict[int, Dict[int, None]] = {}
+    for addr in addresses:
+        if addr is None:
+            continue
+        line = addr & ~line_mask
+        vpn = addr >> page_shift
+        lines[line] = None
+        vpns[vpn] = None
+        lines_by_vpn.setdefault(vpn, {})[line] = None
+    return CoalescedAccess(
+        lines=tuple(lines),
+        vpns=tuple(vpns),
+        lines_by_vpn={vpn: tuple(page_lines) for vpn, page_lines in lines_by_vpn.items()},
+    )

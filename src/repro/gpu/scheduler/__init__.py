@@ -1,0 +1,29 @@
+"""Warp schedulers: round-robin, GTO, and the CCWS family.
+
+``make_scheduler`` builds the scheduler a :class:`repro.core.GPUConfig`
+asks for; the CCWS variants (CCWS, TA-CCWS, TCWS) share the
+lost-locality scoring machinery in :mod:`repro.gpu.scheduler.ccws`.
+"""
+
+from repro.gpu.scheduler.base import (
+    Candidate,
+    GreedyThenOldestScheduler,
+    RoundRobinScheduler,
+    WarpScheduler,
+)
+from repro.gpu.scheduler.ccws import CCWSScheduler, LostLocalityScheduler
+from repro.gpu.scheduler.ta_ccws import TACCWSScheduler
+from repro.gpu.scheduler.tcws import TCWSScheduler
+from repro.gpu.scheduler.factory import make_scheduler
+
+__all__ = [
+    "Candidate",
+    "GreedyThenOldestScheduler",
+    "RoundRobinScheduler",
+    "WarpScheduler",
+    "CCWSScheduler",
+    "LostLocalityScheduler",
+    "TACCWSScheduler",
+    "TCWSScheduler",
+    "make_scheduler",
+]

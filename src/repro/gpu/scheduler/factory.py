@@ -1,0 +1,40 @@
+"""Build the warp scheduler a configuration asks for."""
+
+from __future__ import annotations
+
+from repro.core.config import SchedulerConfig
+from repro.gpu.scheduler.base import (
+    GreedyThenOldestScheduler,
+    RoundRobinScheduler,
+    WarpScheduler,
+)
+from repro.gpu.scheduler.ccws import CCWSScheduler
+from repro.gpu.scheduler.ta_ccws import TACCWSScheduler
+from repro.gpu.scheduler.tcws import TCWSScheduler
+
+
+def make_scheduler(config: SchedulerConfig, num_warps: int) -> WarpScheduler:
+    """Instantiate the scheduler described by ``config``."""
+    if config.kind == "rr":
+        return RoundRobinScheduler(num_warps)
+    if config.kind == "gto":
+        return GreedyThenOldestScheduler(num_warps)
+    common = dict(
+        vta_entries_per_warp=config.vta_entries_per_warp,
+        vta_associativity=config.vta_associativity,
+        lls_cutoff=config.lls_cutoff,
+        base_score=config.base_score,
+        score_halflife=config.score_halflife,
+        min_active_warps=config.min_active_warps,
+    )
+    if config.kind == "ccws":
+        return CCWSScheduler(num_warps, **common)
+    if config.kind == "ta-ccws":
+        return TACCWSScheduler(
+            num_warps, tlb_miss_weight=config.tlb_miss_weight, **common
+        )
+    if config.kind == "tcws":
+        return TCWSScheduler(
+            num_warps, lru_hit_weights=config.lru_hit_weights, **common
+        )
+    raise ValueError(f"unknown scheduler kind {config.kind!r}")

@@ -1,0 +1,46 @@
+"""TLB-aware CCWS (TA-CCWS, paper Section 7.2, Figure 14).
+
+CCWS treats all cache misses equivalently, but "some cache misses are
+accompanied by TLB misses, others with TLB hits" — and a TLB miss costs
+roughly twice an L1 miss (Figure 4).  TA-CCWS keeps CCWS's cache-line
+VTAs and scoring structure, and simply weights a VTA hit whose access
+also missed the TLB ``tlb_miss_weight`` times as heavily (weights are
+powers of two so real hardware updates with shifters).  Figure 16 sweeps
+the weight; 4:1 performs best.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.scheduler.ccws import CCWSScheduler
+
+
+class TACCWSScheduler(CCWSScheduler):
+    """CCWS whose lost-locality scoring knows about TLB misses."""
+
+    def __init__(self, *args, tlb_miss_weight: int = 4, **kwargs):
+        super().__init__(*args, **kwargs)
+        if tlb_miss_weight < 1:
+            raise ValueError("tlb_miss_weight must be >= 1")
+        if tlb_miss_weight & (tlb_miss_weight - 1):
+            raise ValueError(
+                "tlb_miss_weight must be a power of two (hardware uses shifters)"
+            )
+        self.tlb_miss_weight = tlb_miss_weight
+
+    def on_l1_access(
+        self,
+        warp_id: int,
+        line_addr: int,
+        hit: bool,
+        tlb_missed: bool,
+        evicted_line: Optional[int],
+        evicted_warp: Optional[int],
+    ) -> None:
+        if evicted_line is not None and evicted_warp is not None:
+            self.vta.insert(evicted_warp, evicted_line)
+        if not hit and self.vta.probe(warp_id, line_addr):
+            self.vta_hits += 1
+            weight = self.tlb_miss_weight if tlb_missed else 1
+            self._bump(warp_id, self.base_score * weight)

@@ -1,0 +1,523 @@
+"""The SIMT shader core: issue loop, memory unit, MMU integration.
+
+One core owns the structures of the paper's Figure 5: 48 warp slots, a
+warp scheduler, a memory unit with intra-warp coalescing, a
+virtually-indexed physically-tagged L1 (lookup overlapped with TLB
+access), a per-core TLB with per-warp-thread MSHRs, and one (or a pool
+of) hardware page table walkers.
+
+Timing is cycle driven with event fast-forwarding: one warp instruction
+issues per cycle when any warp is ready, and the clock jumps straight to
+the next warp-ready event otherwise (the skipped span is the core's idle
+time, the quantity the paper reports dropping from 5-15 % to 4-6 % with
+PTW scheduling).
+
+Execution modes
+---------------
+*Linear*: the workload hands each warp slot a complete instruction
+trace (used by every non-TBC experiment).
+
+*Block* (TBC): the workload is thread blocks of divergence regions;
+warps of a block synchronize at region boundaries and the thread
+compactor re-forms dynamic warps per region — with the Common Page
+Matrix gating compaction in ``tlb-tbc`` mode (Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import GPUConfig
+from repro.gpu.coalescer import coalesce
+from repro.gpu.instruction import ComputeInstruction, MemoryInstruction, WarpTrace
+from repro.gpu.scheduler.base import Candidate
+from repro.gpu.scheduler.factory import make_scheduler
+from repro.gpu.tbc.blocks import ThreadBlock
+from repro.gpu.tbc.compactor import form_region_warps
+from repro.gpu.tbc.cpm import CommonPageMatrix
+from repro.gpu.warp import Warp
+from repro.mem.hierarchy import CoreMemory, SharedMemory
+from repro.ptw.multi import WalkerPool
+from repro.ptw.scheduler import ScheduledPageTableWalker
+from repro.ptw.walker import PageTableWalker
+from repro.stats.counters import CoreStats
+from repro.tlb.cacti import access_latency
+from repro.tlb.tlb import SetAssociativeTLB
+from repro.vm.page_table import PageTable
+
+
+@dataclass
+class _BlockRun:
+    """Progress of one thread block through its regions (TBC modes)."""
+
+    block: ThreadBlock
+    slot_base: int
+    region_index: int = 0
+    live_warps: int = 0
+
+
+class ShaderCore:
+    """One shader core executing its share of a workload.
+
+    Parameters
+    ----------
+    core_id:
+        Index of this core.
+    config:
+        Machine description.
+    page_table:
+        The process page table (shared with every core and the walkers).
+    shared_memory:
+        The L2/DRAM subsystem shared by all cores.
+    work:
+        Either a list of :class:`WarpTrace` (linear mode) or a list of
+        :class:`ThreadBlock` (TBC modes, per ``config.tbc.mode``).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: GPUConfig,
+        page_table: PageTable,
+        shared_memory: SharedMemory,
+        work: Union[Sequence[WarpTrace], Sequence[ThreadBlock]],
+        frame_map: Optional[Dict[int, int]] = None,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.page_table = page_table
+        # vpn -> pfn at the configured page size; used for zero-latency
+        # physical addressing in the no-TLB baseline and for merged-walk
+        # translations (avoids re-walking for a result already in
+        # flight).
+        self.frame_map = frame_map if frame_map is not None else {}
+        self.stats = CoreStats()
+        cache = config.cache
+        self.memory = CoreMemory(
+            shared_memory,
+            l1_bytes=cache.l1_bytes,
+            line_bytes=cache.line_bytes,
+            l1_associativity=cache.l1_associativity,
+            l1_latency=cache.l1_latency,
+            mshr_entries=cache.l1_mshr_entries,
+        )
+        self.scheduler = make_scheduler(config.scheduler, config.warps_per_core)
+        self.page_shift = config.page_shift
+        self.page_mask = (1 << config.page_shift) - 1
+        self.line_bytes = cache.line_bytes
+
+        self.tlb: Optional[SetAssociativeTLB] = None
+        self.walker = None
+        self.tlb_extra_latency = 0
+        self.tlb_blocked_until = 0
+        self.tlb_port_busy_until = 0
+        self._pending_walks: Dict[int, int] = {}  # vpn -> translation ready
+        if config.tlb.enabled:
+            self.tlb = SetAssociativeTLB(
+                entries=config.tlb.entries,
+                associativity=config.tlb.associativity,
+                ports=config.tlb.ports,
+            )
+            self.tlb_extra_latency = access_latency(
+                config.tlb.entries, config.tlb.ports, ideal=config.tlb.ideal_latency
+            )
+            if config.ptw.scheduled:
+                self.walker = ScheduledPageTableWalker(page_table, shared_memory)
+            elif config.ptw.count > 1:
+                self.walker = WalkerPool(page_table, shared_memory, config.ptw.count)
+            else:
+                self.walker = PageTableWalker(page_table, shared_memory)
+
+        self.tbc_mode = config.tbc.mode
+        self.cpm: Optional[CommonPageMatrix] = None
+        self._block_runs: List[_BlockRun] = []
+        self.warps: List[Warp] = []
+        if work and isinstance(work[0], ThreadBlock):
+            if self.tbc_mode == "tlb-tbc":
+                self.cpm = CommonPageMatrix(
+                    num_warps=config.warps_per_core,
+                    counter_bits=config.tbc.cpm_counter_bits,
+                    flush_interval=config.tbc.cpm_flush_interval,
+                )
+            slot_base = 0
+            for block in work:
+                run = _BlockRun(block=block, slot_base=slot_base)
+                slot_base += block.num_warps
+                self._block_runs.append(run)
+            if slot_base > config.warps_per_core:
+                raise ValueError(
+                    f"blocks need {slot_base} warp slots; core has "
+                    f"{config.warps_per_core}"
+                )
+            for run in self._block_runs:
+                self._launch_region(run, now=0)
+        else:
+            if len(work) > config.warps_per_core:
+                raise ValueError(
+                    f"{len(work)} warps exceed the core's "
+                    f"{config.warps_per_core} slots"
+                )
+            # Warps start staggered (as a real dispatcher would), so
+            # statistically identical traces do not produce pathological
+            # lockstep memory convoys.
+            self.warps = [
+                Warp(trace=trace, ready_at=index * 5)
+                for index, trace in enumerate(work)
+            ]
+
+    # ------------------------------------------------------------------
+    # TBC region management
+    # ------------------------------------------------------------------
+
+    def _launch_region(self, run: _BlockRun, now: int) -> None:
+        """Form and enqueue the warps of ``run``'s current region."""
+        traces = form_region_warps(
+            run.block,
+            run.region_index,
+            mode=self.tbc_mode,
+            cpm=self.cpm,
+            slot_base=run.slot_base,
+        )
+        run.live_warps = len(traces)
+        self.stats.regions_executed += 1
+        self.stats.warp_fetches += len(traces)
+        if self.tbc_mode != "stack":
+            self.stats.dynamic_warps_formed += len(traces)
+        for trace in traces:
+            warp = Warp(trace=trace, ready_at=now)
+            warp.block_run = run  # type: ignore[attr-defined]
+            self.warps.append(warp)
+
+    def _warp_retired(self, warp: Warp, now: int) -> None:
+        """Bookkeeping when a warp finishes its trace."""
+        run: Optional[_BlockRun] = getattr(warp, "block_run", None)
+        if run is None:
+            self.scheduler.on_warp_done(warp.warp_id)
+            return
+        run.live_warps -= 1
+        if run.live_warps == 0:
+            run.region_index += 1
+            if run.region_index < len(run.block.regions):
+                # Block-wide synchronization: the next region's warps are
+                # formed once every warp of the previous one retires.
+                self._launch_region(run, now=now + 1)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _begin_measurement(self, now: int) -> None:
+        """Warmup ended: restart the counters, keep the structures warm."""
+        self.stats = CoreStats()
+        self._measure_from = now
+        self._warm_mem = (
+            self.memory.l1_hits,
+            self.memory.l1_misses,
+            self.memory.total_miss_latency,
+        )
+        if self.walker is not None:
+            self._warm_walker = (
+                self.walker.walks,
+                self.walker.refs_issued,
+                self.walker.refs_naive,
+                self.walker.total_walk_cycles,
+            )
+
+    def steady_memory_counters(self):
+        """(l1_hits, l1_misses, total_miss_latency) in the measured window."""
+        h0, m0, lat0 = self._warm_mem
+        return (
+            self.memory.l1_hits - h0,
+            self.memory.l1_misses - m0,
+            self.memory.total_miss_latency - lat0,
+        )
+
+    def steady_walker_counters(self):
+        """(walks, refs_issued, refs_naive, walk_cycles) in the window."""
+        if self.walker is None:
+            return (0, 0, 0, 0)
+        w0, ri0, rn0, wc0 = self._warm_walker
+        return (
+            self.walker.walks - w0,
+            self.walker.refs_issued - ri0,
+            self.walker.refs_naive - rn0,
+            self.walker.total_walk_cycles - wc0,
+        )
+
+    def run(self) -> CoreStats:
+        """Execute the core's work to completion; return its counters."""
+        now = 0
+        finish = 0
+        blocking = self.config.tlb.enabled and self.config.tlb.blocking
+        self._measure_from = 0
+        self._warm_mem = (0, 0, 0)
+        self._warm_walker = (0, 0, 0, 0)
+        warmup_budget = self.config.warmup_instructions * max(len(self.warps), 1)
+        issued_total = 0
+        measuring = warmup_budget == 0
+        while True:
+            live = [w for w in self.warps if not w.done]
+            if not live:
+                break
+            candidates: List[Tuple[Warp, Candidate]] = []
+            blocked_only = True
+            for warp in live:
+                if warp.ready_at > now:
+                    continue
+                instr = warp.current_instruction()
+                is_mem = isinstance(instr, MemoryInstruction)
+                if is_mem and blocking and now < self.tlb_blocked_until:
+                    continue  # blocking TLB: memory warps cannot proceed
+                blocked_only = False
+                candidates.append((warp, Candidate(warp.warp_id, is_mem)))
+            if not candidates:
+                waits = [w.ready_at for w in live if w.ready_at > now]
+                if blocking and self.tlb_blocked_until > now:
+                    waits.append(self.tlb_blocked_until)
+                next_event = min(waits) if waits else now + 1
+                if blocking and blocked_only and self.tlb_blocked_until > now:
+                    self.stats.tlb_blocked_wait_cycles += (
+                        min(next_event, self.tlb_blocked_until) - now
+                    )
+                self.stats.idle_cycles += next_event - now
+                now = next_event
+                continue
+            inflight = any(w.ready_at > now for w in live)
+            chosen_id = self.scheduler.select(
+                [c for _, c in candidates], now, inflight
+            )
+            if chosen_id is None:
+                waits = [w.ready_at for w in live if w.ready_at > now]
+                next_event = min(waits) if waits else now + 1
+                self.stats.idle_cycles += next_event - now
+                now = next_event
+                continue
+            warp = next(w for w, c in candidates if c.warp_id == chosen_id)
+            instr = warp.current_instruction()
+            if isinstance(instr, ComputeInstruction):
+                # A compute template folds `latency` scalar instructions;
+                # they occupy the single issue port back to back, so the
+                # clock advances by the full latency (issue bandwidth is
+                # the compute-phase bottleneck with 48 resident warps).
+                warp.ready_at = now + instr.latency
+                self.stats.scalar_instructions += instr.latency
+                advance = instr.latency
+            else:
+                warp.ready_at = self._issue_memory(warp, instr, now)
+                self.stats.memory_instructions += 1
+                self.stats.scalar_instructions += 1
+                advance = 1
+            self.stats.instructions += 1
+            warp.issued += 1
+            warp.pc += 1
+            finish = max(finish, warp.ready_at)
+            if warp.done:
+                self._warp_retired(warp, now)
+            now += advance
+            issued_total += 1
+            if not measuring and issued_total >= warmup_budget:
+                measuring = True
+                self._begin_measurement(now)
+        self.stats.cycles = max(now, finish) - self._measure_from
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Memory unit
+    # ------------------------------------------------------------------
+
+    def _issue_memory(self, warp: Warp, instr: MemoryInstruction, now: int) -> int:
+        """Run one warp memory instruction; return its completion cycle."""
+        coal = coalesce(instr.addresses, self.line_bytes, self.page_shift)
+        self.stats.page_divergence_sum += coal.page_divergence
+        if coal.page_divergence > self.stats.page_divergence_max:
+            self.stats.page_divergence_max = coal.page_divergence
+        self.stats.coalesced_lines += len(coal.lines)
+
+        if self.tlb is None:
+            # No-TLB baseline: pinned, physically-addressed memory with
+            # zero translation cost; lines issue one per cycle.
+            completion = now
+            for offset, line in enumerate(coal.lines):
+                vpn = line >> self.page_shift
+                pfn = self.frame_map.get(vpn)
+                if pfn is not None:
+                    line = (pfn << 12) + (line & self.page_mask)
+                result = self.memory.access(line, now + offset, warp.warp_id)
+                self.scheduler.on_l1_access(
+                    warp.warp_id,
+                    line,
+                    result.level == "l1",
+                    False,
+                    result.evicted_line,
+                    result.evicted_warp,
+                )
+                completion = max(completion, result.ready_time)
+            return completion
+
+        return self._issue_translated(warp, instr, coal, now)
+
+    def _vpn_origins(self, instr: MemoryInstruction, vpns) -> Dict[int, int]:
+        """Map each accessed page to the original warp that touches it
+        (dynamic warps carry per-lane origins; otherwise empty)."""
+        origins: Dict[int, int] = {}
+        if instr.origins is None:
+            return origins
+        for addr, origin in zip(instr.addresses, instr.origins):
+            if addr is None or origin is None:
+                continue
+            vpn = addr >> self.page_shift
+            origins.setdefault(vpn, origin)
+        return origins
+
+    def _issue_translated(self, warp: Warp, instr: MemoryInstruction, coal, now: int) -> int:
+        config = self.config.tlb
+        n_pages = coal.page_divergence
+        lookup_cycles = -(-n_pages // config.ports)  # ceil division
+        # The TLB's read ports arbitrate across warps: a lookup batch
+        # occupies them for lookup_cycles, queueing behind earlier
+        # batches still in flight.
+        port_start = max(now, self.tlb_port_busy_until)
+        self.tlb_port_busy_until = port_start + lookup_cycles
+        tlb_done = port_start + self.tlb_extra_latency + lookup_cycles
+        origins = self._vpn_origins(instr, coal.vpns)
+        self.stats.tlb_lookups += n_pages
+
+        translations: Dict[int, int] = {}
+        page_ready: Dict[int, int] = {}
+        misses: List[int] = []
+        if self.cpm is not None:
+            self.cpm.maybe_flush(now)
+        for vpn in coal.vpns:
+            history_id = origins.get(vpn, warp.warp_id)
+            lookup = self.tlb.lookup(vpn, history_id)
+            if lookup.hit:
+                self.stats.tlb_hits += 1
+                self.scheduler.on_tlb_hit(warp.warp_id, vpn, lookup.lru_depth)
+                if self.cpm is not None and lookup.prior_history:
+                    self.cpm.update(history_id, lookup.prior_history)
+                translations[vpn] = lookup.pfn
+                page_ready[vpn] = tlb_done
+            else:
+                self.stats.tlb_misses += 1
+                self.scheduler.on_tlb_miss(warp.warp_id, vpn)
+                misses.append(vpn)
+
+        if misses:
+            walk_ready = self._handle_misses(warp, misses, tlb_done, origins)
+            for vpn, (pfn, ready) in walk_ready.items():
+                translations[vpn] = pfn
+                page_ready[vpn] = ready
+                self.stats.total_tlb_miss_cycles += ready - tlb_done
+            all_ready = max(r for _, r in walk_ready.values())
+            if config.blocking:
+                # A blocking TLB services nothing until its misses resolve.
+                self.tlb_blocked_until = max(self.tlb_blocked_until, all_ready)
+        else:
+            all_ready = tlb_done
+
+        # Cache stage.  Without cache_overlap every line waits for all
+        # translations; with it, lines of TLB-hitting pages go at once.
+        # Queue state is sampled in present time (the hierarchy's
+        # structural queues must see near-monotone arrivals); the
+        # translation wait is then added as a serial shift, preserving
+        # the translate-then-access dependency.
+        completion = tlb_done
+        cursor: Dict[int, int] = {"t": now}
+
+        def access_line(line_vaddr: int, available_at: int, tlb_missed: bool) -> None:
+            nonlocal completion
+            vpn = line_vaddr >> self.page_shift
+            pfn = translations[vpn]
+            paddr = (pfn << 12) + (line_vaddr & self.page_mask)
+            start = cursor["t"] + 1
+            cursor["t"] = start
+            result = self.memory.access(paddr, start, warp.warp_id)
+            self.scheduler.on_l1_access(
+                warp.warp_id,
+                paddr,
+                result.level == "l1",
+                tlb_missed,
+                result.evicted_line,
+                result.evicted_warp,
+            )
+            latency = result.ready_time - start
+            completion = max(completion, max(available_at, start) + latency)
+
+        if config.cache_overlap:
+            missed_set = set(misses)
+            for vpn in coal.vpns:
+                for line in coal.lines_by_vpn[vpn]:
+                    access_line(line, page_ready[vpn], vpn in missed_set)
+        else:
+            missed_set = set(misses)
+            for line in coal.lines:
+                vpn = line >> self.page_shift
+                access_line(line, all_ready, vpn in missed_set)
+
+        if misses:
+            self.stats.tlb_miss_stall_cycles += max(0, all_ready - tlb_done)
+        return completion
+
+    def _handle_misses(
+        self,
+        warp: Warp,
+        misses: List[int],
+        walk_start: int,
+        origins: Dict[int, int],
+    ) -> Dict[int, Tuple[int, int]]:
+        """Resolve TLB misses via MSHRs and the walker.
+
+        Returns vpn → (pfn, translation-ready cycle).
+        """
+        result: Dict[int, Tuple[int, int]] = {}
+        # Expire completed walks.
+        expired = [v for v, ready in self._pending_walks.items() if ready <= walk_start]
+        for vpn in expired:
+            del self._pending_walks[vpn]
+        to_walk: List[int] = []
+        for vpn in misses:
+            pending = self._pending_walks.get(vpn)
+            if pending is not None:
+                # Another warp's walk for the same page is in flight:
+                # this miss merges into its MSHR and completes with it.
+                pfn = self.frame_map.get(vpn)
+                if pfn is None:
+                    pfn = self.page_table.translate_vpn(
+                        vpn << (self.page_shift - 12)
+                    )
+                result[vpn] = (pfn, pending)
+                # The completing walk installs the translation for the
+                # merged requesters too (same treatment as a fresh walk).
+                eviction = self.tlb.fill(
+                    vpn, pfn, origins.get(vpn, warp.warp_id)
+                )
+                if eviction is not None:
+                    self.scheduler.on_tlb_evict(eviction.vpn, eviction.owner)
+            else:
+                to_walk.append(vpn)
+        if to_walk:
+            free = self.config.tlb.mshr_entries - len(self._pending_walks)
+            if len(to_walk) > free:
+                self.stats.tlb_mshr_stalls += 1
+            batch = self.walker.walk_many(
+                [vpn << (self.page_shift - 12) for vpn in to_walk], walk_start
+            )
+            for vpn in to_walk:
+                walk_vpn = vpn << (self.page_shift - 12)
+                pfn = batch.translations[walk_vpn]
+                ready = batch.ready_times[walk_vpn]
+                result[vpn] = (pfn, ready)
+                self._pending_walks[vpn] = ready
+                eviction = self.tlb.fill(
+                    vpn, pfn, origins.get(vpn, warp.warp_id)
+                )
+                if eviction is not None:
+                    self.scheduler.on_tlb_evict(eviction.vpn, eviction.owner)
+            self.stats.walks += len(to_walk)
+            self.stats.walk_refs_issued += batch.refs
+            self.stats.walk_refs_naive += sum(
+                len(self.page_table.walk(vpn << (self.page_shift - 12)))
+                for vpn in to_walk
+            )
+        return result

@@ -1,0 +1,25 @@
+"""Thread block compaction (TBC) and its TLB-aware variant.
+
+TBC [Fung & Aamodt, HPCA 2011] synchronizes the warps of a thread block
+at divergent branches and repacks threads that took the same path into
+full dynamic warps, recovering SIMD utilization.  The paper shows that
+blind compaction mixes threads with far-flung data, raising page
+divergence by 2–4 and TLB miss rates by 5–10 % (Section 8.1); its
+TLB-aware TBC gates compaction with a Common Page Matrix so only threads
+whose original warps historically shared PTEs are packed together
+(Section 8.2, Figure 21).
+"""
+
+from repro.gpu.tbc.blocks import Region, ThreadBlock
+from repro.gpu.tbc.cpm import CommonPageMatrix
+from repro.gpu.tbc.reconvergence import stack_execution_groups
+from repro.gpu.tbc.compactor import ExecutionGroup, form_region_warps
+
+__all__ = [
+    "Region",
+    "ThreadBlock",
+    "CommonPageMatrix",
+    "stack_execution_groups",
+    "ExecutionGroup",
+    "form_region_warps",
+]

@@ -1,0 +1,117 @@
+"""Thread blocks and branch-divergent regions.
+
+A TBC workload is structured the way CUDA/OpenCL issue work: threads
+arrive in *thread blocks* of several warps.  Control flow divides each
+block's execution into *regions* delimited by divergent branches and
+their reconvergence points (the A / B-C / D blocks of the paper's
+Figure 19).  Within a region every thread follows exactly one *path*,
+and all threads on a path execute the same instruction template with
+their own addresses — which is what makes cross-warp compaction legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Instruction templates: ("c", latency) compute, ("m",) memory.
+PathProgram = Tuple[Tuple, ...]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One divergence region of a thread block.
+
+    Attributes
+    ----------
+    path_programs:
+        path id → instruction template list.  Templates are tuples:
+        ``("c", latency)`` for compute, ``("m",)`` for a memory access.
+    thread_paths:
+        For each thread (block-local id), the path it follows in this
+        region, or None when the thread is masked off entirely.
+    thread_addresses:
+        thread id → the virtual addresses it supplies, one per ``("m",)``
+        template in its path's program.
+    """
+
+    path_programs: Dict[int, PathProgram]
+    thread_paths: Tuple[Optional[int], ...]
+    thread_addresses: Dict[int, Tuple[int, ...]]
+
+    def __post_init__(self):
+        mem_counts = {
+            path: sum(1 for template in program if template[0] == "m")
+            for path, program in self.path_programs.items()
+        }
+        for tid, path in enumerate(self.thread_paths):
+            if path is None:
+                continue
+            if path not in self.path_programs:
+                raise ValueError(f"thread {tid} follows unknown path {path}")
+            expected = mem_counts[path]
+            supplied = len(self.thread_addresses.get(tid, ()))
+            if expected != supplied:
+                raise ValueError(
+                    f"thread {tid} on path {path} needs {expected} addresses, "
+                    f"got {supplied}"
+                )
+
+    @property
+    def paths(self) -> Tuple[int, ...]:
+        """Path ids with at least one thread on them."""
+        present = {
+            path for path in self.thread_paths if path is not None
+        }
+        return tuple(sorted(present))
+
+    def threads_on_path(self, path: int) -> List[int]:
+        """Block-local thread ids following ``path``, ascending."""
+        return [
+            tid for tid, p in enumerate(self.thread_paths) if p == path
+        ]
+
+
+@dataclass
+class ThreadBlock:
+    """A thread block: geometry plus its region sequence.
+
+    Attributes
+    ----------
+    block_id:
+        Global block identifier.
+    num_warps:
+        Original (static) warps in the block.
+    warp_width:
+        Threads per warp.
+    regions:
+        Ordered divergence regions.
+    """
+
+    block_id: int
+    num_warps: int
+    warp_width: int
+    regions: List[Region] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.num_warps <= 0 or self.warp_width <= 0:
+            raise ValueError("block geometry must be positive")
+        for index, region in enumerate(self.regions):
+            if len(region.thread_paths) != self.num_threads:
+                raise ValueError(
+                    f"region {index} covers {len(region.thread_paths)} threads; "
+                    f"block has {self.num_threads}"
+                )
+
+    @property
+    def num_threads(self) -> int:
+        """Total threads in the block."""
+        return self.num_warps * self.warp_width
+
+    def original_warp(self, tid: int) -> int:
+        """The static warp (block-local index) thread ``tid`` belongs to."""
+        return tid // self.warp_width
+
+    def lane(self, tid: int) -> int:
+        """The SIMD lane thread ``tid`` occupies (fixed across compaction)."""
+        return tid % self.warp_width

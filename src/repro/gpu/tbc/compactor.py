@@ -1,0 +1,151 @@
+"""The thread compactor: dynamic warp formation per region.
+
+Baseline TBC packs same-path threads into the fewest dynamic warps the
+lane constraint allows (a thread never leaves its SIMD lane — the
+priority encoders of Figure 21 pick at most one thread per lane per
+cycle).  TLB-aware TBC adds one gate: a thread joins a dynamic warp
+only if the Common Page Matrix says its original warp has recently
+shared PTEs with every original warp already compacted into it — the
+difference between the middle and right warp layouts of Figure 19.
+TLB-aware TBC may therefore emit *more* dynamic warps, trading SIMD
+utilization for page divergence, which nets out ahead (Figure 22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.instruction import ComputeInstruction, MemoryInstruction, WarpTrace
+from repro.gpu.tbc.blocks import Region, ThreadBlock
+from repro.gpu.tbc.cpm import CommonPageMatrix
+from repro.gpu.tbc.reconvergence import stack_execution_groups
+
+
+@dataclass(frozen=True)
+class ExecutionGroup:
+    """A formed warp for one region: a path and the threads running it."""
+
+    path: int
+    threads: Tuple[int, ...]
+
+
+def _compact_path(
+    block: ThreadBlock,
+    threads: List[int],
+    cpm: Optional[CommonPageMatrix],
+    slot_base: int,
+) -> List[ExecutionGroup]:
+    """Lane-aware greedy packing of one path's threads, optionally gated
+    by the CPM."""
+    # Each open warp: (lane -> tid map, set of member original warps).
+    open_warps: List[Tuple[Dict[int, int], set]] = []
+    for tid in threads:
+        lane = block.lane(tid)
+        origin = slot_base + block.original_warp(tid)
+        placed = False
+        for lanes, members in open_warps:
+            if lane in lanes:
+                continue
+            if cpm is not None and not cpm.compatible(origin, members):
+                continue
+            lanes[lane] = tid
+            members.add(origin)
+            placed = True
+            break
+        if not placed:
+            open_warps.append(({lane: tid}, {origin}))
+    path = None  # filled by caller
+    return [
+        ExecutionGroup(path=path, threads=tuple(sorted(lanes.values())))
+        for lanes, _ in open_warps
+    ]
+
+
+def compact_region(
+    block: ThreadBlock,
+    region: Region,
+    cpm: Optional[CommonPageMatrix] = None,
+    slot_base: int = 0,
+) -> List[ExecutionGroup]:
+    """Form dynamic warps for every path of a region.
+
+    ``cpm=None`` is baseline TBC; passing a matrix enables the TLB-aware
+    gate.  Paths are emitted in ascending path-id order, matching the
+    block-wide reconvergence stack.
+    """
+    groups: List[ExecutionGroup] = []
+    for path in region.paths:
+        packed = _compact_path(block, region.threads_on_path(path), cpm, slot_base)
+        groups.extend(
+            ExecutionGroup(path=path, threads=group.threads) for group in packed
+        )
+    return groups
+
+
+def _group_trace(
+    block: ThreadBlock,
+    region: Region,
+    group: ExecutionGroup,
+    warp_id: int,
+    slot_base: int,
+) -> WarpTrace:
+    """Materialize the warp instructions one execution group runs."""
+    program = region.path_programs[group.path]
+    lanes: Dict[int, int] = {block.lane(tid): tid for tid in group.threads}
+    if len(lanes) != len(group.threads):
+        raise ValueError("execution group has a lane conflict")
+    instructions = []
+    mem_index = 0
+    for template in program:
+        if template[0] == "c":
+            instructions.append(ComputeInstruction(latency=template[1]))
+            continue
+        addresses: List[Optional[int]] = [None] * block.warp_width
+        origins: List[Optional[int]] = [None] * block.warp_width
+        for lane, tid in lanes.items():
+            addresses[lane] = region.thread_addresses[tid][mem_index]
+            origins[lane] = slot_base + block.original_warp(tid)
+        mem_index += 1
+        instructions.append(
+            MemoryInstruction(addresses=tuple(addresses), origins=tuple(origins))
+        )
+    return WarpTrace(
+        warp_id=warp_id, instructions=instructions, block_id=block.block_id
+    )
+
+
+def form_region_warps(
+    block: ThreadBlock,
+    region_index: int,
+    mode: str,
+    cpm: Optional[CommonPageMatrix] = None,
+    slot_base: int = 0,
+) -> List[WarpTrace]:
+    """Build the warp traces that execute one region of a block.
+
+    ``mode`` is ``"stack"`` (per-warp reconvergence, serialized paths),
+    ``"tbc"`` (baseline compaction) or ``"tlb-tbc"`` (CPM-gated
+    compaction; requires ``cpm``).  Warp ids are assigned cyclically
+    over the block's ``num_warps`` hardware slots starting at
+    ``slot_base``.
+    """
+    region = block.regions[region_index]
+    if mode == "stack":
+        groups = [
+            ExecutionGroup(path=masked.path, threads=masked.threads)
+            for masked in stack_execution_groups(block, region)
+        ]
+    elif mode == "tbc":
+        groups = compact_region(block, region, cpm=None, slot_base=slot_base)
+    elif mode == "tlb-tbc":
+        if cpm is None:
+            raise ValueError("tlb-tbc formation requires a CommonPageMatrix")
+        groups = compact_region(block, region, cpm=cpm, slot_base=slot_base)
+    else:
+        raise ValueError(f"unknown TBC mode {mode!r}")
+    traces = []
+    for index, group in enumerate(groups):
+        warp_id = slot_base + (index % block.num_warps)
+        traces.append(_group_trace(block, region, group, warp_id, slot_base))
+    return traces

@@ -1,0 +1,53 @@
+"""Baseline per-warp reconvergence-stack execution.
+
+Without dynamic warp formation, a divergent branch masks lanes: each
+static warp executes every path its threads took, one path at a time,
+with the other lanes idle (the six warp fetches of the paper's
+Figure 19, versus TBC's three).  This module enumerates those masked
+execution groups for one region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.tbc.blocks import Region, ThreadBlock
+
+
+@dataclass(frozen=True)
+class MaskedGroup:
+    """One (static warp, path) execution: the warp runs the path's
+    program with ``threads`` active (block-local ids, all in distinct
+    lanes by construction)."""
+
+    original_warp: int
+    path: int
+    threads: Tuple[int, ...]
+
+
+def stack_execution_groups(block: ThreadBlock, region: Region) -> List[MaskedGroup]:
+    """Enumerate the masked per-warp executions for ``region``.
+
+    Groups are ordered warp-major (warp 0's paths, then warp 1's...),
+    matching a per-warp reconvergence stack that serializes taken paths.
+    Warps with no active thread in the region contribute nothing.
+    """
+    groups: List[MaskedGroup] = []
+    for warp_index in range(block.num_warps):
+        start = warp_index * block.warp_width
+        lanes = range(start, start + block.warp_width)
+        by_path = {}
+        for tid in lanes:
+            path = region.thread_paths[tid]
+            if path is not None:
+                by_path.setdefault(path, []).append(tid)
+        for path in sorted(by_path):
+            groups.append(
+                MaskedGroup(
+                    original_warp=warp_index,
+                    path=path,
+                    threads=tuple(by_path[path]),
+                )
+            )
+    return groups

@@ -1,0 +1,44 @@
+"""Runtime warp state tracked by the shader core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.instruction import WarpTrace
+
+
+@dataclass
+class Warp:
+    """One warp's execution state.
+
+    Attributes
+    ----------
+    trace:
+        The instruction stream to execute.
+    pc:
+        Index of the next instruction.
+    ready_at:
+        Earliest cycle the warp may issue again (its last instruction's
+        completion, or the cycle a blocking structure frees up).
+    issued:
+        Instructions issued so far (for stats).
+    """
+
+    trace: WarpTrace
+    pc: int = 0
+    ready_at: int = 0
+    issued: int = 0
+
+    @property
+    def warp_id(self) -> int:
+        """Hardware warp slot identifier."""
+        return self.trace.warp_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the warp has retired its whole trace."""
+        return self.pc >= len(self.trace.instructions)
+
+    def current_instruction(self):
+        """The instruction at the warp's PC (caller checks ``done``)."""
+        return self.trace.instructions[self.pc]

@@ -1,0 +1,25 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+Each ``figNN_*`` function in :mod:`repro.harness.figures` runs the
+simulations behind one figure of the evaluation and returns a
+:class:`repro.harness.experiment.FigureResult` whose series can be
+printed (``.render()``) or asserted against the paper's qualitative
+claims.  The benchmarks under ``benchmarks/`` are thin wrappers around
+these drivers.
+"""
+
+from repro.harness.experiment import (
+    FigureResult,
+    run_config,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from repro.harness import figures
+
+__all__ = [
+    "FigureResult",
+    "run_config",
+    "run_matrix",
+    "speedups_vs_baseline",
+    "figures",
+]

@@ -1,0 +1,60 @@
+"""Command-line entry point: regenerate paper figures.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness fig10
+    python -m repro.harness fig13 --workloads bfs,kmeans
+    python -m repro.harness all
+
+Each figure id maps to a driver in :mod:`repro.harness.figures`; the
+rendered table prints to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.figures import ALL_FIGURES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig10), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--workloads",
+        help="comma-separated workload subset (default: all six)",
+        default=None,
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for key, fn in ALL_FIGURES.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:8s} {summary}")
+        return 0
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    targets = list(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [t for t in targets if t not in ALL_FIGURES]
+    if unknown:
+        print(
+            f"unknown figure(s) {unknown}; try 'list'", file=sys.stderr
+        )
+        return 2
+    for target in targets:
+        figure = ALL_FIGURES[target](workloads=workloads)
+        print(figure.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

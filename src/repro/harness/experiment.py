@@ -1,0 +1,100 @@
+"""Generic experiment plumbing shared by the per-figure drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import GPUConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator
+from repro.stats.report import format_series
+from repro.workloads.base import TIMING_MISS_SCALE, Workload
+from repro.workloads.registry import get_workload, workload_names
+
+#: Warp instructions excluded from measurement in every experiment
+#: (structures warm up; see GPUConfig.warmup_instructions).
+DEFAULT_WARMUP = 20
+
+
+@dataclass
+class FigureResult:
+    """Structured output of one figure driver.
+
+    Attributes
+    ----------
+    figure:
+        Identifier, e.g. ``"fig07"``.
+    title:
+        What the paper's figure shows.
+    series:
+        series name → {workload (or x-value) → number}.  For speedup
+        figures the numbers are speedups versus the figure's baseline.
+    notes:
+        Reproduction caveats surfaced next to the data.
+    """
+
+    figure: str
+    title: str
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, key_header: str = "workload") -> str:
+        """Human-readable table, one column per series."""
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append(format_series(self.series, key_header=key_header))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def run_config(
+    config: GPUConfig,
+    workload: Workload,
+    form: Optional[str] = None,
+    miss_scale: float = TIMING_MISS_SCALE,
+) -> SimulationResult:
+    """Build the workload for ``config`` and simulate it."""
+    work = workload.build(config, form=form, miss_scale=miss_scale)
+    return Simulator(config, work, workload.name).run()
+
+
+def run_matrix(
+    configs: Mapping[str, Callable[[], GPUConfig]],
+    workloads: Optional[Sequence[str]] = None,
+    form: Optional[str] = None,
+    miss_scale: float = TIMING_MISS_SCALE,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (config, workload) pair.
+
+    ``configs`` maps a series label to a zero-argument config factory
+    (so each run gets a fresh config).  Returns
+    ``{label: {workload: result}}``.
+    """
+    names = list(workloads) if workloads is not None else workload_names()
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for label, factory in configs.items():
+        per_workload: Dict[str, SimulationResult] = {}
+        for name in names:
+            per_workload[name] = run_config(
+                factory(), get_workload(name), form=form, miss_scale=miss_scale
+            )
+        results[label] = per_workload
+    return results
+
+
+def speedups_vs_baseline(
+    results: Mapping[str, Mapping[str, SimulationResult]],
+    baseline_label: str,
+) -> Dict[str, Dict[str, float]]:
+    """Convert a result matrix to speedups against one of its rows."""
+    baseline = results[baseline_label]
+    series: Dict[str, Dict[str, float]] = {}
+    for label, per_workload in results.items():
+        if label == baseline_label:
+            continue
+        series[label] = {
+            name: result.speedup_vs(baseline[name])
+            for name, result in per_workload.items()
+        }
+    return series

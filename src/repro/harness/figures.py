@@ -1,0 +1,495 @@
+"""Per-figure experiment drivers.
+
+Every function regenerates one table/figure of the paper's evaluation
+and returns a :class:`FigureResult`.  Speedups are always against the
+no-TLB baseline of the same machine (the paper's y-axis convention),
+except the TBC figures, which normalize against TBC-less stack
+execution without TLBs, and Figure 22, which the paper normalizes the
+same way as Figure 20.
+
+Absolute values are not expected to match the paper (its substrate was
+GPGPU-Sim on real Rodinia binaries); the qualitative claims each driver
+reproduces are stated in its docstring and surfaced as notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import presets
+from repro.core.config import GPUConfig
+from repro.harness.experiment import (
+    DEFAULT_WARMUP,
+    FigureResult,
+    run_config,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from repro.workloads.base import TIMING_MISS_SCALE
+from repro.workloads.registry import get_workload, workload_names
+
+_KW = dict(warmup_instructions=DEFAULT_WARMUP)
+
+
+def _workloads(workloads: Optional[Sequence[str]]) -> Sequence[str]:
+    return list(workloads) if workloads is not None else workload_names()
+
+
+def fig02_naive_tlb(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 2: naive 128-entry 3-port TLBs degrade performance in
+    every case, with and without CCWS and TBC."""
+    names = _workloads(workloads)
+    linear = run_matrix(
+        {
+            "no-tlb": lambda: presets.no_tlb(**_KW),
+            "naive-tlb": lambda: presets.naive_tlb(ports=3, **_KW),
+            "ccws": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+            "ccws+naive-tlb": lambda: presets.with_ccws(
+                presets.naive_tlb(ports=3, **_KW)
+            ),
+        },
+        workloads=names,
+    )
+    series = speedups_vs_baseline(linear, "no-tlb")
+    # TBC rows run on the block-form workloads, normalized to the same
+    # machine executing them with reconvergence stacks and no TLB.
+    tbc = run_matrix(
+        {
+            "stack-no-tlb": lambda: presets.no_tlb(warmup_instructions=0),
+            "tbc": lambda: presets.with_tbc(
+                presets.no_tlb(warmup_instructions=0), "tbc"
+            ),
+            "tbc+naive-tlb": lambda: presets.with_tbc(
+                presets.naive_tlb(ports=3, warmup_instructions=0), "tbc"
+            ),
+        },
+        workloads=names,
+        form="blocks",
+    )
+    series.update(speedups_vs_baseline(tbc, "stack-no-tlb"))
+    return FigureResult(
+        figure="fig02",
+        title="Speedup of naive 3-port TLBs, alone and under CCWS / TBC "
+        "(vs no-TLB baseline)",
+        series=series,
+        notes=[
+            "Expected shape: every *naive-tlb* series sits below 1.0, and "
+            "below its TLB-less counterpart.",
+        ],
+    )
+
+
+def fig03_characterization(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 3: memory-instruction fraction, 128-entry TLB miss rate
+    (left), and average/max page divergence (right).
+
+    Uses the unscaled characterization stream (see
+    ``repro.workloads.base.TIMING_MISS_SCALE``)."""
+    names = _workloads(workloads)
+    series: Dict[str, Dict[str, float]] = {
+        "mem instr %": {},
+        "tlb miss rate %": {},
+        "avg page divergence": {},
+        "max page divergence": {},
+    }
+    for name in names:
+        result = run_config(
+            presets.naive_tlb(ports=4, **_KW), get_workload(name), miss_scale=1.0
+        )
+        stats = result.stats
+        series["mem instr %"][name] = 100.0 * stats.memory_instruction_fraction
+        series["tlb miss rate %"][name] = 100.0 * stats.tlb_miss_rate
+        series["avg page divergence"][name] = stats.average_page_divergence
+        series["max page divergence"][name] = float(stats.page_divergence_max)
+    return FigureResult(
+        figure="fig03",
+        title="Workload characterization: memory fraction, 128-entry TLB "
+        "miss rates, page divergence",
+        series=series,
+        notes=[
+            "Paper bands: mem instr < 25 %; miss rates 22-70 %; bfs/mummer "
+            "average divergence > 4 / > 8; maxima near warp width.",
+        ],
+    )
+
+
+def fig04_miss_latency(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 4: average cycles per TLB miss versus per L1 miss (~2x in
+    the paper, because a walk makes four dependent references)."""
+    names = _workloads(workloads)
+    series: Dict[str, Dict[str, float]] = {
+        "avg L1 miss cycles": {},
+        "avg TLB miss cycles": {},
+        "ratio": {},
+    }
+    for name in names:
+        result = run_config(presets.naive_tlb(ports=4, **_KW), get_workload(name))
+        l1 = result.avg_l1_miss_cycles
+        tlb = result.stats.average_tlb_miss_cycles
+        series["avg L1 miss cycles"][name] = l1
+        series["avg TLB miss cycles"][name] = tlb
+        series["ratio"][name] = tlb / l1 if l1 else 0.0
+    return FigureResult(
+        figure="fig04",
+        title="TLB miss penalty vs L1 miss penalty (naive TLB)",
+        series=series,
+        notes=[
+            "The paper reports ~2x. Our walker prioritizes walk "
+            "references past data queues (see SharedMemory.access_line), "
+            "so loaded ratios can drop below the unloaded ~2.5x "
+            "(4 dependent L2-latency hops vs 1).",
+        ],
+    )
+
+
+def fig06_size_ports(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 6: TLB size (64-512) and port count (3-32) sweep with
+    *fixed access times* (the figure's stated assumption); larger and
+    wider helps, saturating past 128 entries."""
+    names = _workloads(workloads)
+    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    for entries in (64, 128, 256, 512):
+        configs[f"{entries}e/4p"] = (
+            lambda entries=entries: presets.tlb_with_geometry(
+                entries, 4, ideal=True, **_KW
+            )
+        )
+    for ports in (3, 4, 8, 32):
+        configs[f"128e/{ports}p"] = (
+            lambda ports=ports: presets.tlb_with_geometry(
+                128, ports, ideal=True, **_KW
+            )
+        )
+    results = run_matrix(configs, workloads=names)
+    return FigureResult(
+        figure="fig06",
+        title="TLB size and port sweep, fixed access times (vs no-TLB)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+        notes=[
+            "With fixed access times larger TLBs monotonically help; the "
+            "realistic-latency ablation (bench_ablation_cacti) shows why "
+            "128 entries / 4 ports is the practical knee.",
+        ],
+    )
+
+
+def fig07_nonblocking(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 7: hit-under-miss, then overlapped cache access, recover
+    performance toward the ideal TLB."""
+    names = _workloads(workloads)
+    results = run_matrix(
+        {
+            "no-tlb": lambda: presets.no_tlb(**_KW),
+            "naive 128e/4p": lambda: presets.naive_tlb(ports=4, **_KW),
+            "+hit-under-miss": lambda: presets.hit_under_miss_tlb(**_KW),
+            "+cache-overlap": lambda: presets.overlap_tlb(**_KW),
+            "ideal 512e/32p": lambda: presets.ideal_tlb(**_KW),
+        },
+        workloads=names,
+    )
+    return FigureResult(
+        figure="fig07",
+        title="Non-blocking TLB steps vs ideal (vs no-TLB)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+        notes=[
+            "Expected ordering: naive <= +hit-under-miss <= +cache-overlap "
+            "<= ideal. In our model the big recovery arrives with PTW "
+            "scheduling (fig10); blocking-vs-HuM deltas are visible mainly "
+            "on the low-miss workloads because the serial walker saturates "
+            "on the divergent ones.",
+        ],
+    )
+
+
+def fig10_ptw_scheduling(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 10: adding PTW scheduling brings the 128-entry augmented
+    design within a few percent of the ideal 512-entry/32-port TLB."""
+    names = _workloads(workloads)
+    results = run_matrix(
+        {
+            "no-tlb": lambda: presets.no_tlb(**_KW),
+            "naive 128e/4p": lambda: presets.naive_tlb(ports=4, **_KW),
+            "non-blocking": lambda: presets.overlap_tlb(**_KW),
+            "+ptw-scheduling": lambda: presets.augmented_tlb(**_KW),
+            "ideal 512e/32p": lambda: presets.ideal_tlb(**_KW),
+        },
+        workloads=names,
+    )
+    figure = FigureResult(
+        figure="fig10",
+        title="Augmented TLB (+PTW scheduling) approaches the ideal "
+        "(vs no-TLB)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+    )
+    # The paper also reports walk-reference elimination and walk cache
+    # hit rates for the scheduled walker.
+    elim: Dict[str, float] = {}
+    ptw_hits: Dict[str, float] = {}
+    for name in names:
+        result = run_matrix(
+            {"aug": lambda: presets.augmented_tlb(**_KW)}, workloads=[name]
+        )["aug"][name]
+        elim[name] = 100.0 * result.stats.walk_refs_eliminated_fraction
+        ptw_hits[name] = 100.0 * result.ptw_l2_hit_rate
+    figure.series["walk refs eliminated %"] = elim
+    figure.series["walk L2 hit rate %"] = ptw_hits
+    figure.notes.append(
+        "Paper: 10-20 % of walk references eliminated, walk cache hit "
+        "rates up 5-8 %, augmented within ~1 % of ideal."
+    )
+    return figure
+
+
+def fig11_multi_ptw(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 11: one augmented (scheduled, non-blocking) walker
+    outperforms pools of 2-8 naive serial walkers."""
+    names = _workloads(workloads)
+    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    for count in (1, 2, 4, 8):
+        configs[f"naive x{count} PTW"] = (
+            lambda count=count: presets.multi_ptw_tlb(count, **_KW)
+        )
+    configs["augmented x1 PTW"] = lambda: presets.augmented_tlb(**_KW)
+    results = run_matrix(configs, workloads=names)
+    return FigureResult(
+        figure="fig11",
+        title="Multiple naive PTWs vs one augmented PTW (vs no-TLB)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+        notes=["Expected: augmented x1 beats naive x8 on every workload."],
+    )
+
+
+def fig13_ccws(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 13: CCWS loses most of its gain with naive TLBs; augmented
+    TLBs recover part of it, but a gap to TLB-less CCWS remains."""
+    names = _workloads(workloads)
+    results = run_matrix(
+        {
+            "no-tlb": lambda: presets.no_tlb(**_KW),
+            "naive-tlb": lambda: presets.naive_tlb(ports=4, **_KW),
+            "augmented-tlb": lambda: presets.augmented_tlb(**_KW),
+            "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+            "ccws+naive": lambda: presets.with_ccws(
+                presets.naive_tlb(ports=4, **_KW)
+            ),
+            "ccws+augmented": lambda: presets.with_ccws(
+                presets.augmented_tlb(**_KW)
+            ),
+        },
+        workloads=names,
+    )
+    return FigureResult(
+        figure="fig13",
+        title="CCWS with and without TLBs (vs no-TLB round-robin)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+        notes=[
+            "Expected: ccws > 1; ccws+naive far below ccws; "
+            "ccws+augmented in between.",
+        ],
+    )
+
+
+def fig16_ta_ccws(
+    workloads: Optional[Sequence[str]] = None,
+    weights: Sequence[int] = (1, 2, 4, 8),
+) -> FigureResult:
+    """Figure 16: weighting TLB-missing cache misses more heavily in the
+    lost-locality score (TA-CCWS) recovers CCWS performance; 4:1 best."""
+    names = _workloads(workloads)
+    configs = {
+        "no-tlb": lambda: presets.no_tlb(**_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+        "ccws+augmented": lambda: presets.with_ccws(presets.augmented_tlb(**_KW)),
+    }
+    for weight in weights:
+        configs[f"ta-ccws {weight}:1"] = (
+            lambda weight=weight: presets.with_ta_ccws(
+                presets.augmented_tlb(**_KW), tlb_miss_weight=weight
+            )
+        )
+    results = run_matrix(configs, workloads=names)
+    return FigureResult(
+        figure="fig16",
+        title="TA-CCWS TLB-miss weighting sweep (vs no-TLB round-robin)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+        notes=["Expected: heavier weights close the gap to TLB-less CCWS."],
+    )
+
+
+def fig17_tcws_epw(
+    workloads: Optional[Sequence[str]] = None,
+    entries_per_warp: Sequence[int] = (2, 4, 8, 16),
+) -> FigureResult:
+    """Figure 17: TCWS entries-per-warp sweep; 8 typically best, and
+    TCWS outperforms TA-CCWS with half the VTA hardware."""
+    names = _workloads(workloads)
+    configs = {
+        "no-tlb": lambda: presets.no_tlb(**_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+        "ta-ccws 4:1": lambda: presets.with_ta_ccws(presets.augmented_tlb(**_KW)),
+    }
+    for epw in entries_per_warp:
+        configs[f"tcws {epw}epw"] = (
+            lambda epw=epw: presets.with_tcws(
+                presets.augmented_tlb(**_KW), entries_per_warp=epw
+            )
+        )
+    results = run_matrix(configs, workloads=names)
+    return FigureResult(
+        figure="fig17",
+        title="TCWS victim-tag-array size sweep (vs no-TLB round-robin)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+    )
+
+
+def fig18_tcws_lru(
+    workloads: Optional[Sequence[str]] = None,
+    weight_sets: Sequence[Sequence[int]] = ((1, 2, 3, 4), (1, 2, 4, 8), (1, 3, 6, 9)),
+) -> FigureResult:
+    """Figure 18: LRU-depth-weighted scoring on TLB hits; (1,2,4,8)
+    typically best, within 1-15 % of TLB-less CCWS."""
+    names = _workloads(workloads)
+    configs = {
+        "no-tlb": lambda: presets.no_tlb(**_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+    }
+    for weights in weight_sets:
+        label = "tcws LRU" + str(tuple(weights))
+        configs[label] = (
+            lambda weights=tuple(weights): presets.with_tcws(
+                presets.augmented_tlb(**_KW), lru_hit_weights=weights
+            )
+        )
+    results = run_matrix(configs, workloads=names)
+    return FigureResult(
+        figure="fig18",
+        title="TCWS LRU-depth weight sweep (vs no-TLB round-robin)",
+        series=speedups_vs_baseline(results, "no-tlb"),
+    )
+
+
+def fig20_tbc(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 20: TBC with naive TLBs loses heavily versus TBC without
+    TLBs; augmented TLBs recover much but a ~20 % gap remains."""
+    names = _workloads(workloads)
+    kw = dict(warmup_instructions=0)
+    results = run_matrix(
+        {
+            "stack-no-tlb": lambda: presets.no_tlb(**kw),
+            "tbc (no tlb)": lambda: presets.with_tbc(presets.no_tlb(**kw), "tbc"),
+            "tbc+naive": lambda: presets.with_tbc(
+                presets.naive_tlb(ports=4, **kw), "tbc"
+            ),
+            "tbc+augmented": lambda: presets.with_tbc(
+                presets.augmented_tlb(**kw), "tbc"
+            ),
+            "naive (no tbc)": lambda: presets.naive_tlb(ports=4, **kw),
+            "augmented (no tbc)": lambda: presets.augmented_tlb(**kw),
+        },
+        workloads=names,
+        form="blocks",
+    )
+    figure = FigureResult(
+        figure="fig20",
+        title="TBC with and without TLBs (vs stack execution, no TLB)",
+        series=speedups_vs_baseline(results, "stack-no-tlb"),
+        notes=[
+            "Expected: tbc > 1 on divergent workloads; tbc+naive far below "
+            "tbc; tbc+augmented recovers most of the gap.",
+        ],
+    )
+    # Page-divergence amplification (paper: +2-4 on average).
+    amplification: Dict[str, float] = {}
+    for name in names:
+        stack = results["stack-no-tlb"][name].stats.average_page_divergence
+        tbc = results["tbc (no tlb)"][name].stats.average_page_divergence
+        amplification[name] = tbc - stack
+    figure.series["page divergence increase"] = amplification
+    return figure
+
+
+def fig22_tlb_tbc(
+    workloads: Optional[Sequence[str]] = None,
+    counter_bits: Sequence[int] = (1, 2, 3),
+) -> FigureResult:
+    """Figure 22: TLB-aware TBC (Common Page Matrix) versus TBC, with
+    1-3-bit CPM counters."""
+    names = _workloads(workloads)
+    kw = dict(warmup_instructions=0)
+    configs = {
+        "stack-no-tlb": lambda: presets.no_tlb(**kw),
+        "tbc (no tlb)": lambda: presets.with_tbc(presets.no_tlb(**kw), "tbc"),
+        "tbc+augmented": lambda: presets.with_tbc(
+            presets.augmented_tlb(**kw), "tbc"
+        ),
+    }
+    for bits in counter_bits:
+        configs[f"tlb-tbc {bits}b"] = (
+            lambda bits=bits: presets.with_tbc(
+                presets.augmented_tlb(**kw), "tlb-tbc", counter_bits=bits
+            )
+        )
+    results = run_matrix(configs, workloads=names, form="blocks")
+    return FigureResult(
+        figure="fig22",
+        title="TLB-aware TBC, CPM counter-bit sweep (vs stack, no TLB)",
+        series=speedups_vs_baseline(results, "stack-no-tlb"),
+        notes=[
+            "The CPM verifiably removes TBC's page-divergence "
+            "amplification, but in this reproduction compulsory (cold) "
+            "misses dominate, so avoiding divergence does not recoup the "
+            "compaction it sacrifices — tlb-tbc lands at or slightly below "
+            "tbc+augmented rather than above it (divergence from the "
+            "paper; see EXPERIMENTS.md).",
+        ],
+    )
+
+
+def sec9_large_pages(workloads: Optional[Sequence[str]] = None) -> FigureResult:
+    """Section 9: with 2 MB pages divergence collapses for the regular
+    workloads but mummergpu/bfs retain significant page divergence."""
+    names = _workloads(workloads)
+    series: Dict[str, Dict[str, float]] = {
+        "avg pdiv 4KB": {},
+        "avg pdiv 2MB": {},
+        "tlb miss 4KB %": {},
+        "tlb miss 2MB %": {},
+    }
+    for name in names:
+        small = run_config(
+            presets.naive_tlb(ports=4, **_KW), get_workload(name), miss_scale=1.0
+        )
+        large_cfg = presets.naive_tlb(ports=4, page_shift=21, **_KW)
+        large = run_config(large_cfg, get_workload(name), miss_scale=1.0)
+        series["avg pdiv 4KB"][name] = small.stats.average_page_divergence
+        series["avg pdiv 2MB"][name] = large.stats.average_page_divergence
+        series["tlb miss 4KB %"][name] = 100 * small.stats.tlb_miss_rate
+        series["tlb miss 2MB %"][name] = 100 * large.stats.tlb_miss_rate
+    return FigureResult(
+        figure="sec9",
+        title="Large (2MB) pages: divergence and miss-rate relief",
+        series=series,
+        notes=[
+            "Paper: large pages usually collapse divergence, but "
+            "mummergpu and bfs keep divergence of ~6 and ~3.",
+        ],
+    )
+
+
+#: All drivers, keyed by figure id (used by tests and the bench index).
+ALL_FIGURES = {
+    "fig02": fig02_naive_tlb,
+    "fig03": fig03_characterization,
+    "fig04": fig04_miss_latency,
+    "fig06": fig06_size_ports,
+    "fig07": fig07_nonblocking,
+    "fig10": fig10_ptw_scheduling,
+    "fig11": fig11_multi_ptw,
+    "fig13": fig13_ccws,
+    "fig16": fig16_ta_ccws,
+    "fig17": fig17_tcws_epw,
+    "fig18": fig18_tcws_lru,
+    "fig20": fig20_tbc,
+    "fig22": fig22_tlb_tbc,
+    "sec9": sec9_large_pages,
+}

@@ -1,0 +1,29 @@
+"""Memory hierarchy substrate: caches, MSHRs, DRAM channels.
+
+Models the GPGPU-Sim memory system the paper evaluates on: per-core
+32 KB L1 data caches with 128-byte lines and LRU, a unified L2 split
+across 8 memory partitions (128 KB per channel), and DRAM channels with
+queueing.  Timing is functional: an access performed at cycle *t* returns
+the cycle at which its data is available, advancing channel occupancy so
+contention is visible.
+"""
+
+from repro.mem.cache import CacheAccess, SetAssociativeCache
+from repro.mem.mshr import MSHRFile
+from repro.mem.dram import DRAM, DRAMChannel
+from repro.mem.hierarchy import (
+    CoreMemory,
+    MemAccessResult,
+    SharedMemory,
+)
+
+__all__ = [
+    "CacheAccess",
+    "SetAssociativeCache",
+    "MSHRFile",
+    "DRAM",
+    "DRAMChannel",
+    "CoreMemory",
+    "MemAccessResult",
+    "SharedMemory",
+]

@@ -1,0 +1,135 @@
+"""Set-associative cache with LRU replacement.
+
+Each line additionally records the identifier of the warp that allocated
+it, which CCWS consults when a line is evicted (the victim's tag and
+allocating warp feed the per-warp victim tag arrays; Section 7.1,
+Figure 12 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class CacheAccess:
+    """Outcome of one cache access.
+
+    Attributes
+    ----------
+    hit:
+        Whether the line was resident.
+    evicted_line:
+        Line address displaced by the fill, or None when the set had a
+        free way (or the access hit).
+    evicted_warp:
+        Warp that had allocated the displaced line, or None.
+    """
+
+    hit: bool
+    evicted_line: Optional[int] = None
+    evicted_warp: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache indexed by line address.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity.
+    line_bytes:
+        Line size; the paper uses 128-byte lines throughout.
+    associativity:
+        Ways per set.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 128, associativity: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_lines = size_bytes // line_bytes
+        if num_lines == 0 or num_lines % associativity:
+            raise ValueError(
+                f"{size_bytes} bytes / {line_bytes} B lines does not divide "
+                f"into {associativity}-way sets"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        # Per set: insertion-ordered dict of line_addr -> allocating warp.
+        # Oldest (LRU) entry first; hits reinsert to move to MRU.
+        self._sets: Dict[int, Dict[int, Optional[int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def lookup(self, line_addr: int) -> bool:
+        """Probe without updating LRU state or filling."""
+        cache_set = self._sets.get(self._set_index(line_addr))
+        return cache_set is not None and line_addr in cache_set
+
+    def access(self, line_addr: int, warp_id: Optional[int] = None) -> CacheAccess:
+        """Access ``line_addr``; fill (and possibly evict) on a miss."""
+        index = self._set_index(line_addr)
+        cache_set = self._sets.setdefault(index, {})
+        if line_addr in cache_set:
+            self.hits += 1
+            owner = cache_set.pop(line_addr)
+            cache_set[line_addr] = owner  # move to MRU
+            return CacheAccess(hit=True)
+        self.misses += 1
+        evicted_line = None
+        evicted_warp = None
+        if len(cache_set) >= self.associativity:
+            evicted_line, evicted_warp = next(iter(cache_set.items()))
+            del cache_set[evicted_line]
+        cache_set[line_addr] = warp_id
+        return CacheAccess(
+            hit=False, evicted_line=evicted_line, evicted_warp=evicted_warp
+        )
+
+    def fill(self, line_addr: int, warp_id: Optional[int] = None) -> CacheAccess:
+        """Install a line without counting a demand access (e.g. PTW fill)."""
+        index = self._set_index(line_addr)
+        cache_set = self._sets.setdefault(index, {})
+        if line_addr in cache_set:
+            owner = cache_set.pop(line_addr)
+            cache_set[line_addr] = owner
+            return CacheAccess(hit=True)
+        evicted_line = None
+        evicted_warp = None
+        if len(cache_set) >= self.associativity:
+            evicted_line, evicted_warp = next(iter(cache_set.items()))
+            del cache_set[evicted_line]
+        cache_set[line_addr] = warp_id
+        return CacheAccess(
+            hit=False, evicted_line=evicted_line, evicted_warp=evicted_warp
+        )
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop a line if present; return whether it was resident."""
+        index = self._set_index(line_addr)
+        cache_set = self._sets.get(index)
+        if cache_set is not None and line_addr in cache_set:
+            del cache_set[line_addr]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (e.g. on a TLB shootdown / context switch)."""
+        self._sets.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently held."""
+        return sum(len(s) for s in self._sets.values())
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate observed so far."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,176 @@
+"""Composition of the memory system: L1 → interconnect → L2 → DRAM.
+
+Mirrors the paper's evaluation platform (Section 5.2): per-shader-core
+32 KB L1 data caches, 8 memory channels each with a 128 KB slice of
+unified L2, and DRAM behind each channel.  Page table walker references
+are injected into the shared L2 ("MSHR allocation triggers page table
+walks, which inject memory requests to the shared caches and main
+memory"), and the hierarchy keeps separate counters for them so the PTW
+scheduler's cache-hit-rate improvements are measurable (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.dram import DRAM
+from repro.mem.mshr import MSHRFile
+
+
+@dataclass(frozen=True)
+class MemAccessResult:
+    """Outcome of a demand access through the hierarchy.
+
+    Attributes
+    ----------
+    ready_time:
+        Cycle at which the requested data is available.
+    level:
+        Where the request was satisfied: ``"l1"``, ``"l1-mshr"``,
+        ``"l2"``, or ``"dram"``.
+    evicted_line / evicted_warp:
+        L1 victim information for CCWS (None when nothing was evicted).
+    """
+
+    ready_time: int
+    level: str
+    evicted_line: Optional[int] = None
+    evicted_warp: Optional[int] = None
+
+
+class SharedMemory:
+    """Shared L2 slices plus DRAM, common to all shader cores."""
+
+    def __init__(
+        self,
+        num_channels: int = 8,
+        l2_bytes_per_channel: int = 128 * 1024,
+        line_bytes: int = 128,
+        l2_associativity: int = 8,
+        l2_latency: int = 20,
+        l2_service_interval: int = 4,
+        interconnect_latency: int = 8,
+        dram_latency: int = 200,
+        dram_service_interval: int = 8,
+    ):
+        self.line_bytes = line_bytes
+        self.l2_latency = l2_latency
+        self.l2_service_interval = l2_service_interval
+        self.interconnect_latency = interconnect_latency
+        self.l2_banks: List[SetAssociativeCache] = [
+            SetAssociativeCache(l2_bytes_per_channel, line_bytes, l2_associativity)
+            for _ in range(num_channels)
+        ]
+        # Each L2 bank serves one access per service interval; requests
+        # arriving while the bank is busy queue behind it (bank port
+        # bandwidth, not just latency, bounds cache-heavy workloads).
+        self._bank_busy_until: List[int] = [0] * num_channels
+        self.dram = DRAM(
+            num_channels=num_channels,
+            access_latency=dram_latency,
+            service_interval=dram_service_interval,
+            line_bytes=line_bytes,
+        )
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.ptw_refs = 0
+        self.ptw_l2_hits = 0
+
+    def access_line(self, line_addr: int, now: int, is_ptw: bool = False) -> MemAccessResult:
+        """Access a line in the shared levels; returns ready time and level.
+
+        Page-walk references are prioritized past the bank's data queue:
+        they are a small fraction of traffic, every cycle they wait is
+        multiplied by the walk's four dependent levels, and real memory
+        controllers arbitrate request classes rather than FIFO-ing
+        translation traffic behind data bursts.  They still consume bank
+        bandwidth (the busy window advances).
+        """
+        channel = self.dram.channel_of(line_addr)
+        bank = self.l2_banks[channel]
+        arrive = now + self.interconnect_latency
+        if is_ptw:
+            self.ptw_refs += 1
+            start = arrive
+            self._bank_busy_until[channel] = (
+                max(arrive, self._bank_busy_until[channel])
+                + self.l2_service_interval
+            )
+        else:
+            start = max(arrive, self._bank_busy_until[channel])
+            self._bank_busy_until[channel] = start + self.l2_service_interval
+        if bank.access(line_addr).hit:
+            self.l2_hits += 1
+            if is_ptw:
+                self.ptw_l2_hits += 1
+            return MemAccessResult(start + self.l2_latency, "l2")
+        self.l2_misses += 1
+        ready = self.dram.access(line_addr, start + self.l2_latency)
+        return MemAccessResult(ready + self.interconnect_latency, "dram")
+
+    @property
+    def ptw_l2_hit_rate(self) -> float:
+        """Fraction of page-walk references that hit in the L2."""
+        return self.ptw_l2_hits / self.ptw_refs if self.ptw_refs else 0.0
+
+
+class CoreMemory:
+    """The per-shader-core L1 data cache and its MSHR file.
+
+    The L1 is virtually indexed and physically tagged; lookup proceeds in
+    parallel with TLB access and the returned latencies assume the TLB
+    delivered the tag in time (the TLB access-latency model charges any
+    excess separately).
+    """
+
+    def __init__(
+        self,
+        shared: SharedMemory,
+        l1_bytes: int = 32 * 1024,
+        line_bytes: int = 128,
+        l1_associativity: int = 8,
+        l1_latency: int = 1,
+        mshr_entries: int = 32,
+    ):
+        self.shared = shared
+        self.l1_latency = l1_latency
+        self.l1 = SetAssociativeCache(l1_bytes, line_bytes, l1_associativity)
+        self.mshrs = MSHRFile(mshr_entries)
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.total_miss_latency = 0
+
+    def access(self, line_addr: int, now: int, warp_id: Optional[int] = None) -> MemAccessResult:
+        """Demand access by a warp; models hit, MSHR merge, or fill."""
+        access = self.l1.access(line_addr, warp_id)
+        if access.hit:
+            self.l1_hits += 1
+            return MemAccessResult(now + self.l1_latency, "l1")
+        self.l1_misses += 1
+        merge_ready = self.mshrs.lookup(line_addr, now)
+        if merge_ready is not None:
+            ready = merge_ready if merge_ready > now else now + self.l1_latency
+            self.total_miss_latency += ready - now
+            return MemAccessResult(
+                ready, "l1-mshr", access.evicted_line, access.evicted_warp
+            )
+        # The request goes out on the wire now; a full MSHR file delays
+        # only when the *fill* can land (the returned data waits for a
+        # free slot).  Shared-level queues must see arrivals in
+        # (near-)present time — forward-dating them would retroactively
+        # delay other requesters, such as the page table walker.
+        slot_free = self.mshrs.earliest_free(now)
+        shared = self.shared.access_line(line_addr, now)
+        ready = max(shared.ready_time, slot_free + self.l1_latency)
+        self.mshrs.allocate(line_addr, ready, slot_free)
+        self.total_miss_latency += ready - now
+        return MemAccessResult(
+            ready, shared.level, access.evicted_line, access.evicted_warp
+        )
+
+    @property
+    def average_miss_latency(self) -> float:
+        """Average cycles from L1 miss to data return (Figure 4 metric)."""
+        return self.total_miss_latency / self.l1_misses if self.l1_misses else 0.0

@@ -1,0 +1,73 @@
+"""Miss Status Holding Registers.
+
+An MSHR file tracks outstanding misses by line address so that a second
+miss to an in-flight line merges with the first instead of issuing a new
+request.  Entries retire implicitly when simulated time passes their
+fill time; capacity pressure is exposed through :meth:`MSHRFile.earliest_free`
+so callers can model structural stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MSHRFile:
+    """Outstanding-miss tracker with bounded capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum simultaneously outstanding distinct lines.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._inflight: Dict[int, int] = {}  # line -> fill (ready) time
+        self.merges = 0
+        self.allocations = 0
+        self.stalls = 0
+
+    def _expire(self, now: int) -> None:
+        if not self._inflight:
+            return
+        expired = [line for line, ready in self._inflight.items() if ready <= now]
+        for line in expired:
+            del self._inflight[line]
+
+    def outstanding(self, now: int) -> int:
+        """Number of misses still in flight at cycle ``now``."""
+        self._expire(now)
+        return len(self._inflight)
+
+    def lookup(self, line_addr: int, now: int) -> Optional[int]:
+        """If ``line_addr`` is in flight, return its fill time (a merge)."""
+        self._expire(now)
+        ready = self._inflight.get(line_addr)
+        if ready is not None:
+            self.merges += 1
+        return ready
+
+    def earliest_free(self, now: int) -> int:
+        """Earliest cycle at which an entry can be allocated.
+
+        Returns ``now`` when a slot is already free; otherwise the fill
+        time of the soonest-retiring entry.
+        """
+        self._expire(now)
+        if len(self._inflight) < self.capacity:
+            return now
+        self.stalls += 1
+        return min(self._inflight.values())
+
+    def allocate(self, line_addr: int, ready_time: int, now: int) -> None:
+        """Record a new outstanding miss filling at ``ready_time``."""
+        self._expire(now)
+        if len(self._inflight) >= self.capacity:
+            raise RuntimeError("MSHR allocate with no free entry; call earliest_free")
+        if line_addr in self._inflight:
+            raise RuntimeError(f"line {line_addr:#x} already has an MSHR")
+        self._inflight[line_addr] = ready_time
+        self.allocations += 1

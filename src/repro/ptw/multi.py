@@ -1,0 +1,94 @@
+"""A pool of page table walkers (the multiple-PTW design of Figure 11).
+
+Distributes the concurrent walks of a batch across several serial
+walkers, each walk choosing the earliest-free walker.  The paper finds
+that one *augmented* walker (4-port non-blocking TLB + PTW scheduling)
+outperforms even 8 naive walkers by about 10 %, at far lower area/power —
+the pool exists so that comparison can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.mem.hierarchy import SharedMemory
+from repro.ptw.walker import PageTableWalker, WalkBatchResult
+from repro.vm.page_table import PageTable
+
+
+class WalkerPool:
+    """N independent serial walkers sharing one page table.
+
+    Parameters
+    ----------
+    page_table / shared_memory:
+        Substrate shared by every walker.
+    num_walkers:
+        Pool size (Figure 11 evaluates 1, 2, 4 and 8).
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        shared_memory: SharedMemory,
+        num_walkers: int,
+    ):
+        if num_walkers <= 0:
+            raise ValueError("need at least one walker")
+        self.walkers: List[PageTableWalker] = [
+            PageTableWalker(page_table, shared_memory) for _ in range(num_walkers)
+        ]
+
+    @property
+    def num_walkers(self) -> int:
+        """Pool size."""
+        return len(self.walkers)
+
+    def _earliest_free(self, now: int) -> PageTableWalker:
+        return min(self.walkers, key=lambda walker: max(walker.busy_until, now))
+
+    def walk_many(self, vpns: Iterable[int], now: int) -> WalkBatchResult:
+        """Walk each page on the earliest-free walker; walks overlap."""
+        translations: Dict[int, int] = {}
+        ready_times: Dict[int, int] = {}
+        refs = 0
+        finish = now
+        for vpn in dict.fromkeys(vpns):
+            walker = self._earliest_free(now)
+            result = walker.walk(vpn, now)
+            translations[vpn] = result.pfn
+            ready_times[vpn] = result.ready_time
+            refs += result.refs
+            finish = max(finish, result.ready_time)
+        return WalkBatchResult(
+            ready_time=finish,
+            translations=translations,
+            ready_times=ready_times,
+            refs=refs,
+        )
+
+    @property
+    def walks(self) -> int:
+        """Total walks completed across the pool."""
+        return sum(walker.walks for walker in self.walkers)
+
+    @property
+    def refs_issued(self) -> int:
+        """Total walk loads issued across the pool."""
+        return sum(walker.refs_issued for walker in self.walkers)
+
+    @property
+    def refs_naive(self) -> int:
+        """Loads a naive serial design would have issued."""
+        return sum(walker.refs_naive for walker in self.walkers)
+
+    @property
+    def total_walk_cycles(self) -> int:
+        """Summed per-walk latency across the pool."""
+        return sum(walker.total_walk_cycles for walker in self.walkers)
+
+    @property
+    def average_walk_cycles(self) -> float:
+        """Average cycles per completed walk."""
+        walks = self.walks
+        return self.total_walk_cycles / walks if walks else 0.0

@@ -1,0 +1,153 @@
+"""The coalescing PTW scheduler (paper Figures 8 and 9).
+
+Warps frequently TLB-miss on several pages at once, and those concurrent
+walks share structure: upper-level indices change rarely (bits 47–30
+cover 1 GB), so PML4/PDP loads are often *identical*, and 128-byte cache
+lines hold 16 consecutive PTEs, so distinct same-table references often
+share a line.  The scheduler scans the TLB MSHRs with a comparator tree,
+one paging level per step, and
+
+1. collapses repeated references into a single load, and
+2. orders the remaining loads so same-cache-line references issue back
+   to back (the second hits in the cache the first just filled).
+
+The comparator scan of each level proceeds in parallel with the previous
+level's loads, so scheduling adds no latency.  On the paper's worked
+example (three walks needing 12 naive loads) this issues exactly 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ptw.walker import PageTableWalker, WalkBatchResult
+from repro.vm.address import cache_line_of
+from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The load schedule for one batch of concurrent page walks.
+
+    Attributes
+    ----------
+    loads_per_level:
+        For each paging level, the ordered distinct load addresses
+        (same-cache-line loads adjacent).
+    naive_refs:
+        Loads a serial walker would have issued (walk lengths summed).
+    scheduled_refs:
+        Loads this plan issues.
+    """
+
+    loads_per_level: Tuple[Tuple[int, ...], ...]
+    naive_refs: int
+    scheduled_refs: int
+
+    @property
+    def refs_eliminated(self) -> int:
+        """Loads removed by deduplicating repeated references."""
+        return self.naive_refs - self.scheduled_refs
+
+
+def plan_batch(steps_by_vpn: Dict[int, List[Tuple[int, int]]]) -> BatchPlan:
+    """Build the level-by-level load schedule for a set of walks.
+
+    Parameters
+    ----------
+    steps_by_vpn:
+        vpn → list of ``(level, load_paddr)`` references, as produced by
+        :meth:`repro.ptw.PageTableWalker.steps_for`.
+    """
+    max_level = max(
+        (level for steps in steps_by_vpn.values() for level, _ in steps),
+        default=-1,
+    )
+    loads_per_level: List[Tuple[int, ...]] = []
+    naive_refs = 0
+    scheduled_refs = 0
+    for steps in steps_by_vpn.values():
+        naive_refs += len(steps)
+    for level in range(max_level + 1):
+        addrs = {
+            paddr
+            for steps in steps_by_vpn.values()
+            for step_level, paddr in steps
+            if step_level == level
+        }
+        # Same-line loads adjacent; deterministic order within a line.
+        ordered = tuple(sorted(addrs, key=lambda a: (cache_line_of(a), a)))
+        loads_per_level.append(ordered)
+        scheduled_refs += len(ordered)
+    return BatchPlan(
+        loads_per_level=tuple(loads_per_level),
+        naive_refs=naive_refs,
+        scheduled_refs=scheduled_refs,
+    )
+
+
+class ScheduledPageTableWalker(PageTableWalker):
+    """A walker augmented with the coalescing MSHR-scanning scheduler.
+
+    Beyond deduplicating and line-grouping references, the scheduler
+    changes the walker's *occupancy model*: because it works out of the
+    TLB MSHRs, walks from different misses are independent and overlap —
+    the walker is busy only while it is issuing references (one per
+    cycle), not while waiting for their data.  A naive serial walker, by
+    contrast, sits idle for the full data-dependent chain of every walk
+    it performs; this memory-level parallelism is why one scheduled
+    walker outperforms even a pool of eight serial walkers (Figure 11).
+    """
+
+    def walk_many(self, vpns: Iterable[int], now: int) -> WalkBatchResult:
+        vpn_list = list(dict.fromkeys(vpns))
+        if not vpn_list:
+            return WalkBatchResult(
+                ready_time=now, translations={}, ready_times={}, refs=0
+            )
+        start = now if now >= self.busy_until else self.busy_until
+        walk_steps = {vpn: self.page_table.walk(vpn) for vpn in vpn_list}
+        plan = plan_batch(
+            {
+                vpn: [(step.level, step.load_paddr) for step in steps]
+                for vpn, steps in walk_steps.items()
+            }
+        )
+        load_ready: Dict[int, int] = {}
+        clock = start
+        for level_loads in plan.loads_per_level:
+            if not level_loads:
+                continue
+            level_done = clock
+            for offset, paddr in enumerate(level_loads):
+                ready = self._load(paddr, clock + offset)
+                load_ready[paddr] = ready
+                level_done = max(level_done, ready)
+            clock = level_done
+        translations: Dict[int, int] = {}
+        ready_times: Dict[int, int] = {}
+        for vpn, steps in walk_steps.items():
+            leaf = steps[-1]
+            leaf_pfn, leaf_flags = unpack_pte(leaf.entry)
+            if leaf_flags & PTE_FLAG_LARGE:
+                within = vpn & ((1 << 9) - 1)
+                translations[vpn] = leaf_pfn + within
+            else:
+                translations[vpn] = leaf_pfn
+            ready_times[vpn] = load_ready[leaf.load_paddr]
+        # Issue-bandwidth occupancy: the walker frees once every
+        # reference of this batch has been injected; the in-flight data
+        # returns overlap with subsequent batches.
+        self.busy_until = start + plan.scheduled_refs
+        self.walks += len(vpn_list)
+        self.refs_naive += plan.naive_refs
+        self.total_walk_cycles += sum(
+            ready - now for ready in ready_times.values()
+        )
+        return WalkBatchResult(
+            ready_time=clock,
+            translations=translations,
+            ready_times=ready_times,
+            refs=plan.scheduled_refs,
+        )

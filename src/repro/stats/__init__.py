@@ -1,0 +1,6 @@
+"""Statistics collection and report rendering."""
+
+from repro.stats.counters import CoreStats
+from repro.stats.report import ascii_bar_chart, format_table, format_series
+
+__all__ = ["CoreStats", "ascii_bar_chart", "format_table", "format_series"]

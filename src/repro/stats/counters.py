@@ -1,0 +1,119 @@
+"""Per-core statistic counters.
+
+Every quantity a figure of the paper needs is accumulated here during
+simulation and aggregated into :class:`repro.core.results.SimulationResult`
+afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CoreStats:
+    """Raw counters one shader core accumulates during a run."""
+
+    cores: int = 1
+    cycles: int = 0
+    idle_cycles: int = 0
+    instructions: int = 0
+    memory_instructions: int = 0
+    scalar_instructions: int = 0
+
+    # Coalescer / page divergence (Figure 3 right).
+    page_divergence_sum: int = 0
+    page_divergence_max: int = 0
+    coalesced_lines: int = 0
+
+    # TLB (Figure 3 left, Figure 4).
+    tlb_lookups: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    tlb_miss_stall_cycles: int = 0
+    tlb_blocked_wait_cycles: int = 0
+    tlb_mshr_stalls: int = 0
+    total_tlb_miss_cycles: int = 0
+
+    # PTW (Figure 10).
+    walks: int = 0
+    walk_refs_issued: int = 0
+    walk_refs_naive: int = 0
+
+    # TBC.
+    warp_fetches: int = 0
+    dynamic_warps_formed: int = 0
+    regions_executed: int = 0
+
+    def merge(self, other: "CoreStats") -> None:
+        """Accumulate another core's counters into this one.
+
+        ``cycles`` takes the max (cores run concurrently); every other
+        counter sums; divergence max takes the max.
+        """
+        self.cores += other.cores
+        self.cycles = max(self.cycles, other.cycles)
+        self.page_divergence_max = max(
+            self.page_divergence_max, other.page_divergence_max
+        )
+        sum_fields = [
+            "idle_cycles",
+            "instructions",
+            "memory_instructions",
+            "scalar_instructions",
+            "page_divergence_sum",
+            "coalesced_lines",
+            "tlb_lookups",
+            "tlb_hits",
+            "tlb_misses",
+            "tlb_miss_stall_cycles",
+            "tlb_blocked_wait_cycles",
+            "tlb_mshr_stalls",
+            "total_tlb_miss_cycles",
+            "walks",
+            "walk_refs_issued",
+            "walk_refs_naive",
+            "warp_fetches",
+            "dynamic_warps_formed",
+            "regions_executed",
+        ]
+        for name in sum_fields:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """Fraction of coalesced translation requests that missed."""
+        return self.tlb_misses / self.tlb_lookups if self.tlb_lookups else 0.0
+
+    @property
+    def average_page_divergence(self) -> float:
+        """Mean distinct translations requested per warp memory instruction."""
+        if not self.memory_instructions:
+            return 0.0
+        return self.page_divergence_sum / self.memory_instructions
+
+    @property
+    def memory_instruction_fraction(self) -> float:
+        """Memory references as a fraction of all (scalar) instructions."""
+        if not self.scalar_instructions:
+            return 0.0
+        return self.memory_instructions / self.scalar_instructions
+
+    @property
+    def average_tlb_miss_cycles(self) -> float:
+        """Mean cycles from TLB miss detection to translation return."""
+        return self.total_tlb_miss_cycles / self.tlb_misses if self.tlb_misses else 0.0
+
+    @property
+    def walk_refs_eliminated_fraction(self) -> float:
+        """Fraction of naive walk loads the PTW scheduler removed."""
+        if not self.walk_refs_naive:
+            return 0.0
+        return 1.0 - self.walk_refs_issued / self.walk_refs_naive
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of core-cycles with no warp able to issue."""
+        total = self.cycles * max(self.cores, 1)
+        return self.idle_cycles / total if total else 0.0

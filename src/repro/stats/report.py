@@ -1,0 +1,66 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and readable in a terminal
+or a captured log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as an aligned text table with a header rule."""
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_series(series: Mapping[str, Mapping[str, Number]], key_header: str = "workload") -> str:
+    """Render {series_name: {key: value}} as a table, one series per column."""
+    names = list(series)
+    keys: List[str] = []
+    for values in series.values():
+        for key in values:
+            if key not in keys:
+                keys.append(key)
+    headers = [key_header] + names
+    rows = []
+    for key in keys:
+        rows.append([key] + [series[name].get(key, float("nan")) for name in names])
+    return format_table(headers, rows)
+
+
+def ascii_bar_chart(values: Mapping[str, Number], width: int = 50, reference: float = 1.0) -> str:
+    """Render a horizontal bar chart with a reference tick (e.g. speedup 1.0)."""
+    if not values:
+        return "(no data)"
+    peak = max(max(values.values()), reference)
+    label_width = max(len(str(k)) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        ref_col = min(width - 1, round(width * reference / peak))
+        chars = list(bar.ljust(width))
+        if 0 <= ref_col < width and chars[ref_col] == " ":
+            chars[ref_col] = "|"
+        lines.append(f"{str(key).ljust(label_width)}  {''.join(chars)} {_fmt(value)}")
+    return "\n".join(lines)

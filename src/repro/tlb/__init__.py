@@ -1,0 +1,20 @@
+"""TLB substrate: the per-shader-core translation lookaside buffer.
+
+Contains the set-associative TLB itself (with per-entry warp history for
+the TLB-aware TBC hardware), the CACTI-like access-latency model used to
+penalize oversized or over-ported designs, per-warp-thread TLB MSHRs,
+and the victim tag arrays shared by the CCWS scheduler family.
+"""
+
+from repro.tlb.cacti import access_latency, is_practical
+from repro.tlb.tlb import TLBEviction, TLBLookup, SetAssociativeTLB
+from repro.tlb.victim_array import VictimTagArray
+
+__all__ = [
+    "access_latency",
+    "is_practical",
+    "TLBEviction",
+    "TLBLookup",
+    "SetAssociativeTLB",
+    "VictimTagArray",
+]

@@ -1,0 +1,60 @@
+"""Access-latency model for TLB size and port count (CACTI substitute).
+
+The paper sized TLBs with CACTI 6.0 and found that 128-entry TLBs are
+"the largest possible structures that do not increase the access time of
+32 KB GPU L1 data caches" (Section 6.2), and that 3-or-4-ported 128-entry
+designs are practical while "TLBs larger than 128 entries and 4 ports are
+impractical to implement and actually have much higher access times that
+degrade performance" (Figure 6 caption).  CACTI itself is closed tooling
+we cannot ship, so we encode that finding as a lookup table: extra cycles
+charged on *every* TLB access, growing with capacity beyond 128 entries
+and port count beyond 4.  Only the relative ordering matters for the
+reproduction — the table makes 128-entry/4-port the latency knee, exactly
+as the paper reports.
+"""
+
+from __future__ import annotations
+
+#: Extra pipeline cycles charged per access, by capacity (entries).
+_SIZE_PENALTY = {64: 0, 128: 0, 256: 8, 512: 20, 1024: 40}
+
+#: Extra pipeline cycles charged per access, by read port count.
+_PORT_PENALTY = {1: 0, 2: 0, 3: 0, 4: 0, 8: 6, 16: 12, 32: 24}
+
+#: The practical envelope the paper identifies.
+_MAX_PRACTICAL_ENTRIES = 128
+_MAX_PRACTICAL_PORTS = 4
+
+
+def access_latency(entries: int, ports: int, ideal: bool = False) -> int:
+    """Extra cycles a TLB access costs beyond the L1-parallel window.
+
+    A zero means the TLB lookup fully overlaps L1 set selection (the
+    virtually-indexed, physically-tagged arrangement of Figure 5).
+    ``ideal=True`` models the paper's "impractical" comparison point —
+    a 512-entry, 32-port TLB *with no access latency penalty*.
+    """
+    if ideal:
+        return 0
+    size_penalty = _SIZE_PENALTY.get(entries)
+    if size_penalty is None:
+        size_penalty = max(
+            (penalty for size, penalty in _SIZE_PENALTY.items() if size <= entries),
+            default=0,
+        )
+        if entries > max(_SIZE_PENALTY):
+            size_penalty = _SIZE_PENALTY[max(_SIZE_PENALTY)] + 20
+    port_penalty = _PORT_PENALTY.get(ports)
+    if port_penalty is None:
+        port_penalty = max(
+            (penalty for count, penalty in _PORT_PENALTY.items() if count <= ports),
+            default=0,
+        )
+        if ports > max(_PORT_PENALTY):
+            port_penalty = _PORT_PENALTY[max(_PORT_PENALTY)] + 12
+    return size_penalty + port_penalty
+
+
+def is_practical(entries: int, ports: int) -> bool:
+    """Whether a design is inside the paper's implementable envelope."""
+    return entries <= _MAX_PRACTICAL_ENTRIES and ports <= _MAX_PRACTICAL_PORTS

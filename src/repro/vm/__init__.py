@@ -1,0 +1,73 @@
+"""x86-64 virtual memory substrate.
+
+Implements the radix page table the hardware page table walker traverses:
+4 KB base pages through a 4-level PML4/PDP/PD/PT tree, plus 2 MB large
+pages that terminate the walk at the PD level.  Table nodes live at real
+(simulated) physical addresses so walker memory references — and hence
+the cache-line sharing the paper's PTW scheduler exploits — are faithful.
+"""
+
+from repro.vm.address import (
+    CACHE_LINE_BYTES,
+    LEVEL_NAMES,
+    PAGE_SHIFT_2M,
+    PAGE_SHIFT_4K,
+    PAGE_SIZE_2M,
+    PAGE_SIZE_4K,
+    PTES_PER_LINE,
+    PTES_PER_TABLE,
+    PTE_BYTES,
+    cache_line_of,
+    compose_vpn,
+    page_offset,
+    split_vpn,
+    vaddr_to_vpn,
+    vpn_to_vaddr,
+)
+from repro.vm.physical_memory import OutOfPhysicalMemory, PhysicalMemory
+from repro.vm.page_table import PageTable, TranslationFault, WalkStep
+from repro.vm.pte import (
+    PTE_FLAG_ACCESSED,
+    PTE_FLAG_DIRTY,
+    PTE_FLAG_LARGE,
+    PTE_FLAG_PRESENT,
+    PTE_FLAG_WRITABLE,
+    pack_pte,
+    pte_history,
+    pte_pfn,
+    unpack_pte,
+    with_history,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "LEVEL_NAMES",
+    "PAGE_SHIFT_2M",
+    "PAGE_SHIFT_4K",
+    "PAGE_SIZE_2M",
+    "PAGE_SIZE_4K",
+    "PTES_PER_LINE",
+    "PTES_PER_TABLE",
+    "PTE_BYTES",
+    "cache_line_of",
+    "compose_vpn",
+    "page_offset",
+    "split_vpn",
+    "vaddr_to_vpn",
+    "vpn_to_vaddr",
+    "OutOfPhysicalMemory",
+    "PhysicalMemory",
+    "PageTable",
+    "TranslationFault",
+    "WalkStep",
+    "PTE_FLAG_ACCESSED",
+    "PTE_FLAG_DIRTY",
+    "PTE_FLAG_LARGE",
+    "PTE_FLAG_PRESENT",
+    "PTE_FLAG_WRITABLE",
+    "pack_pte",
+    "pte_history",
+    "pte_pfn",
+    "unpack_pte",
+    "with_history",
+]

@@ -1,0 +1,96 @@
+"""Virtual address arithmetic for the x86-64 4-level paging scheme.
+
+A 48-bit canonical virtual address is split, from the top, into four
+9-bit table indices and a 12-bit page offset::
+
+    47          39 38          30 29          21 20          12 11      0
+    +-------------+--------------+--------------+--------------+--------+
+    |  PML4 index |  PDP index   |  PD index    |  PT index    | offset |
+    +-------------+--------------+--------------+--------------+--------+
+
+The paper (Section 6.3, Figure 8) presents virtual pages as tuples of
+these four 9-bit indices, e.g. ``(0xb9, 0x0c, 0xac, 0x03)``; we adopt the
+same convention.  2 MB large pages drop the PT level: the PD entry maps
+the page directly, and the offset widens to 21 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+PAGE_SHIFT_4K = 12
+PAGE_SIZE_4K = 1 << PAGE_SHIFT_4K
+
+PAGE_SHIFT_2M = 21
+PAGE_SIZE_2M = 1 << PAGE_SHIFT_2M
+
+#: Bits of virtual page number consumed per table level.
+INDEX_BITS = 9
+INDEX_MASK = (1 << INDEX_BITS) - 1
+
+#: Number of paging levels for 4 KB pages (PML4, PDP, PD, PT).
+NUM_LEVELS = 4
+LEVEL_NAMES = ("PML4", "PDP", "PD", "PT")
+
+#: Size of one page table entry (x86-64), and how many fit structures.
+PTE_BYTES = 8
+PTES_PER_TABLE = 1 << INDEX_BITS  # 512 entries -> one 4 KB frame per table
+
+#: GPU cache line size used throughout the paper (GPGPU-Sim default).
+CACHE_LINE_BYTES = 128
+PTES_PER_LINE = CACHE_LINE_BYTES // PTE_BYTES  # 16 consecutive PTEs per line
+
+_VPN_BITS = INDEX_BITS * NUM_LEVELS  # 36-bit virtual page number
+_VPN_MASK = (1 << _VPN_BITS) - 1
+
+
+def vaddr_to_vpn(vaddr: int, page_shift: int = PAGE_SHIFT_4K) -> int:
+    """Return the virtual page number containing ``vaddr``.
+
+    For 2 MB pages pass ``page_shift=PAGE_SHIFT_2M``; the returned number
+    then counts 2 MB chunks.
+    """
+    if vaddr < 0:
+        raise ValueError(f"virtual address must be non-negative, got {vaddr}")
+    return vaddr >> page_shift
+
+
+def vpn_to_vaddr(vpn: int, page_shift: int = PAGE_SHIFT_4K) -> int:
+    """Return the base virtual address of virtual page ``vpn``."""
+    if vpn < 0:
+        raise ValueError(f"virtual page number must be non-negative, got {vpn}")
+    return vpn << page_shift
+
+
+def page_offset(vaddr: int, page_shift: int = PAGE_SHIFT_4K) -> int:
+    """Return the offset of ``vaddr`` within its page."""
+    return vaddr & ((1 << page_shift) - 1)
+
+
+def split_vpn(vpn: int) -> Tuple[int, int, int, int]:
+    """Split a 4 KB virtual page number into (PML4, PDP, PD, PT) indices.
+
+    This is the tuple notation of the paper's Figure 8; each element is a
+    9-bit table index.
+    """
+    if not 0 <= vpn <= _VPN_MASK:
+        raise ValueError(f"virtual page number out of 48-bit range: {vpn:#x}")
+    return (
+        (vpn >> (3 * INDEX_BITS)) & INDEX_MASK,
+        (vpn >> (2 * INDEX_BITS)) & INDEX_MASK,
+        (vpn >> INDEX_BITS) & INDEX_MASK,
+        vpn & INDEX_MASK,
+    )
+
+
+def compose_vpn(pml4: int, pdp: int, pd: int, pt: int) -> int:
+    """Inverse of :func:`split_vpn`."""
+    for name, index in zip(LEVEL_NAMES, (pml4, pdp, pd, pt)):
+        if not 0 <= index <= INDEX_MASK:
+            raise ValueError(f"{name} index out of 9-bit range: {index:#x}")
+    return (pml4 << (3 * INDEX_BITS)) | (pdp << (2 * INDEX_BITS)) | (pd << INDEX_BITS) | pt
+
+
+def cache_line_of(paddr: int) -> int:
+    """Return the cache-line-aligned address containing ``paddr``."""
+    return paddr & ~(CACHE_LINE_BYTES - 1)

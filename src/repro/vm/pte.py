@@ -1,0 +1,86 @@
+"""Page table entry packing.
+
+Entries follow the x86-64 layout closely enough for the simulator: a
+52-bit physical frame number field plus architectural flag bits.  The
+paper's TCWS/TLB-aware-TBC hardware additionally stores a short *warp
+history* (the last warps that touched the translation) in bits that
+current implementations leave unused — "PTEs do not actually use full
+64-bit address spaces yet, leaving 18 bits unused.  We use 12 of these 18
+bits to maintain history" (Section 8.2).  We reproduce that packing: two
+6-bit warp identifiers in bits 52..63.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+PTE_FLAG_PRESENT = 1 << 0
+PTE_FLAG_WRITABLE = 1 << 1
+PTE_FLAG_ACCESSED = 1 << 5
+PTE_FLAG_DIRTY = 1 << 6
+PTE_FLAG_LARGE = 1 << 7  # Page Size bit: set on a PD entry mapping 2 MB
+
+_FLAG_MASK = 0xFFF
+_PFN_SHIFT = 12
+_PFN_BITS = 40
+_PFN_MASK = ((1 << _PFN_BITS) - 1) << _PFN_SHIFT
+
+_HISTORY_SHIFT = 52
+_WARP_ID_BITS = 6
+_WARP_ID_MASK = (1 << _WARP_ID_BITS) - 1
+#: Paper uses a history length of 2 warps per entry (12 of 18 spare bits).
+HISTORY_LENGTH = 2
+#: Sentinel meaning "slot empty" — warp ids are 0..47 so 63 is never valid.
+_EMPTY_SLOT = _WARP_ID_MASK
+
+
+def pack_pte(pfn: int, flags: int = PTE_FLAG_PRESENT | PTE_FLAG_WRITABLE) -> int:
+    """Pack a physical frame number and flag bits into a 64-bit PTE."""
+    if not 0 <= pfn < (1 << _PFN_BITS):
+        raise ValueError(f"PFN out of range: {pfn:#x}")
+    if flags & ~_FLAG_MASK:
+        raise ValueError(f"flags out of low-12-bit range: {flags:#x}")
+    empty_history = 0
+    for slot in range(HISTORY_LENGTH):
+        empty_history |= _EMPTY_SLOT << (slot * _WARP_ID_BITS)
+    return (empty_history << _HISTORY_SHIFT) | (pfn << _PFN_SHIFT) | flags
+
+
+def unpack_pte(pte: int) -> Tuple[int, int]:
+    """Return ``(pfn, flags)`` from a packed PTE."""
+    return (pte & _PFN_MASK) >> _PFN_SHIFT, pte & _FLAG_MASK
+
+
+def pte_pfn(pte: int) -> int:
+    """Physical frame number field of a packed PTE."""
+    return (pte & _PFN_MASK) >> _PFN_SHIFT
+
+
+def pte_history(pte: int) -> Tuple[int, ...]:
+    """Warp-history list stored in the spare bits, most recent first."""
+    raw = pte >> _HISTORY_SHIFT
+    history = []
+    for slot in range(HISTORY_LENGTH):
+        warp_id = (raw >> (slot * _WARP_ID_BITS)) & _WARP_ID_MASK
+        if warp_id != _EMPTY_SLOT:
+            history.append(warp_id)
+    return tuple(history)
+
+
+def with_history(pte: int, warps: Sequence[int]) -> int:
+    """Return ``pte`` with its warp-history field replaced by ``warps``.
+
+    Only the most recent :data:`HISTORY_LENGTH` warps are kept.
+    """
+    raw = 0
+    recent = list(warps)[:HISTORY_LENGTH]
+    for slot in range(HISTORY_LENGTH):
+        if slot < len(recent):
+            warp_id = recent[slot]
+            if not 0 <= warp_id < _EMPTY_SLOT:
+                raise ValueError(f"warp id does not fit in 6 bits: {warp_id}")
+        else:
+            warp_id = _EMPTY_SLOT
+        raw |= warp_id << (slot * _WARP_ID_BITS)
+    low = pte & ((1 << _HISTORY_SHIFT) - 1)
+    return (raw << _HISTORY_SHIFT) | low

@@ -1,0 +1,40 @@
+"""Shared fixtures: small machines and workloads that run in milliseconds."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import small_config, small_workload  # noqa: E402
+
+from repro.mem.hierarchy import SharedMemory
+from repro.vm.page_table import PageTable
+from repro.vm.physical_memory import PhysicalMemory
+
+
+@pytest.fixture
+def memory():
+    """A fresh physical memory."""
+    return PhysicalMemory()
+
+
+@pytest.fixture
+def page_table(memory):
+    """A fresh page table backed by ``memory``."""
+    return PageTable(memory)
+
+
+@pytest.fixture
+def shared_memory():
+    """A small shared memory system."""
+    return SharedMemory(num_channels=1)
+
+
+@pytest.fixture
+def tiny_workload():
+    """Fixture wrapper around :func:`helpers.small_workload`."""
+    return small_workload()

@@ -1,0 +1,90 @@
+"""Configuration validation and presets."""
+
+import pytest
+
+from repro.core.config import (
+    GPUConfig,
+    PTWConfig,
+    SchedulerConfig,
+    TBCConfig,
+    TLBConfig,
+)
+
+
+class TestTLBConfig:
+    def test_defaults_match_paper(self):
+        tlb = TLBConfig()
+        assert tlb.entries == 128
+        assert tlb.mshr_entries == 32  # one per warp thread
+
+    def test_overlap_requires_nonblocking(self):
+        with pytest.raises(ValueError):
+            TLBConfig(cache_overlap=True, blocking=True)
+
+    def test_entries_must_divide_sets(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=10, associativity=4)
+
+    def test_disabled_tlb_skips_validation(self):
+        TLBConfig(enabled=False, entries=0)  # no error
+
+
+class TestPTWConfig:
+    def test_scheduled_is_single_walker(self):
+        with pytest.raises(ValueError):
+            PTWConfig(count=2, scheduled=True)
+
+    def test_positive_count(self):
+        with pytest.raises(ValueError):
+            PTWConfig(count=0)
+
+
+class TestSchedulerConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(kind="magic")
+
+    def test_valid_kinds(self):
+        for kind in ("rr", "gto", "ccws", "ta-ccws", "tcws"):
+            SchedulerConfig(kind=kind)
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(tlb_miss_weight=0)
+
+
+class TestTBCConfig:
+    def test_modes(self):
+        for mode in ("stack", "tbc", "tlb-tbc"):
+            TBCConfig(mode=mode)
+        with pytest.raises(ValueError):
+            TBCConfig(mode="dynamic")
+
+    def test_counter_bits_range(self):
+        with pytest.raises(ValueError):
+            TBCConfig(cpm_counter_bits=9)
+
+
+class TestGPUConfig:
+    def test_paper_methodology_defaults(self):
+        config = GPUConfig()
+        assert config.warps_per_core == 48
+        assert config.warp_width == 32
+        assert config.cache.l1_bytes == 32 * 1024
+        assert config.cache.line_bytes == 128
+
+    def test_page_shift_validated(self):
+        with pytest.raises(ValueError):
+            GPUConfig(page_shift=13)
+        GPUConfig(page_shift=21)  # 2 MB pages allowed
+
+    def test_with_helper(self):
+        config = GPUConfig().with_(num_cores=2)
+        assert config.num_cores == 2
+
+    def test_describe_mentions_key_features(self):
+        from repro.core import presets
+
+        assert "no-TLB" in presets.no_tlb().describe()
+        assert "ptw-sched" in presets.augmented_tlb().describe()
+        assert "ideal" in presets.ideal_tlb().describe()

@@ -1,0 +1,51 @@
+"""Named configurations used by the figures."""
+
+from repro.core import presets
+
+
+class TestPresets:
+    def test_no_tlb(self):
+        assert not presets.no_tlb().tlb.enabled
+
+    def test_naive_matches_paper_strawman(self):
+        config = presets.naive_tlb(ports=3)
+        assert config.tlb.entries == 128
+        assert config.tlb.ports == 3
+        assert config.tlb.blocking
+        assert config.ptw.count == 1 and not config.ptw.scheduled
+
+    def test_augmented_design(self):
+        config = presets.augmented_tlb()
+        assert config.tlb.ports == 4
+        assert config.tlb.hit_under_miss
+        assert config.tlb.cache_overlap
+        assert config.ptw.scheduled
+
+    def test_ideal_is_impractical(self):
+        from repro.tlb.cacti import is_practical
+
+        config = presets.ideal_tlb()
+        assert config.tlb.entries == 512
+        assert config.tlb.ports == 32
+        assert config.tlb.ideal_latency
+        assert not is_practical(config.tlb.entries, config.tlb.ports)
+
+    def test_multi_ptw(self):
+        assert presets.multi_ptw_tlb(8).ptw.count == 8
+
+    def test_scheduler_combinators(self):
+        assert presets.with_ccws(presets.no_tlb()).scheduler.kind == "ccws"
+        ta = presets.with_ta_ccws(presets.augmented_tlb(), tlb_miss_weight=8)
+        assert ta.scheduler.kind == "ta-ccws"
+        assert ta.scheduler.tlb_miss_weight == 8
+        tcws = presets.with_tcws(presets.augmented_tlb(), entries_per_warp=4)
+        assert tcws.scheduler.vta_entries_per_warp == 4
+
+    def test_tbc_combinator(self):
+        config = presets.with_tbc(presets.augmented_tlb(), "tlb-tbc", counter_bits=2)
+        assert config.tbc.mode == "tlb-tbc"
+        assert config.tbc.cpm_counter_bits == 2
+
+    def test_combinators_preserve_mmu(self):
+        config = presets.with_ccws(presets.augmented_tlb())
+        assert config.ptw.scheduled

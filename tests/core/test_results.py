@@ -1,0 +1,35 @@
+"""Speedup arithmetic."""
+
+import pytest
+
+from repro.core.results import SimulationResult, speedup
+from repro.stats.counters import CoreStats
+
+
+def result(cycles):
+    return SimulationResult(
+        workload="w", config_description="c", cycles=cycles, stats=CoreStats()
+    )
+
+
+class TestSpeedup:
+    def test_faster_is_above_one(self):
+        assert speedup(result(200), result(100)) == 2.0
+
+    def test_slower_is_below_one(self):
+        assert speedup(result(100), result(200)) == 0.5
+
+    def test_method_form(self):
+        assert result(100).speedup_vs(result(200)) == 2.0
+
+    def test_overhead(self):
+        assert result(115).overhead_vs(result(100)) == pytest.approx(0.15)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(result(100), result(0))
+
+    def test_miss_rates(self):
+        r = result(10)
+        r.l1_hits, r.l1_misses = 3, 1
+        assert r.l1_miss_rate == 0.25

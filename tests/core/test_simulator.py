@@ -1,0 +1,81 @@
+"""Top-level Simulator behaviour."""
+
+import pytest
+
+from helpers import small_config, small_workload
+
+from repro.core.config import TLBConfig
+from repro.core.simulator import Simulator
+from repro.vm.address import PAGE_SHIFT_2M
+
+
+class TestConstruction:
+    def test_work_must_match_core_count(self):
+        config = small_config(num_cores=2)
+        work = small_workload().build(small_config(num_cores=1))
+        with pytest.raises(ValueError):
+            Simulator(config, work, "tiny")
+
+    def test_pages_premapped(self):
+        config = small_config()
+        wl = small_workload()
+        sim = Simulator(config, wl.build(config), "tiny")
+        assert sim.page_table.pages_mapped > 0
+        assert len(sim.frame_map) == sim.page_table.pages_mapped
+
+    def test_large_page_mode_maps_2mb(self):
+        config = small_config(page_shift=PAGE_SHIFT_2M)
+        wl = small_workload()
+        sim = Simulator(config, wl.build(config), "tiny")
+        # Far fewer 2 MB mappings than 4 KB pages touched.
+        small_sim = Simulator(
+            small_config(), wl.build(small_config()), "tiny"
+        )
+        assert sim.page_table.pages_mapped < small_sim.page_table.pages_mapped
+
+    def test_per_core_memory_systems(self):
+        config = small_config(num_cores=2)
+        wl = small_workload()
+        sim = Simulator(config, wl.build(config), "tiny")
+        assert len(sim.shared_per_core) == 2
+        assert sim.shared_per_core[0] is not sim.shared_per_core[1]
+
+
+class TestResults:
+    def test_result_carries_labels(self):
+        config = small_config()
+        wl = small_workload()
+        result = Simulator(config, wl.build(config), "tiny").run()
+        assert result.workload == "tiny"
+        assert "TLB" in result.config_description
+
+    def test_multicore_aggregation(self):
+        one = small_config(num_cores=1)
+        two = small_config(num_cores=2)
+        wl = small_workload()
+        r1 = Simulator(one, wl.build(one), "tiny").run()
+        r2 = Simulator(two, wl.build(two), "tiny").run()
+        # Twice the work across independent cores: instruction counts
+        # double, cycles stay in the same ballpark.
+        assert r2.stats.instructions == 2 * r1.stats.instructions
+        assert r2.cycles < 3 * r1.cycles
+
+    def test_no_tlb_has_no_walks(self):
+        config = small_config(tlb=TLBConfig(enabled=False))
+        wl = small_workload()
+        result = Simulator(config, wl.build(config), "tiny").run()
+        assert result.stats.walks == 0
+        assert result.stats.tlb_lookups == 0
+        assert result.ptw_refs == 0
+
+    def test_identical_l1_traffic_with_and_without_tlb(self):
+        # The no-TLB baseline uses the same physical frames, so cache
+        # set behaviour matches the translated runs.
+        wl = small_workload()
+        base_cfg = small_config(tlb=TLBConfig(enabled=False))
+        base = Simulator(base_cfg, wl.build(base_cfg), "tiny").run()
+        tlb_cfg = small_config()
+        tlb = Simulator(tlb_cfg, wl.build(tlb_cfg), "tiny").run()
+        total_base = base.l1_hits + base.l1_misses
+        total_tlb = tlb.l1_hits + tlb.l1_misses
+        assert total_base == total_tlb

@@ -1,0 +1,74 @@
+"""Intra-warp memory coalescer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescer import coalesce
+
+
+class TestCoalescing:
+    def test_same_line_coalesces(self):
+        result = coalesce([0x1000, 0x1004, 0x1040])
+        assert result.lines == (0x1000,)
+        assert result.vpns == (1,)
+        assert result.page_divergence == 1
+
+    def test_distinct_lines_same_page(self):
+        result = coalesce([0x1000, 0x1080])
+        assert result.lines == (0x1000, 0x1080)
+        assert result.page_divergence == 1
+
+    def test_page_divergence(self):
+        result = coalesce([0x1000, 0x2000, 0x3000])
+        assert result.page_divergence == 3
+
+    def test_inactive_lanes_skipped(self):
+        result = coalesce([None, 0x1000, None])
+        assert result.lines == (0x1000,)
+
+    def test_lines_by_vpn(self):
+        result = coalesce([0x1000, 0x1080, 0x2000])
+        assert result.lines_by_vpn[1] == (0x1000, 0x1080)
+        assert result.lines_by_vpn[2] == (0x2000,)
+
+    def test_first_lane_order_preserved(self):
+        result = coalesce([0x3000, 0x1000, 0x2000])
+        assert result.vpns == (3, 1, 2)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([0x1000], line_bytes=100)
+
+    def test_2mb_page_shift(self):
+        result = coalesce([0x1000, 0x200000 + 16], page_shift=21)
+        assert result.page_divergence == 2
+
+
+addresses = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 30)),
+    min_size=1,
+    max_size=32,
+).filter(lambda xs: any(x is not None for x in xs))
+
+
+@given(addresses)
+def test_every_address_covered_exactly_once(addrs):
+    result = coalesce(addrs)
+    active = [a for a in addrs if a is not None]
+    # Every active address falls in exactly one emitted line and page.
+    for addr in active:
+        assert (addr & ~127) in result.lines
+        assert addr >> 12 in result.vpns
+    # No duplicate lines or pages.
+    assert len(set(result.lines)) == len(result.lines)
+    assert len(set(result.vpns)) == len(result.vpns)
+    # lines_by_vpn partitions the lines.
+    flat = [l for lines in result.lines_by_vpn.values() for l in lines]
+    assert sorted(flat) == sorted(result.lines)
+
+
+@given(addresses)
+def test_page_divergence_bounds(addrs):
+    result = coalesce(addrs)
+    active = {a for a in addrs if a is not None}
+    assert 1 <= result.page_divergence <= len(active)

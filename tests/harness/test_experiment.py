@@ -1,0 +1,45 @@
+"""Harness plumbing."""
+
+from repro.core import presets
+from repro.harness.experiment import (
+    FigureResult,
+    run_config,
+    run_matrix,
+    speedups_vs_baseline,
+)
+from repro.workloads.registry import get_workload
+
+
+class TestFigureResult:
+    def test_render_contains_series(self):
+        figure = FigureResult(
+            figure="figX",
+            title="demo",
+            series={"s": {"bfs": 0.5}},
+            notes=["caveat"],
+        )
+        text = figure.render()
+        assert "figX" in text and "bfs" in text and "caveat" in text
+
+
+class TestRunners:
+    def test_run_config(self):
+        result = run_config(
+            presets.no_tlb(warmup_instructions=20), get_workload("kmeans")
+        )
+        assert result.cycles > 0
+        assert result.workload == "kmeans"
+
+    def test_matrix_and_speedups(self):
+        results = run_matrix(
+            {
+                "base": lambda: presets.no_tlb(warmup_instructions=20),
+                "naive": lambda: presets.naive_tlb(
+                    ports=4, warmup_instructions=20
+                ),
+            },
+            workloads=["kmeans"],
+        )
+        series = speedups_vs_baseline(results, "base")
+        assert set(series) == {"naive"}
+        assert 0 < series["naive"]["kmeans"] < 1.5

@@ -1,0 +1,53 @@
+"""Smoke tests for the figure drivers (restricted workload sets).
+
+The benchmarks run every driver on all six workloads; here each driver
+runs on one or two to verify plumbing, series structure, and the
+figure's central assertion where it is cheap to check.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    return figures.fig07_nonblocking(workloads=["kmeans"])
+
+
+class TestDrivers:
+    def test_fig07_series_structure(self, fig07):
+        assert set(fig07.series) == {
+            "naive 128e/4p",
+            "+hit-under-miss",
+            "+cache-overlap",
+            "ideal 512e/32p",
+        }
+        assert "kmeans" in fig07.series["ideal 512e/32p"]
+
+    def test_fig07_ideal_dominates_naive(self, fig07):
+        assert (
+            fig07.series["ideal 512e/32p"]["kmeans"]
+            > fig07.series["naive 128e/4p"]["kmeans"]
+        )
+
+    def test_fig04_reports_latencies(self):
+        figure = figures.fig04_miss_latency(workloads=["kmeans"])
+        assert figure.series["avg TLB miss cycles"]["kmeans"] > 0
+        assert figure.series["avg L1 miss cycles"]["kmeans"] > 0
+
+    def test_fig11_augmented_beats_naive_pools(self):
+        figure = figures.fig11_multi_ptw(workloads=["mummergpu"])
+        assert (
+            figure.series["augmented x1 PTW"]["mummergpu"]
+            > figure.series["naive x8 PTW"]["mummergpu"]
+        )
+
+    def test_all_drivers_registered(self):
+        assert len(figures.ALL_FIGURES) == 14
+        for key, fn in figures.ALL_FIGURES.items():
+            assert callable(fn), key
+
+    def test_render_roundtrip(self, fig07):
+        text = fig07.render()
+        assert "fig07" in text and "kmeans" in text

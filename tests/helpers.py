@@ -1,0 +1,36 @@
+"""Shared builders for small, fast test machines and workloads."""
+
+from __future__ import annotations
+
+from repro.core.config import GPUConfig
+from repro.workloads.base import Workload, WorkloadSpec
+
+
+def small_config(**overrides) -> GPUConfig:
+    """An 8-warp, 1-core machine for fast functional tests."""
+    defaults = dict(num_cores=1, warps_per_core=8, warp_width=8)
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+def small_workload(**overrides) -> Workload:
+    """A tiny deterministic workload matching ``small_config``."""
+    defaults = dict(
+        name="tiny",
+        instructions_per_warp=20,
+        compute_latency=3,
+        private_pages=2,
+        lines_per_page=4,
+        hot_pool_pages=16,
+        shared_fraction=0.4,
+        cold_fraction=0.1,
+        cold_pages=64,
+        page_div_mean=2.0,
+        page_div_max=4,
+        block_warps=4,
+        regions_per_block=3,
+        region_mems=2,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return Workload(WorkloadSpec(**defaults))

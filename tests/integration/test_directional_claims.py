@@ -1,0 +1,161 @@
+"""Integration tests asserting the paper's directional claims.
+
+These run full six-workload-scale simulations on single workloads and
+are the slowest tests in the suite (tens of seconds total).  Each test
+pins one qualitative conclusion of the paper to the reproduction.
+"""
+
+import pytest
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.workloads.base import TIMING_MISS_SCALE
+from repro.workloads.registry import get_workload
+
+KW = dict(warmup_instructions=20)
+
+
+def run(config, name, form=None):
+    workload = get_workload(name)
+    work = workload.build(config, form=form, miss_scale=TIMING_MISS_SCALE)
+    return Simulator(config, work, name).run()
+
+
+@pytest.fixture(scope="module")
+def bfs_runs():
+    return {
+        "no_tlb": run(presets.no_tlb(**KW), "bfs"),
+        "naive": run(presets.naive_tlb(ports=3, **KW), "bfs"),
+        "augmented": run(presets.augmented_tlb(**KW), "bfs"),
+        "ideal": run(presets.ideal_tlb(**KW), "bfs"),
+    }
+
+
+class TestSection4And6:
+    def test_naive_tlbs_degrade_performance(self, bfs_runs):
+        # Figure 2's headline.
+        assert bfs_runs["naive"].cycles > bfs_runs["no_tlb"].cycles * 1.2
+
+    def test_augmentation_recovers_most_loss(self, bfs_runs):
+        assert bfs_runs["augmented"].cycles < bfs_runs["naive"].cycles / 2
+
+    def test_augmented_close_to_ideal(self, bfs_runs):
+        # Figure 10: within a few percent of the impractical ideal.
+        assert bfs_runs["augmented"].cycles <= bfs_runs["ideal"].cycles * 1.15
+
+    def test_tlb_misses_cost_more_than_l1_misses_unloaded(self):
+        # Figure 4's structural claim: a walk makes 4 dependent
+        # references where a data miss makes 1.
+        from repro.mem.hierarchy import SharedMemory
+        from repro.ptw.walker import PageTableWalker
+        from repro.vm.page_table import PageTable
+
+        table = PageTable()
+        table.map_page(42)
+        shared = SharedMemory(num_channels=1)
+        walker = PageTableWalker(table, shared)
+        walk = walker.walk(42, now=0)
+        warm = walker.walk(42, now=walk.ready_time)  # all-L2 walk
+        walk_latency = warm.ready_time - walk.ready_time
+        data = shared.access_line(1 << 20, walk.ready_time)
+        fill = shared.access_line(
+            1 << 20, data.ready_time
+        )  # L2-hit data access
+        data_latency = fill.ready_time - data.ready_time
+        assert walk_latency >= 2 * data_latency
+
+    def test_one_augmented_walker_beats_eight_naive(self):
+        eight = run(presets.multi_ptw_tlb(8, **KW), "mummergpu")
+        one = run(presets.augmented_tlb(**KW), "mummergpu")
+        assert one.cycles < eight.cycles
+
+
+class TestSection7:
+    @pytest.fixture(scope="class")
+    def ccws_runs(self):
+        return {
+            "rr": run(presets.no_tlb(**KW), "memcached"),
+            "ccws": run(presets.with_ccws(presets.no_tlb(**KW)), "memcached"),
+            "ccws_naive": run(
+                presets.with_ccws(presets.naive_tlb(ports=4, **KW)), "memcached"
+            ),
+            "ccws_aug": run(
+                presets.with_ccws(presets.augmented_tlb(**KW)), "memcached"
+            ),
+            "tcws": run(presets.with_tcws(presets.augmented_tlb(**KW)), "memcached"),
+        }
+
+    def test_ccws_improves_baseline(self, ccws_runs):
+        assert ccws_runs["ccws"].cycles < ccws_runs["rr"].cycles
+
+    def test_naive_tlbs_erase_ccws_gain(self, ccws_runs):
+        assert ccws_runs["ccws_naive"].cycles > ccws_runs["ccws"].cycles * 1.5
+
+    def test_augmented_recovers_much_of_ccws(self, ccws_runs):
+        assert ccws_runs["ccws_aug"].cycles < ccws_runs["ccws_naive"].cycles
+
+    def test_tcws_competitive_with_ccws_aug(self, ccws_runs):
+        assert ccws_runs["tcws"].cycles <= ccws_runs["ccws_aug"].cycles * 1.3
+
+
+class TestSection8:
+    @pytest.fixture(scope="class")
+    def tbc_runs(self):
+        return {
+            "stack": run(presets.no_tlb(warmup_instructions=0), "bfs", form="blocks"),
+            "tbc": run(
+                presets.with_tbc(presets.no_tlb(warmup_instructions=0), "tbc"),
+                "bfs",
+                form="blocks",
+            ),
+            "tbc_naive": run(
+                presets.with_tbc(
+                    presets.naive_tlb(ports=4, warmup_instructions=0), "tbc"
+                ),
+                "bfs",
+                form="blocks",
+            ),
+            "tlb_tbc": run(
+                presets.with_tbc(
+                    presets.augmented_tlb(warmup_instructions=0), "tlb-tbc"
+                ),
+                "bfs",
+                form="blocks",
+            ),
+        }
+
+    def test_tbc_improves_divergent_workload(self, tbc_runs):
+        assert tbc_runs["tbc"].cycles < tbc_runs["stack"].cycles
+
+    def test_tbc_amplifies_page_divergence(self, tbc_runs):
+        assert (
+            tbc_runs["tbc"].stats.average_page_divergence
+            > tbc_runs["stack"].stats.average_page_divergence * 1.3
+        )
+
+    def test_naive_tlbs_erase_tbc_gain(self, tbc_runs):
+        assert tbc_runs["tbc_naive"].cycles > tbc_runs["tbc"].cycles * 1.2
+
+    def test_cpm_removes_divergence_amplification(self, tbc_runs):
+        assert (
+            tbc_runs["tlb_tbc"].stats.average_page_divergence
+            < tbc_runs["tbc"].stats.average_page_divergence
+        )
+
+
+class TestSection9:
+    def test_large_pages_relieve_regular_workloads(self):
+        small = run(presets.naive_tlb(ports=4, **KW), "kmeans")
+        large = run(
+            presets.naive_tlb(ports=4, page_shift=21, **KW), "kmeans"
+        )
+        assert large.stats.tlb_miss_rate < small.stats.tlb_miss_rate / 2
+
+    def test_mummer_keeps_divergence_under_large_pages(self):
+        # Characterization stream (Section 9 reports trace properties).
+        config = presets.naive_tlb(ports=4, page_shift=21, **KW)
+        workload = get_workload("mummergpu")
+        result = Simulator(
+            config, workload.build(config, miss_scale=1.0), "mummergpu"
+        ).run()
+        assert result.stats.average_page_divergence > 3

@@ -1,0 +1,50 @@
+"""DRAM channel queueing."""
+
+import pytest
+
+from repro.mem.dram import DRAM, DRAMChannel
+
+
+class TestChannel:
+    def test_unloaded_latency(self):
+        channel = DRAMChannel(access_latency=200, service_interval=8)
+        assert channel.access(10) == 210
+
+    def test_back_to_back_requests_queue(self):
+        channel = DRAMChannel(access_latency=200, service_interval=8)
+        assert channel.access(0) == 200
+        assert channel.access(0) == 208   # starts after the first's service
+        assert channel.access(0) == 216
+        assert channel.total_queue_delay == 8 + 16
+
+    def test_idle_gap_resets_queue(self):
+        channel = DRAMChannel(access_latency=200, service_interval=8)
+        channel.access(0)
+        assert channel.access(1000) == 1200
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMChannel(access_latency=0)
+
+
+class TestInterleaving:
+    def test_channel_of_line_interleaves(self):
+        dram = DRAM(num_channels=4, line_bytes=128)
+        assert dram.channel_of(0) == 0
+        assert dram.channel_of(128) == 1
+        assert dram.channel_of(128 * 4) == 0
+
+    def test_requests_counter(self):
+        dram = DRAM(num_channels=2)
+        dram.access(0, 0)
+        dram.access(128, 0)
+        assert dram.requests == 2
+
+    def test_channels_independent(self):
+        dram = DRAM(num_channels=2, access_latency=200, service_interval=8)
+        assert dram.access(0, 0) == 200
+        assert dram.access(128, 0) == 200  # other channel, no queueing
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            DRAM(num_channels=0)

@@ -1,0 +1,50 @@
+"""Property-based tests on the memory hierarchy."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.hierarchy import CoreMemory, SharedMemory
+
+lines = st.integers(min_value=0, max_value=255).map(lambda i: i * 128)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(lines, min_size=1, max_size=300))
+def test_cache_capacity_invariant(stream):
+    cache = SetAssociativeCache(size_bytes=2048, line_bytes=128, associativity=4)
+    for line in stream:
+        cache.access(line)
+        assert cache.resident_lines <= 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(lines, min_size=1, max_size=300))
+def test_immediate_rereference_always_hits(stream):
+    cache = SetAssociativeCache(size_bytes=2048, line_bytes=128, associativity=4)
+    for line in stream:
+        cache.access(line)
+        assert cache.lookup(line)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(lines, st.integers(0, 500)), min_size=1, max_size=100))
+def test_ready_times_never_precede_requests(stream):
+    shared = SharedMemory(num_channels=1)
+    core = CoreMemory(shared, mshr_entries=8)
+    clock = 0
+    for line, gap in stream:
+        clock += gap
+        result = core.access(line, clock)
+        assert result.ready_time >= clock
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(lines, min_size=2, max_size=60))
+def test_monotone_arrivals_keep_dram_fifo(stream):
+    shared = SharedMemory(num_channels=1)
+    previous_ready = 0
+    clock = 0
+    for line in stream:
+        result = shared.access_line(line, clock)
+        assert result.ready_time > 0
+        clock += 5

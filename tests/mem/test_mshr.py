@@ -1,0 +1,55 @@
+"""MSHR file semantics."""
+
+import pytest
+
+from repro.mem.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_lookup_miss_returns_none(self):
+        assert MSHRFile(4).lookup(0, now=0) is None
+
+    def test_merge_returns_fill_time(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0, ready_time=100, now=0)
+        assert mshrs.lookup(0, now=10) == 100
+        assert mshrs.merges == 1
+
+    def test_entries_expire(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0, ready_time=100, now=0)
+        assert mshrs.lookup(0, now=100) is None
+
+    def test_outstanding(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0, 100, 0)
+        mshrs.allocate(128, 50, 0)
+        assert mshrs.outstanding(0) == 2
+        assert mshrs.outstanding(60) == 1
+
+    def test_earliest_free_when_not_full(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.earliest_free(5) == 5
+
+    def test_earliest_free_when_full(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0, 100, 0)
+        mshrs.allocate(128, 60, 0)
+        assert mshrs.earliest_free(10) == 60
+        assert mshrs.stalls == 1
+
+    def test_allocate_full_raises(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0, 100, 0)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(128, 100, 0)
+
+    def test_duplicate_allocate_raises(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0, 100, 0)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0, 120, 0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

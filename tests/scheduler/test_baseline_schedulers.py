@@ -1,0 +1,48 @@
+"""Baseline warp schedulers."""
+
+from repro.gpu.scheduler.base import (
+    Candidate,
+    GreedyThenOldestScheduler,
+    RoundRobinScheduler,
+)
+
+
+def cands(*warp_ids, mem=False):
+    return [Candidate(w, mem) for w in warp_ids]
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        sched = RoundRobinScheduler(4)
+        picks = [sched.select(cands(0, 1, 2, 3), now=i, inflight=False) for i in range(4)]
+        assert picks == [0, 1, 2, 3]
+
+    def test_skips_unready(self):
+        sched = RoundRobinScheduler(4)
+        assert sched.select(cands(2, 3), now=0, inflight=False) == 2
+
+    def test_wraps(self):
+        sched = RoundRobinScheduler(4)
+        sched.select(cands(3), 0, False)
+        assert sched.select(cands(0, 3), 1, False) == 0
+
+
+class TestGTO:
+    def test_greedy_sticks_to_current(self):
+        sched = GreedyThenOldestScheduler(4)
+        first = sched.select(cands(0, 1, 2), now=0, inflight=False)
+        again = sched.select(cands(0, 1, 2), now=1, inflight=False)
+        assert first == again
+
+    def test_falls_back_to_oldest(self):
+        sched = GreedyThenOldestScheduler(4)
+        first = sched.select(cands(1, 2), 0, False)
+        remaining = [w for w in (1, 2) if w != first]
+        nxt = sched.select(cands(*remaining), 1, False)
+        assert nxt in remaining
+
+    def test_done_warp_released(self):
+        sched = GreedyThenOldestScheduler(4)
+        picked = sched.select(cands(0), 0, False)
+        sched.on_warp_done(picked)
+        assert sched.select(cands(1), 1, False) == 1

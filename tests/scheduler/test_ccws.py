@@ -1,0 +1,78 @@
+"""CCWS lost-locality scheduling."""
+
+from repro.gpu.scheduler.base import Candidate
+from repro.gpu.scheduler.ccws import CCWSScheduler
+
+
+def make(num_warps=4, cutoff=4, **kwargs):
+    return CCWSScheduler(num_warps, lls_cutoff=cutoff, min_active_warps=1, **kwargs)
+
+
+def mem_cands(*warp_ids):
+    return [Candidate(w, True) for w in warp_ids]
+
+
+class TestScoring:
+    def test_vta_hit_bumps_score(self):
+        sched = make()
+        sched.on_l1_access(0, 0x100, hit=False, tlb_missed=False,
+                           evicted_line=None, evicted_warp=None)
+        assert sched.scores[0] == 0  # no VTA entry yet
+        sched.on_l1_access(1, 0x200, hit=False, tlb_missed=False,
+                           evicted_line=0x100, evicted_warp=0)
+        sched.on_l1_access(0, 0x100, hit=False, tlb_missed=False,
+                           evicted_line=None, evicted_warp=None)
+        assert sched.scores[0] == 1
+        assert sched.vta_hits == 1
+
+    def test_hits_do_not_score(self):
+        sched = make()
+        sched.on_l1_access(0, 0x100, hit=True, tlb_missed=False,
+                           evicted_line=None, evicted_warp=None)
+        assert sum(sched.scores) == 0
+
+    def test_done_warp_score_cleared(self):
+        sched = make()
+        sched.scores[2] = 10
+        sched.on_warp_done(2)
+        assert sched.scores[2] == 0
+
+    def test_scores_decay(self):
+        sched = make()
+        sched.scores[0] = 8.0
+        sched._decay(now=sched.score_halflife)
+        assert sched.scores[0] < 8.0
+
+
+class TestThrottling:
+    def test_unrestricted_below_cutoff(self):
+        sched = make(cutoff=100)
+        pick = sched.select(mem_cands(0, 1, 2, 3), now=0, inflight=False)
+        assert pick in (0, 1, 2, 3)
+
+    def test_restricts_to_high_scorers(self):
+        sched = make(cutoff=2)
+        sched.scores[3] = 10.0
+        # Warp 3 has lost the most locality: memory issue is restricted
+        # to it while the total exceeds the cutoff.
+        pick = sched.select(mem_cands(0, 1, 2, 3), now=0, inflight=False)
+        assert pick == 3
+
+    def test_declines_when_pool_not_ready(self):
+        sched = make(cutoff=2)
+        sched.scores[3] = 10.0
+        pick = sched.select(mem_cands(0, 1), now=0, inflight=True)
+        assert pick is None
+        assert sched.throttled_cycles == 1
+
+    def test_never_deadlocks_without_inflight(self):
+        sched = make(cutoff=2)
+        sched.scores[3] = 10.0
+        pick = sched.select(mem_cands(0, 1), now=0, inflight=False)
+        assert pick in (0, 1)
+
+    def test_compute_never_restricted(self):
+        sched = make(cutoff=2)
+        sched.scores[3] = 10.0
+        pick = sched.select([Candidate(0, False)], now=0, inflight=True)
+        assert pick == 0

@@ -1,0 +1,34 @@
+"""TLB-aware CCWS scoring."""
+
+import pytest
+
+from repro.gpu.scheduler.ta_ccws import TACCWSScheduler
+
+
+def make(weight=4):
+    return TACCWSScheduler(4, tlb_miss_weight=weight, lls_cutoff=100)
+
+
+class TestWeights:
+    def test_tlb_missing_access_scores_heavier(self):
+        sched = make(weight=4)
+        sched.vta.insert(0, 0x100)
+        sched.on_l1_access(0, 0x100, hit=False, tlb_missed=True,
+                           evicted_line=None, evicted_warp=None)
+        assert sched.scores[0] == 4
+
+    def test_tlb_hitting_access_scores_base(self):
+        sched = make(weight=4)
+        sched.vta.insert(0, 0x100)
+        sched.on_l1_access(0, 0x100, hit=False, tlb_missed=False,
+                           evicted_line=None, evicted_warp=None)
+        assert sched.scores[0] == 1
+
+    def test_weight_must_be_power_of_two(self):
+        # Hardware updates scores with shifters (Section 7.2).
+        with pytest.raises(ValueError):
+            TACCWSScheduler(4, tlb_miss_weight=3)
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TACCWSScheduler(4, tlb_miss_weight=0)

@@ -1,0 +1,51 @@
+"""TLB-conscious warp scheduling."""
+
+from repro.gpu.scheduler.tcws import TCWSScheduler
+
+
+def make(**kwargs):
+    kwargs.setdefault("lls_cutoff", 100)
+    return TCWSScheduler(4, **kwargs)
+
+
+class TestTLBDrivenScoring:
+    def test_mru_hit_scores_nothing(self):
+        sched = make(lru_hit_weights=(1, 2, 4, 8))
+        sched.on_tlb_hit(0, vpn=5, lru_depth=0)
+        assert sched.scores[0] == 0
+
+    def test_deep_hit_scores_by_depth(self):
+        sched = make(lru_hit_weights=(1, 2, 4, 8))
+        sched.on_tlb_hit(0, vpn=5, lru_depth=3)
+        assert sched.scores[0] == 7  # 8 - 1 (relative to MRU weight)
+
+    def test_depth_beyond_weights_clamps(self):
+        sched = make(lru_hit_weights=(1, 2))
+        sched.on_tlb_hit(0, vpn=5, lru_depth=9)
+        assert sched.scores[0] == 1
+
+    def test_eviction_feeds_owner_vta(self):
+        sched = make()
+        sched.on_tlb_evict(vpn=5, owner_warp=2)
+        assert sched.vta.probe(2, 5)
+
+    def test_eviction_with_unknown_owner_ignored(self):
+        sched = make()
+        sched.on_tlb_evict(vpn=5, owner_warp=None)
+        assert sched.vta.probes == 0
+
+    def test_miss_with_vta_hit_scores(self):
+        sched = make(lru_hit_weights=(1, 2, 4, 8))
+        sched.on_tlb_evict(vpn=5, owner_warp=0)
+        sched.on_tlb_miss(0, vpn=5)
+        assert sched.scores[0] == 8  # max weight by default
+        assert sched.tlb_vta_hits == 1
+
+    def test_miss_without_vta_hit_silent(self):
+        sched = make()
+        sched.on_tlb_miss(0, vpn=5)
+        assert sched.scores[0] == 0
+
+    def test_default_vta_is_half_ccws_size(self):
+        sched = TCWSScheduler(48)
+        assert sched.storage_tags() == 48 * 8

@@ -1,0 +1,53 @@
+"""Statistic counters and derived metrics."""
+
+import pytest
+
+from repro.stats.counters import CoreStats
+
+
+class TestDerived:
+    def test_tlb_miss_rate(self):
+        stats = CoreStats(tlb_lookups=10, tlb_misses=3)
+        assert stats.tlb_miss_rate == 0.3
+
+    def test_empty_rates_are_zero(self):
+        stats = CoreStats()
+        assert stats.tlb_miss_rate == 0.0
+        assert stats.average_page_divergence == 0.0
+        assert stats.idle_fraction == 0.0
+
+    def test_page_divergence(self):
+        stats = CoreStats(memory_instructions=4, page_divergence_sum=10)
+        assert stats.average_page_divergence == 2.5
+
+    def test_memory_fraction(self):
+        stats = CoreStats(scalar_instructions=100, memory_instructions=10)
+        assert stats.memory_instruction_fraction == 0.1
+
+    def test_walk_elimination(self):
+        stats = CoreStats(walk_refs_naive=12, walk_refs_issued=7)
+        assert stats.walk_refs_eliminated_fraction == pytest.approx(5 / 12)
+
+
+class TestMerge:
+    def test_cycles_take_max(self):
+        a = CoreStats(cycles=100)
+        a.merge(CoreStats(cycles=250))
+        assert a.cycles == 250
+
+    def test_counters_sum(self):
+        a = CoreStats(tlb_misses=3, tlb_lookups=10)
+        a.merge(CoreStats(tlb_misses=5, tlb_lookups=10))
+        assert a.tlb_misses == 8
+        assert a.tlb_lookups == 20
+
+    def test_divergence_max_takes_max(self):
+        a = CoreStats(page_divergence_max=4)
+        a.merge(CoreStats(page_divergence_max=9))
+        assert a.page_divergence_max == 9
+
+    def test_idle_fraction_normalizes_by_cores(self):
+        a = CoreStats(cores=0)
+        a.merge(CoreStats(cycles=100, idle_cycles=60))
+        a.merge(CoreStats(cycles=100, idle_cycles=60))
+        assert a.idle_fraction == pytest.approx(0.6)

@@ -1,0 +1,41 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.stats.report import ascii_bar_chart, format_series, format_table
+
+
+class TestTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert "2.500" in lines[3]
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+
+class TestSeries:
+    def test_series_columns(self):
+        text = format_series({"s1": {"w": 1.0}, "s2": {"w": 2.0}})
+        assert "s1" in text and "s2" in text and "w" in text
+
+    def test_missing_cell_is_nan(self):
+        text = format_series({"s1": {"a": 1.0}, "s2": {"b": 2.0}})
+        assert "nan" in text
+
+
+class TestBars:
+    def test_reference_tick(self):
+        text = ascii_bar_chart({"a": 0.5}, width=20, reference=1.0)
+        assert "|" in text
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_values_rendered(self):
+        text = ascii_bar_chart({"a": 0.5, "b": 1.5})
+        assert "0.500" in text and "1.500" in text

@@ -1,0 +1,63 @@
+"""Thread blocks and regions."""
+
+import pytest
+
+from repro.gpu.tbc.blocks import Region, ThreadBlock
+
+
+def simple_region(threads=8, divergent=True):
+    program = (("c", 2), ("m",))
+    paths = {0: program, 1: program} if divergent else {0: program}
+    thread_paths = tuple(i % 2 if divergent else 0 for i in range(threads))
+    addresses = {tid: (0x1000 * (tid + 1),) for tid in range(threads)}
+    return Region(path_programs=paths, thread_paths=thread_paths,
+                  thread_addresses=addresses)
+
+
+class TestRegion:
+    def test_paths_listed(self):
+        assert simple_region().paths == (0, 1)
+        assert simple_region(divergent=False).paths == (0,)
+
+    def test_threads_on_path(self):
+        region = simple_region(threads=8)
+        assert region.threads_on_path(0) == [0, 2, 4, 6]
+        assert region.threads_on_path(1) == [1, 3, 5, 7]
+
+    def test_masked_thread(self):
+        region = Region(
+            path_programs={0: (("m",),)},
+            thread_paths=(0, None),
+            thread_addresses={0: (0x1000,)},
+        )
+        assert region.threads_on_path(0) == [0]
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError):
+            Region(path_programs={0: ()}, thread_paths=(1,), thread_addresses={})
+
+    def test_address_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Region(
+                path_programs={0: (("m",), ("m",))},
+                thread_paths=(0,),
+                thread_addresses={0: (0x1000,)},
+            )
+
+
+class TestThreadBlock:
+    def test_geometry_helpers(self):
+        block = ThreadBlock(block_id=0, num_warps=2, warp_width=4,
+                            regions=[simple_region(8)])
+        assert block.num_threads == 8
+        assert block.original_warp(5) == 1
+        assert block.lane(5) == 1
+
+    def test_region_coverage_validated(self):
+        with pytest.raises(ValueError):
+            ThreadBlock(block_id=0, num_warps=2, warp_width=4,
+                        regions=[simple_region(4)])
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ThreadBlock(block_id=0, num_warps=0, warp_width=4)

@@ -1,0 +1,65 @@
+"""The Common Page Matrix."""
+
+import pytest
+
+from repro.gpu.tbc.cpm import CommonPageMatrix
+
+
+class TestCounters:
+    def test_initially_zero(self):
+        cpm = CommonPageMatrix(num_warps=8)
+        assert cpm.value(0, 1) == 0
+        assert not cpm.saturated(0, 1)
+
+    def test_update_is_symmetric(self):
+        cpm = CommonPageMatrix(num_warps=8)
+        cpm.update(0, [1])
+        assert cpm.value(0, 1) == 1
+        assert cpm.value(1, 0) == 1
+
+    def test_saturation(self):
+        cpm = CommonPageMatrix(num_warps=8, counter_bits=2)
+        for _ in range(10):
+            cpm.update(0, [1])
+        assert cpm.value(0, 1) == 3
+        assert cpm.saturated(0, 1)
+
+    def test_self_pairs_ignored(self):
+        cpm = CommonPageMatrix(num_warps=8)
+        cpm.update(0, [0])
+        with pytest.raises(ValueError):
+            cpm.value(0, 0)
+
+    def test_compatible_requires_all_saturated(self):
+        cpm = CommonPageMatrix(num_warps=8, counter_bits=1)
+        cpm.update(0, [1])
+        assert cpm.compatible(0, [1])
+        assert not cpm.compatible(0, [1, 2])
+        assert cpm.compatible(0, [0, 1])  # same warp always compatible
+
+    def test_flush_clears(self):
+        cpm = CommonPageMatrix(num_warps=8, counter_bits=1)
+        cpm.update(0, [1])
+        cpm.flush()
+        assert cpm.value(0, 1) == 0
+        assert cpm.flushes == 1
+
+    def test_maybe_flush_period(self):
+        cpm = CommonPageMatrix(num_warps=8, flush_interval=500)
+        assert not cpm.maybe_flush(now=100)
+        assert cpm.maybe_flush(now=600)
+        assert not cpm.maybe_flush(now=700)
+
+    def test_paper_storage_cost(self):
+        # 48x47 rows of 3-bit counters = 0.8 KB (Section 8.2).
+        cpm = CommonPageMatrix(num_warps=48, counter_bits=3)
+        assert cpm.storage_bits() == 48 * 47 * 3
+        assert cpm.storage_bits() / 8 / 1024 == pytest.approx(0.826, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommonPageMatrix(num_warps=1)
+        with pytest.raises(ValueError):
+            CommonPageMatrix(num_warps=4, counter_bits=0)
+        with pytest.raises(ValueError):
+            CommonPageMatrix(num_warps=4, flush_interval=0)

@@ -1,0 +1,46 @@
+"""Per-warp reconvergence stack execution groups."""
+
+from repro.gpu.tbc.blocks import Region, ThreadBlock
+from repro.gpu.tbc.reconvergence import stack_execution_groups
+
+
+def block_with_region(thread_paths, num_warps=2, warp_width=4):
+    program = (("m",),)
+    paths = {p: program for p in set(t for t in thread_paths if t is not None)}
+    addresses = {
+        tid: (0x1000 * (tid + 1),)
+        for tid, p in enumerate(thread_paths)
+        if p is not None
+    }
+    region = Region(path_programs=paths, thread_paths=tuple(thread_paths),
+                    thread_addresses=addresses)
+    return ThreadBlock(block_id=0, num_warps=num_warps, warp_width=warp_width,
+                       regions=[region]), region
+
+
+class TestStackGroups:
+    def test_uniform_region_one_group_per_warp(self):
+        block, region = block_with_region([0] * 8)
+        groups = stack_execution_groups(block, region)
+        assert len(groups) == 2
+        assert groups[0].threads == (0, 1, 2, 3)
+
+    def test_divergent_region_serializes_paths(self):
+        # Paper Figure 19: stack execution takes one fetch per
+        # (warp, path) pair.
+        block, region = block_with_region([0, 1, 0, 1, 0, 0, 0, 0])
+        groups = stack_execution_groups(block, region)
+        assert len(groups) == 3  # warp0: paths 0+1; warp1: path 0
+        warp0 = [g for g in groups if g.original_warp == 0]
+        assert {g.path for g in warp0} == {0, 1}
+
+    def test_masked_threads_excluded(self):
+        block, region = block_with_region([0, None, 0, None, 0, 0, 0, 0])
+        groups = stack_execution_groups(block, region)
+        assert groups[0].threads == (0, 2)
+
+    def test_fully_masked_warp_contributes_nothing(self):
+        block, region = block_with_region([None] * 4 + [0] * 4)
+        groups = stack_execution_groups(block, region)
+        assert len(groups) == 1
+        assert groups[0].original_warp == 1

@@ -1,0 +1,32 @@
+"""CACTI-substitute latency model."""
+
+from repro.tlb.cacti import access_latency, is_practical
+
+
+class TestLatency:
+    def test_practical_designs_are_free(self):
+        assert access_latency(128, 4) == 0
+        assert access_latency(64, 3) == 0
+
+    def test_size_penalty_grows(self):
+        assert access_latency(256, 4) > 0
+        assert access_latency(512, 4) > access_latency(256, 4)
+
+    def test_port_penalty_grows(self):
+        assert access_latency(128, 8) > 0
+        assert access_latency(128, 32) > access_latency(128, 8)
+
+    def test_penalties_compose(self):
+        assert access_latency(512, 32) == access_latency(512, 4) + access_latency(128, 32)
+
+    def test_ideal_waives_everything(self):
+        assert access_latency(512, 32, ideal=True) == 0
+
+    def test_unlisted_sizes_interpolate(self):
+        assert access_latency(192, 4) >= access_latency(128, 4)
+        assert access_latency(2048, 4) > access_latency(1024, 4) - 1
+
+    def test_practical_envelope(self):
+        assert is_practical(128, 4)
+        assert not is_practical(256, 4)
+        assert not is_practical(128, 8)

@@ -1,0 +1,55 @@
+"""Property-based tests on the TLB."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tlb.tlb import SetAssociativeTLB
+
+vpns = st.integers(min_value=0, max_value=4095)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(vpns, min_size=1, max_size=200))
+def test_capacity_never_exceeded(stream):
+    tlb = SetAssociativeTLB(entries=16, associativity=4)
+    for vpn in stream:
+        if not tlb.lookup(vpn).hit:
+            tlb.fill(vpn, vpn + 1)
+    assert tlb.resident <= 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(vpns, min_size=1, max_size=200))
+def test_hits_return_filled_translation(stream):
+    tlb = SetAssociativeTLB(entries=16, associativity=4)
+    for vpn in stream:
+        result = tlb.lookup(vpn)
+        if result.hit:
+            assert result.pfn == vpn + 1
+        else:
+            tlb.fill(vpn, vpn + 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(vpns, min_size=1, max_size=100))
+def test_lru_depth_bounded_by_associativity(stream):
+    tlb = SetAssociativeTLB(entries=16, associativity=4)
+    for vpn in stream:
+        result = tlb.lookup(vpn)
+        if result.hit:
+            assert 0 <= result.lru_depth < 4
+        else:
+            tlb.fill(vpn, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(vpns, st.integers(0, 47)), min_size=1, max_size=100))
+def test_history_only_contains_seen_warps(stream):
+    tlb = SetAssociativeTLB(entries=16, associativity=4)
+    seen = set()
+    for vpn, warp in stream:
+        seen.add(warp)
+        result = tlb.lookup(vpn, warp_id=warp)
+        if result.hit:
+            assert set(result.prior_history) <= seen
+        else:
+            tlb.fill(vpn, 0, warp_id=warp)

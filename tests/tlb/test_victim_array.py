@@ -1,0 +1,58 @@
+"""Victim tag arrays (CCWS / TCWS)."""
+
+import pytest
+
+from repro.tlb.victim_array import VictimTagArray
+
+
+class TestVTA:
+    def test_probe_empty_misses(self):
+        vta = VictimTagArray(num_warps=4)
+        assert not vta.probe(0, 123)
+
+    def test_insert_then_probe_hits(self):
+        vta = VictimTagArray(num_warps=4)
+        vta.insert(0, 123)
+        assert vta.probe(0, 123)
+
+    def test_arrays_are_per_warp(self):
+        vta = VictimTagArray(num_warps=4)
+        vta.insert(0, 123)
+        assert not vta.probe(1, 123)
+
+    def test_capacity_lru(self):
+        vta = VictimTagArray(num_warps=1, entries_per_warp=2, associativity=2)
+        vta.insert(0, 0)
+        vta.insert(0, 2)
+        vta.insert(0, 4)  # evicts tag 0
+        assert not vta.probe(0, 0)
+        assert vta.probe(0, 2) and vta.probe(0, 4)
+
+    def test_hit_rate(self):
+        vta = VictimTagArray(num_warps=1)
+        vta.insert(0, 1)
+        vta.probe(0, 1)
+        vta.probe(0, 2)
+        assert vta.hit_rate == 0.5
+
+    def test_storage_comparison(self):
+        # TCWS uses half the tags of CCWS (paper Section 7.2).
+        ccws = VictimTagArray(num_warps=48, entries_per_warp=16)
+        tcws = VictimTagArray(num_warps=48, entries_per_warp=8)
+        assert tcws.storage_tags() * 2 == ccws.storage_tags()
+
+    def test_degenerates_to_fully_associative(self):
+        vta = VictimTagArray(num_warps=1, entries_per_warp=2, associativity=8)
+        assert vta.num_sets == 1
+
+    def test_flush(self):
+        vta = VictimTagArray(num_warps=2)
+        vta.insert(0, 1)
+        vta.flush()
+        assert not vta.probe(0, 1)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            VictimTagArray(num_warps=0)
+        with pytest.raises(ValueError):
+            VictimTagArray(num_warps=1, entries_per_warp=6, associativity=4)

@@ -1,0 +1,88 @@
+"""Virtual address arithmetic."""
+
+import pytest
+
+from repro.vm import address as A
+
+
+class TestPageNumbers:
+    def test_vaddr_to_vpn_4k(self):
+        assert A.vaddr_to_vpn(0) == 0
+        assert A.vaddr_to_vpn(4095) == 0
+        assert A.vaddr_to_vpn(4096) == 1
+        assert A.vaddr_to_vpn(0x12345678) == 0x12345678 >> 12
+
+    def test_vaddr_to_vpn_2m(self):
+        assert A.vaddr_to_vpn(0, A.PAGE_SHIFT_2M) == 0
+        assert A.vaddr_to_vpn(A.PAGE_SIZE_2M - 1, A.PAGE_SHIFT_2M) == 0
+        assert A.vaddr_to_vpn(A.PAGE_SIZE_2M, A.PAGE_SHIFT_2M) == 1
+
+    def test_vpn_to_vaddr_roundtrip(self):
+        for vpn in (0, 1, 12345, (1 << 36) - 1):
+            assert A.vaddr_to_vpn(A.vpn_to_vaddr(vpn)) == vpn
+
+    def test_negative_vaddr_rejected(self):
+        with pytest.raises(ValueError):
+            A.vaddr_to_vpn(-1)
+
+    def test_negative_vpn_rejected(self):
+        with pytest.raises(ValueError):
+            A.vpn_to_vaddr(-5)
+
+    def test_page_offset(self):
+        assert A.page_offset(4096 + 123) == 123
+        assert A.page_offset(A.PAGE_SIZE_2M + 7, A.PAGE_SHIFT_2M) == 7
+
+
+class TestIndexSplit:
+    def test_paper_notation_example(self):
+        # The paper presents pages as 9-bit index tuples, e.g.
+        # (0xb9, 0x0c, 0xac, 0x03).
+        vpn = A.compose_vpn(0xB9, 0x0C, 0xAC, 0x03)
+        assert A.split_vpn(vpn) == (0xB9, 0x0C, 0xAC, 0x03)
+
+    def test_split_zero(self):
+        assert A.split_vpn(0) == (0, 0, 0, 0)
+
+    def test_split_max(self):
+        vpn = (1 << 36) - 1
+        assert A.split_vpn(vpn) == (511, 511, 511, 511)
+
+    def test_adjacent_pages_differ_only_in_pt_index(self):
+        base = A.compose_vpn(5, 6, 7, 8)
+        assert A.split_vpn(base + 1) == (5, 6, 7, 9)
+
+    def test_pt_index_carry(self):
+        vpn = A.compose_vpn(1, 2, 3, 511)
+        assert A.split_vpn(vpn + 1) == (1, 2, 4, 0)
+
+    def test_out_of_range_vpn_rejected(self):
+        with pytest.raises(ValueError):
+            A.split_vpn(1 << 36)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            A.compose_vpn(512, 0, 0, 0)
+
+    def test_1gb_region_shares_upper_indices(self):
+        # Bits 47-30 cover 1 GB: pages within the same 1 GB chunk share
+        # PML4 and PDP indices (the PTW scheduler's dedup opportunity).
+        base = A.compose_vpn(9, 17, 0, 0)
+        for delta in (1, 100, (1 << 18) - 1):
+            pml4, pdp, _, _ = A.split_vpn(base + delta)
+            assert (pml4, pdp) == (9, 17)
+
+
+class TestCacheLines:
+    def test_line_alignment(self):
+        assert A.cache_line_of(0) == 0
+        assert A.cache_line_of(127) == 0
+        assert A.cache_line_of(128) == 128
+        assert A.cache_line_of(300) == 256
+
+    def test_ptes_per_line(self):
+        # 128-byte lines hold 16 8-byte PTEs (Section 6.3).
+        assert A.PTES_PER_LINE == 16
+
+    def test_table_is_one_frame(self):
+        assert A.PTES_PER_TABLE * A.PTE_BYTES == A.PAGE_SIZE_4K

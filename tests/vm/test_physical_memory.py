@@ -1,0 +1,54 @@
+"""Physical frame allocator."""
+
+import pytest
+
+from repro.vm.physical_memory import OutOfPhysicalMemory, PhysicalMemory
+
+
+class TestAllocation:
+    def test_frames_are_distinct(self):
+        memory = PhysicalMemory()
+        frames = {memory.alloc_frame() for _ in range(100)}
+        assert len(frames) == 100
+
+    def test_frame_base(self):
+        assert PhysicalMemory.frame_base(3) == 3 * 4096
+
+    def test_allocated_counter(self):
+        memory = PhysicalMemory()
+        for _ in range(5):
+            memory.alloc_frame()
+        assert memory.frames_allocated == 5
+
+    def test_free_and_reuse(self):
+        memory = PhysicalMemory()
+        pfn = memory.alloc_frame()
+        memory.free_frame(pfn)
+        assert memory.alloc_frame() == pfn
+
+    def test_contiguous(self):
+        memory = PhysicalMemory()
+        base = memory.alloc_contiguous(512)
+        follow = memory.alloc_frame()
+        assert follow == base + 512
+
+    def test_contiguous_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory().alloc_contiguous(0)
+
+    def test_exhaustion(self):
+        memory = PhysicalMemory(size_bytes=16 * 4096)
+        for _ in range(memory.frames_remaining):
+            memory.alloc_frame()
+        with pytest.raises(OutOfPhysicalMemory):
+            memory.alloc_frame()
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(size_bytes=100, base=4096)
+        with pytest.raises(ValueError):
+            PhysicalMemory(base=100)
+
+    def test_free_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory().free_frame(-1)

@@ -1,0 +1,65 @@
+"""Property-based tests on the virtual-memory substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vm.address import compose_vpn, split_vpn
+from repro.vm.page_table import PageTable
+from repro.vm.pte import pack_pte, pte_history, unpack_pte, with_history
+
+vpns = st.integers(min_value=0, max_value=(1 << 36) - 1)
+indices = st.integers(min_value=0, max_value=511)
+
+
+@given(vpns)
+def test_split_compose_roundtrip(vpn):
+    assert compose_vpn(*split_vpn(vpn)) == vpn
+
+
+@given(indices, indices, indices, indices)
+def test_compose_split_roundtrip(a, b, c, d):
+    assert split_vpn(compose_vpn(a, b, c, d)) == (a, b, c, d)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 40) - 1),
+       st.integers(min_value=0, max_value=0xFFF))
+def test_pte_roundtrip(pfn, flags):
+    assert unpack_pte(pack_pte(pfn, flags)) == (pfn, flags)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=47), max_size=5))
+def test_pte_history_prefix(warps):
+    entry = with_history(pack_pte(1), warps)
+    assert pte_history(entry) == tuple(warps[:2])
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(vpns, min_size=1, max_size=30))
+def test_mapping_translates_consistently(vpn_set):
+    table = PageTable()
+    mapping = {}
+    for vpn in vpn_set:
+        mapping[vpn] = table.map_page(vpn)
+    for vpn, pfn in mapping.items():
+        assert table.translate_vpn(vpn) == pfn
+        steps = table.walk(vpn)
+        assert 1 <= len(steps) <= 4
+        assert steps[-1].is_leaf
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sets(vpns, min_size=2, max_size=20))
+def test_distinct_pages_get_distinct_frames(vpn_set):
+    table = PageTable()
+    frames = [table.map_page(vpn) for vpn in vpn_set]
+    assert len(set(frames)) == len(frames)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=(1 << 27) - 1),
+               min_size=1, max_size=8))
+def test_large_pages_translate_consistently(vpn2m_set):
+    table = PageTable()
+    for vpn2m in vpn2m_set:
+        base = table.map_large_page(vpn2m)
+        vaddr = (vpn2m << 21) + 4097
+        assert table.translate(vaddr) == (base << 12) + 4097

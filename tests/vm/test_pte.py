@@ -1,0 +1,57 @@
+"""PTE packing and the warp-history spare bits."""
+
+import pytest
+
+from repro.vm import pte as P
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        entry = P.pack_pte(0x12345, P.PTE_FLAG_PRESENT | P.PTE_FLAG_DIRTY)
+        pfn, flags = P.unpack_pte(entry)
+        assert pfn == 0x12345
+        assert flags == P.PTE_FLAG_PRESENT | P.PTE_FLAG_DIRTY
+
+    def test_default_flags(self):
+        entry = P.pack_pte(1)
+        _, flags = P.unpack_pte(entry)
+        assert flags & P.PTE_FLAG_PRESENT
+        assert flags & P.PTE_FLAG_WRITABLE
+
+    def test_pfn_helper(self):
+        assert P.pte_pfn(P.pack_pte(77)) == 77
+
+    def test_large_flag(self):
+        entry = P.pack_pte(2, P.PTE_FLAG_PRESENT | P.PTE_FLAG_LARGE)
+        assert P.unpack_pte(entry)[1] & P.PTE_FLAG_LARGE
+
+    def test_pfn_out_of_range(self):
+        with pytest.raises(ValueError):
+            P.pack_pte(1 << 40)
+
+    def test_flags_out_of_range(self):
+        with pytest.raises(ValueError):
+            P.pack_pte(1, 1 << 12)
+
+
+class TestWarpHistory:
+    def test_fresh_pte_has_empty_history(self):
+        assert P.pte_history(P.pack_pte(5)) == ()
+
+    def test_history_roundtrip(self):
+        entry = P.with_history(P.pack_pte(5), [3, 41])
+        assert P.pte_history(entry) == (3, 41)
+
+    def test_history_preserves_translation(self):
+        entry = P.with_history(P.pack_pte(5, P.PTE_FLAG_PRESENT), [1, 2])
+        pfn, flags = P.unpack_pte(entry)
+        assert (pfn, flags) == (5, P.PTE_FLAG_PRESENT)
+
+    def test_history_truncated_to_length_two(self):
+        # The paper stores 2 warp ids in 12 spare bits (Section 8.2).
+        entry = P.with_history(P.pack_pte(5), [1, 2, 3, 4])
+        assert P.pte_history(entry) == (1, 2)
+
+    def test_history_warp_id_range(self):
+        with pytest.raises(ValueError):
+            P.with_history(P.pack_pte(5), [64])

@@ -1,0 +1,73 @@
+"""Calibration of the six workloads against the paper's Figure 3 bands.
+
+These run full (single-core) simulations and are the slowest unit tests
+in the suite (~10 s total).
+"""
+
+import pytest
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.workloads.registry import get_workload, workload_names
+
+#: name -> (miss_lo, miss_hi, pdiv_lo, pdiv_hi, memfrac_hi)
+BANDS = {
+    "bfs": (0.5, 0.85, 3.0, 7.0, 0.15),
+    "kmeans": (0.10, 0.35, 1.0, 2.0, 0.25),
+    "streamcluster": (0.20, 0.45, 1.3, 2.7, 0.30),
+    "mummergpu": (0.6, 0.95, 5.0, 12.0, 0.20),
+    "pathfinder": (0.12, 0.40, 1.0, 2.5, 0.12),
+    "memcached": (0.25, 0.55, 1.6, 3.2, 0.17),
+}
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    results = {}
+    for name in workload_names():
+        config = presets.naive_tlb(ports=4, warmup_instructions=20)
+        workload = get_workload(name)
+        results[name] = Simulator(
+            config, workload.build(config), name
+        ).run()
+    return results
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_miss_rate_band(characterization, name):
+    lo, hi, _, _, _ = BANDS[name]
+    assert lo <= characterization[name].stats.tlb_miss_rate <= hi
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_page_divergence_band(characterization, name):
+    _, _, lo, hi, _ = BANDS[name]
+    assert lo <= characterization[name].stats.average_page_divergence <= hi
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_memory_fraction_band(characterization, name):
+    # Paper: memory references are under 25 % of instructions for all.
+    _, _, _, _, hi = BANDS[name]
+    frac = characterization[name].stats.memory_instruction_fraction
+    assert 0.03 <= frac <= hi
+
+
+def test_divergence_ordering(characterization):
+    # mummergpu > bfs > everything else (Figure 3 right).
+    pdiv = {
+        name: result.stats.average_page_divergence
+        for name, result in characterization.items()
+    }
+    assert pdiv["mummergpu"] > pdiv["bfs"]
+    assert pdiv["bfs"] > max(
+        pdiv[n] for n in ("kmeans", "streamcluster", "pathfinder")
+    )
+
+
+def test_miss_rate_ordering(characterization):
+    rates = {
+        name: result.stats.tlb_miss_rate
+        for name, result in characterization.items()
+    }
+    assert rates["mummergpu"] >= rates["bfs"] > rates["kmeans"]
