@@ -22,6 +22,7 @@ from repro.core.config import (
     GPUConfig,
     PTWConfig,
     TLBConfig,
+    TraceConfig,
 )
 from repro.core.results import SimulationResult, speedup
 from repro.core.simulator import Simulator
@@ -33,6 +34,7 @@ __all__ = [
     "GPUConfig",
     "PTWConfig",
     "TLBConfig",
+    "TraceConfig",
     "SimulationResult",
     "Simulator",
     "get_workload",

@@ -8,6 +8,7 @@ from repro.core.config import (
     SchedulerConfig,
     TBCConfig,
     TLBConfig,
+    TraceConfig,
 )
 from repro.core.results import SimulationResult, speedup
 from repro.core.simulator import Simulator
@@ -21,6 +22,7 @@ __all__ = [
     "SchedulerConfig",
     "TBCConfig",
     "TLBConfig",
+    "TraceConfig",
     "SimulationResult",
     "Simulator",
     "speedup",

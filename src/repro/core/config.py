@@ -199,6 +199,43 @@ class TBCConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Observability settings (the :mod:`repro.obs` subsystem).
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  When False (the default) the simulator installs
+        no tracer and every instrumentation site costs one boolean
+        check; simulated results are byte-identical either way.
+    ring_capacity:
+        Events retained by the in-memory ring buffer (0 disables it;
+        the ring feeds the post-hoc histograms in
+        :mod:`repro.stats.histograms`).
+    jsonl_path:
+        Stream every event as JSON Lines to this file (None disables).
+    chrome_path:
+        Write a Perfetto-loadable Chrome trace-event JSON here on run
+        completion (None disables).
+    interval_cycles:
+        Period of the :class:`repro.obs.interval.IntervalSampler`
+        CoreStats-delta time series (0 disables sampling).
+    """
+
+    enabled: bool = False
+    ring_capacity: int = 1 << 16
+    jsonl_path: Optional[str] = None
+    chrome_path: Optional[str] = None
+    interval_cycles: int = 0
+
+    def __post_init__(self):
+        if self.ring_capacity < 0:
+            raise ValueError("ring_capacity must be >= 0")
+        if self.interval_cycles < 0:
+            raise ValueError("interval_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
 class GPUConfig:
     """Complete machine description."""
 
@@ -219,6 +256,7 @@ class GPUConfig:
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     tbc: TBCConfig = field(default_factory=TBCConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def __post_init__(self):
         if self.num_cores <= 0 or self.warps_per_core <= 0 or self.warp_width <= 0:

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, List, Optional
 
 from repro.stats.counters import CoreStats
+
+#: Bumped when the serialized layout changes incompatibly.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -15,6 +20,14 @@ class SimulationResult:
     All of the paper's figures plot *speedup versus a no-TLB baseline*
     of the same machine; compute it with :func:`speedup` or
     :meth:`speedup_vs`.
+
+    When the run traced (``GPUConfig.trace.enabled``),
+    ``interval_series`` carries the per-core
+    :class:`repro.obs.interval.IntervalSampler` rows and ``histograms``
+    the ring-buffer-derived distributions
+    (:func:`repro.stats.histograms.histograms_from_events`, serialized
+    via ``Histogram.to_dict``).  Both stay empty on untraced runs so
+    results compare equal with tracing off.
     """
 
     workload: str
@@ -31,6 +44,8 @@ class SimulationResult:
     ptw_l2_hit_rate: float = 0.0
     dram_requests: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    interval_series: List[Dict[str, int]] = field(default_factory=list)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def l1_miss_rate(self) -> float:
@@ -55,6 +70,34 @@ class SimulationResult:
         if baseline.cycles == 0:
             return 0.0
         return self.cycles / baseline.cycles - 1.0
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (``stats`` nested as its own dict)."""
+        out = dataclasses.asdict(self)
+        out["schema_version"] = RESULT_SCHEMA_VERSION
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize so benchmark outputs can be diffed mechanically."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        data = dict(data)
+        data.pop("schema_version", None)
+        stats = data.pop("stats", None)
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in field_names}
+        kwargs["stats"] = CoreStats(**stats) if stats is not None else CoreStats()
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
 
 def speedup(baseline: SimulationResult, candidate: SimulationResult) -> float:

@@ -17,8 +17,11 @@ from repro.gpu.instruction import MemoryInstruction, WarpTrace
 from repro.gpu.shader_core import ShaderCore
 from repro.gpu.tbc.blocks import ThreadBlock
 from repro.mem.hierarchy import SharedMemory
+from repro.obs import tracer as obs_tracer
+from repro.obs.interval import IntervalSampler
 from repro.ptw.multi import WalkerPool
 from repro.stats.counters import CoreStats
+from repro.stats.histograms import histograms_from_events
 from repro.vm.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
 from repro.vm.page_table import PageTable
 from repro.vm.physical_memory import PhysicalMemory
@@ -137,28 +140,48 @@ class Simulator:
                         self.frame_map[vpn] = self.page_table.ensure_mapped(vpn)
 
     def run(self) -> SimulationResult:
-        """Execute every core and aggregate the statistics."""
+        """Execute every core and aggregate the statistics.
+
+        When ``config.trace.enabled`` a tracer is installed for the
+        duration of the run; the instrumentation is observation-only,
+        so every simulated quantity is identical with tracing on or off
+        (``tests/obs/test_overhead.py`` asserts this).
+        """
+        trace_config = self.config.trace
+        tracer = None
+        if trace_config.enabled:
+            tracer = obs_tracer.build_tracer(trace_config)
+            obs_tracer.install(tracer)
+            if trace_config.interval_cycles:
+                for core in self.cores:
+                    core.sampler = IntervalSampler(
+                        trace_config.interval_cycles, core_id=core.core_id
+                    )
         merged = CoreStats(cores=0)
         l1_hits = l1_misses = 0
         total_l1_miss_latency = 0
         walk_cycles = 0
         walks = 0
-        for core in self.cores:
-            stats = core.run()
-            merged.merge(stats)
-            hits, misses, miss_latency = core.steady_memory_counters()
-            l1_hits += hits
-            l1_misses += misses
-            total_l1_miss_latency += miss_latency
-            core_walks, _, _, core_walk_cycles = core.steady_walker_counters()
-            walk_cycles += core_walk_cycles
-            walks += core_walks
+        try:
+            for core in self.cores:
+                stats = core.run()
+                merged.merge(stats)
+                hits, misses, miss_latency = core.steady_memory_counters()
+                l1_hits += hits
+                l1_misses += misses
+                total_l1_miss_latency += miss_latency
+                core_walks, _, _, core_walk_cycles = core.steady_walker_counters()
+                walk_cycles += core_walk_cycles
+                walks += core_walks
+        finally:
+            if tracer is not None:
+                obs_tracer.uninstall()
         l2_hits = sum(s.l2_hits for s in self.shared_per_core)
         l2_misses = sum(s.l2_misses for s in self.shared_per_core)
         ptw_refs = sum(s.ptw_refs for s in self.shared_per_core)
         ptw_l2_hits = sum(s.ptw_l2_hits for s in self.shared_per_core)
         dram_requests = sum(s.dram.requests for s in self.shared_per_core)
-        return SimulationResult(
+        result = SimulationResult(
             workload=self.workload_name,
             config_description=self.config.describe(),
             cycles=merged.cycles,
@@ -175,3 +198,20 @@ class Simulator:
             ptw_l2_hit_rate=ptw_l2_hits / ptw_refs if ptw_refs else 0.0,
             dram_requests=dram_requests,
         )
+        if tracer is not None:
+            result.interval_series = [
+                row
+                for core in self.cores
+                if core.sampler is not None
+                for row in core.sampler.rows
+            ]
+            ring = tracer.ring()
+            if ring is not None:
+                result.histograms = {
+                    name: hist.to_dict()
+                    for name, hist in histograms_from_events(
+                        ring.events()
+                    ).items()
+                }
+            tracer.close()
+        return result

@@ -20,6 +20,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.gpu.scheduler.base import Candidate, WarpScheduler
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
 from repro.tlb.victim_array import VictimTagArray
 
 
@@ -115,6 +117,15 @@ class LostLocalityScheduler(WarpScheduler):
             if inflight:
                 # Deschedule: wait for a prioritized warp to return.
                 self.throttled_cycles += 1
+                if _trace.ENABLED:
+                    _trace.emit(
+                        _ev.SCHEDULER_DECISION,
+                        cycle=now,
+                        track="sched",
+                        action="throttle",
+                        pool=len(allowed) if allowed is not None else 0,
+                        score_sum=round(sum(self.scores), 2),
+                    )
                 return None
             # Nothing in flight — issuing is the only way to make progress.
             eligible = candidates

@@ -38,6 +38,9 @@ from repro.gpu.tbc.compactor import form_region_warps
 from repro.gpu.tbc.cpm import CommonPageMatrix
 from repro.gpu.warp import Warp
 from repro.mem.hierarchy import CoreMemory, SharedMemory
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+from repro.obs.interval import IntervalSampler
 from repro.ptw.multi import WalkerPool
 from repro.ptw.scheduler import ScheduledPageTableWalker
 from repro.ptw.walker import PageTableWalker
@@ -87,6 +90,10 @@ class ShaderCore:
         self.core_id = core_id
         self.config = config
         self.page_table = page_table
+        #: Optional interval-metrics sampler, installed by the simulator
+        #: when tracing is configured (observation only — never timing).
+        self.sampler: Optional[IntervalSampler] = None
+        self._stall_seq = 0
         # vpn -> pfn at the configured page size; used for zero-latency
         # physical addressing in the no-TLB baseline and for merged-walk
         # translations (avoids re-walking for a result already in
@@ -211,6 +218,8 @@ class ShaderCore:
         """Warmup ended: restart the counters, keep the structures warm."""
         self.stats = CoreStats()
         self._measure_from = now
+        if self.sampler is not None:
+            self.sampler.on_counter_reset()
         self._warm_mem = (
             self.memory.l1_hits,
             self.memory.l1_misses,
@@ -257,6 +266,11 @@ class ShaderCore:
         issued_total = 0
         measuring = warmup_budget == 0
         while True:
+            if _trace.ENABLED:
+                _trace.CORE = self.core_id
+                _trace.NOW = now
+            if self.sampler is not None:
+                self.sampler.maybe_sample(now, self.stats)
             live = [w for w in self.warps if not w.done]
             if not live:
                 break
@@ -276,21 +290,57 @@ class ShaderCore:
                 if blocking and self.tlb_blocked_until > now:
                     waits.append(self.tlb_blocked_until)
                 next_event = min(waits) if waits else now + 1
-                if blocking and blocked_only and self.tlb_blocked_until > now:
+                tlb_blocked = (
+                    blocking and blocked_only and self.tlb_blocked_until > now
+                )
+                if tlb_blocked:
                     self.stats.tlb_blocked_wait_cycles += (
                         min(next_event, self.tlb_blocked_until) - now
                     )
                 self.stats.idle_cycles += next_event - now
+                if _trace.ENABLED:
+                    self._stall_seq += 1
+                    _trace.emit(
+                        _ev.WARP_STALL_BEGIN,
+                        cycle=now,
+                        id=self._stall_seq,
+                        reason="tlb_blocked" if tlb_blocked else "memory",
+                        live=len(live),
+                    )
+                    _trace.emit(
+                        _ev.WARP_STALL_END, cycle=next_event, id=self._stall_seq
+                    )
                 now = next_event
                 continue
             inflight = any(w.ready_at > now for w in live)
             chosen_id = self.scheduler.select(
                 [c for _, c in candidates], now, inflight
             )
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.SCHEDULER_DECISION,
+                    cycle=now,
+                    track="sched",
+                    policy=self.config.scheduler.kind,
+                    chosen=chosen_id,
+                    candidates=len(candidates),
+                )
             if chosen_id is None:
                 waits = [w.ready_at for w in live if w.ready_at > now]
                 next_event = min(waits) if waits else now + 1
                 self.stats.idle_cycles += next_event - now
+                if _trace.ENABLED:
+                    self._stall_seq += 1
+                    _trace.emit(
+                        _ev.WARP_STALL_BEGIN,
+                        cycle=now,
+                        id=self._stall_seq,
+                        reason="throttled",
+                        live=len(live),
+                    )
+                    _trace.emit(
+                        _ev.WARP_STALL_END, cycle=next_event, id=self._stall_seq
+                    )
                 now = next_event
                 continue
             warp = next(w for w, c in candidates if c.warp_id == chosen_id)
@@ -319,6 +369,8 @@ class ShaderCore:
             if not measuring and issued_total >= warmup_budget:
                 measuring = True
                 self._begin_measurement(now)
+        if self.sampler is not None:
+            self.sampler.finalize(max(now, finish), self.stats)
         self.stats.cycles = max(now, finish) - self._measure_from
         return self.stats
 
@@ -333,6 +385,15 @@ class ShaderCore:
         if coal.page_divergence > self.stats.page_divergence_max:
             self.stats.page_divergence_max = coal.page_divergence
         self.stats.coalesced_lines += len(coal.lines)
+        if _trace.ENABLED:
+            _trace.emit(
+                _ev.MEM_COALESCE,
+                cycle=now,
+                track="coalescer",
+                warp=warp.warp_id,
+                pages=coal.page_divergence,
+                lines=len(coal.lines),
+            )
 
         if self.tlb is None:
             # No-TLB baseline: pinned, physically-addressed memory with
@@ -404,11 +465,28 @@ class ShaderCore:
                 misses.append(vpn)
 
         if misses:
+            if _trace.ENABLED:
+                for vpn in misses:
+                    _trace.emit(
+                        _ev.TLB_MISS_BEGIN,
+                        cycle=tlb_done,
+                        track="tlb",
+                        vpn=vpn,
+                        warp=warp.warp_id,
+                    )
             walk_ready = self._handle_misses(warp, misses, tlb_done, origins)
             for vpn, (pfn, ready) in walk_ready.items():
                 translations[vpn] = pfn
                 page_ready[vpn] = ready
                 self.stats.total_tlb_miss_cycles += ready - tlb_done
+                if _trace.ENABLED:
+                    _trace.emit(
+                        _ev.TLB_MISS_END,
+                        cycle=ready,
+                        track="tlb",
+                        vpn=vpn,
+                        latency=ready - tlb_done,
+                    )
             all_ready = max(r for _, r in walk_ready.values())
             if config.blocking:
                 # A blocking TLB services nothing until its misses resolve.
@@ -500,6 +578,13 @@ class ShaderCore:
             free = self.config.tlb.mshr_entries - len(self._pending_walks)
             if len(to_walk) > free:
                 self.stats.tlb_mshr_stalls += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.WALK_QUEUE,
+                    cycle=walk_start,
+                    track="walk-queue",
+                    depth=len(self._pending_walks) + len(to_walk),
+                )
             batch = self.walker.walk_many(
                 [vpn << (self.page_shift - 12) for vpn in to_walk], walk_start
             )

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate paper figures.
+"""Command-line entry point: regenerate paper figures, trace a run.
 
 Usage::
 
@@ -6,9 +6,13 @@ Usage::
     python -m repro.harness fig10
     python -m repro.harness fig13 --workloads bfs,kmeans
     python -m repro.harness all
+    python -m repro.harness trace fig04 --out traces/
+    python -m repro.harness trace bfs --tiny
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`; the
-rendered table prints to stdout.
+rendered table prints to stdout.  ``trace`` runs one configuration with
+the :mod:`repro.obs` event tracer enabled and writes ``trace.jsonl`` and
+``trace.chrome.json`` (see :mod:`repro.harness.trace`).
 """
 
 from __future__ import annotations
@@ -20,6 +24,12 @@ from repro.harness.figures import ALL_FIGURES
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        from repro.harness.trace import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",

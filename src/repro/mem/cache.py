@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+
 
 @dataclass(frozen=True)
 class CacheAccess:
@@ -43,9 +46,18 @@ class SetAssociativeCache:
         Line size; the paper uses 128-byte lines throughout.
     associativity:
         Ways per set.
+    label:
+        Name stamped onto trace events (and their Perfetto track) so
+        L1s and L2 banks are distinguishable in a trace.
     """
 
-    def __init__(self, size_bytes: int, line_bytes: int = 128, associativity: int = 8):
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 128,
+        associativity: int = 8,
+        label: str = "cache",
+    ):
         if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
             raise ValueError("cache geometry must be positive")
         num_lines = size_bytes // line_bytes
@@ -57,6 +69,7 @@ class SetAssociativeCache:
         self.size_bytes = size_bytes
         self.line_bytes = line_bytes
         self.associativity = associativity
+        self.label = label
         self.num_sets = num_lines // associativity
         # Per set: insertion-ordered dict of line_addr -> allocating warp.
         # Oldest (LRU) entry first; hits reinsert to move to MRU.
@@ -80,6 +93,14 @@ class SetAssociativeCache:
             self.hits += 1
             owner = cache_set.pop(line_addr)
             cache_set[line_addr] = owner  # move to MRU
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.CACHE_ACCESS,
+                    track=self.label,
+                    line=line_addr,
+                    hit=True,
+                    warp=warp_id,
+                )
             return CacheAccess(hit=True)
         self.misses += 1
         evicted_line = None
@@ -88,6 +109,15 @@ class SetAssociativeCache:
             evicted_line, evicted_warp = next(iter(cache_set.items()))
             del cache_set[evicted_line]
         cache_set[line_addr] = warp_id
+        if _trace.ENABLED:
+            _trace.emit(
+                _ev.CACHE_ACCESS,
+                track=self.label,
+                line=line_addr,
+                hit=False,
+                warp=warp_id,
+                evicted=evicted_line,
+            )
         return CacheAccess(
             hit=False, evicted_line=evicted_line, evicted_warp=evicted_warp
         )

@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+
 
 class DRAMChannel:
     """One DRAM channel: fixed service rate, fixed access latency."""
@@ -59,7 +62,20 @@ class DRAM:
 
     def access(self, line_addr: int, now: int) -> int:
         """Access DRAM for ``line_addr`` at ``now``; return ready cycle."""
-        return self.channels[self.channel_of(line_addr)].access(now)
+        channel_index = self.channel_of(line_addr)
+        channel = self.channels[channel_index]
+        ready = channel.access(now)
+        if _trace.ENABLED:
+            start = ready - channel.access_latency
+            _trace.emit(
+                _ev.DRAM_ACCESS,
+                cycle=start,
+                track=f"dram-ch{channel_index}",
+                dur=channel.access_latency,
+                line=line_addr,
+                queued=start - now,
+            )
+        return ready
 
     @property
     def requests(self) -> int:

@@ -60,8 +60,13 @@ class SharedMemory:
         self.l2_service_interval = l2_service_interval
         self.interconnect_latency = interconnect_latency
         self.l2_banks: List[SetAssociativeCache] = [
-            SetAssociativeCache(l2_bytes_per_channel, line_bytes, l2_associativity)
-            for _ in range(num_channels)
+            SetAssociativeCache(
+                l2_bytes_per_channel,
+                line_bytes,
+                l2_associativity,
+                label=f"l2-bank{bank}",
+            )
+            for bank in range(num_channels)
         ]
         # Each L2 bank serves one access per service interval; requests
         # arriving while the bank is busy queue behind it (bank port
@@ -136,7 +141,9 @@ class CoreMemory:
     ):
         self.shared = shared
         self.l1_latency = l1_latency
-        self.l1 = SetAssociativeCache(l1_bytes, line_bytes, l1_associativity)
+        self.l1 = SetAssociativeCache(
+            l1_bytes, line_bytes, l1_associativity, label="l1"
+        )
         self.mshrs = MSHRFile(mshr_entries)
         self.l1_hits = 0
         self.l1_misses = 0

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+
 
 class MSHRFile:
     """Outstanding-miss tracker with bounded capacity.
@@ -35,6 +38,15 @@ class MSHRFile:
             return
         expired = [line for line, ready in self._inflight.items() if ready <= now]
         for line in expired:
+            if _trace.ENABLED:
+                # Stamped with the entry's fill time, not the (later)
+                # cycle the lazy expiry happened to run at.
+                _trace.emit(
+                    _ev.MSHR_RETIRE,
+                    cycle=self._inflight[line],
+                    track="mshr",
+                    line=line,
+                )
             del self._inflight[line]
 
     def outstanding(self, now: int) -> int:
@@ -48,6 +60,14 @@ class MSHRFile:
         ready = self._inflight.get(line_addr)
         if ready is not None:
             self.merges += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.MSHR_MERGE,
+                    cycle=now,
+                    track="mshr",
+                    line=line_addr,
+                    ready=ready,
+                )
         return ready
 
     def earliest_free(self, now: int) -> int:
@@ -71,3 +91,12 @@ class MSHRFile:
             raise RuntimeError(f"line {line_addr:#x} already has an MSHR")
         self._inflight[line_addr] = ready_time
         self.allocations += 1
+        if _trace.ENABLED:
+            _trace.emit(
+                _ev.MSHR_ALLOC,
+                cycle=now,
+                track="mshr",
+                line=line_addr,
+                ready=ready_time,
+                outstanding=len(self._inflight),
+            )

@@ -1,0 +1,45 @@
+"""Observability: structured event tracing and interval metrics.
+
+The subsystem has four pieces:
+
+- :mod:`repro.obs.events` — the typed :class:`TraceEvent` and its kind
+  vocabulary (``tlb_lookup``, ``walk_begin``, ``mshr_alloc``, ...).
+- :mod:`repro.obs.tracer` — the module-level fast path (``ENABLED``
+  flag + ``emit``) instrumented components call, and the
+  :class:`Tracer` that fans events out to sinks.
+- :mod:`repro.obs.sinks` — :class:`NullSink`, :class:`RingBufferSink`,
+  :class:`JsonlSink` and the Perfetto-loadable
+  :class:`ChromeTraceSink`.
+- :mod:`repro.obs.interval` — :class:`IntervalSampler`, periodic
+  CoreStats-delta snapshots.
+
+Enable it per run via ``GPUConfig.trace`` (a
+:class:`repro.core.config.TraceConfig`) or from the command line with
+``python -m repro.harness trace <figure|workload>``.
+"""
+
+from repro.obs.events import KINDS, TraceEvent
+from repro.obs.interval import IntervalSampler
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+)
+from repro.obs.tracer import Tracer, active, build_tracer, emit, install, uninstall
+
+__all__ = [
+    "KINDS",
+    "TraceEvent",
+    "IntervalSampler",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "NullSink",
+    "RingBufferSink",
+    "Tracer",
+    "active",
+    "build_tracer",
+    "emit",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,117 @@
+"""Typed trace events emitted by the instrumented simulator components.
+
+Every event carries the simulated ``cycle`` it occurred at, the ``core``
+it belongs to (-1 for machine-global events), a ``track`` naming the
+hardware structure that produced it (one Perfetto thread per track), an
+optional ``dur`` for span events whose full extent is known at emission
+time, and a free-form ``args`` payload.
+
+Event kinds come in three shapes:
+
+- *instants* (``tlb_lookup``, ``mshr_alloc``, ...) — a point in time;
+- *spans* — either a single event with ``dur`` set, or a
+  ``<kind>_begin`` / ``<kind>_end`` pair matched by their ``id`` (or
+  ``vpn``) argument;
+- *counters* (``walk_queue``, ``interval_sample``) — numeric time
+  series rendered as Perfetto counter tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+# -- event kinds -------------------------------------------------------
+
+TLB_LOOKUP = "tlb_lookup"
+TLB_MISS_BEGIN = "tlb_miss_begin"
+TLB_MISS_END = "tlb_miss_end"
+WALK_BEGIN = "walk_begin"
+WALK_STEP = "walk_step"
+WALK_END = "walk_end"
+MSHR_ALLOC = "mshr_alloc"
+MSHR_MERGE = "mshr_merge"
+MSHR_RETIRE = "mshr_retire"
+WARP_STALL_BEGIN = "warp_stall_begin"
+WARP_STALL_END = "warp_stall_end"
+DRAM_ACCESS = "dram_access"
+SCHEDULER_DECISION = "scheduler_decision"
+CACHE_ACCESS = "cache_access"
+MEM_COALESCE = "mem_coalesce"
+WALK_QUEUE = "walk_queue"
+INTERVAL_SAMPLE = "interval_sample"
+
+#: Every kind the instrumentation emits (sinks accept unknown kinds too,
+#: so downstream tooling can filter without the tracer gatekeeping).
+KINDS = frozenset(
+    {
+        TLB_LOOKUP,
+        TLB_MISS_BEGIN,
+        TLB_MISS_END,
+        WALK_BEGIN,
+        WALK_STEP,
+        WALK_END,
+        MSHR_ALLOC,
+        MSHR_MERGE,
+        MSHR_RETIRE,
+        WARP_STALL_BEGIN,
+        WARP_STALL_END,
+        DRAM_ACCESS,
+        SCHEDULER_DECISION,
+        CACHE_ACCESS,
+        MEM_COALESCE,
+        WALK_QUEUE,
+        INTERVAL_SAMPLE,
+    }
+)
+
+#: Kinds rendered as Perfetto counter tracks (``ph: "C"``).
+COUNTER_KINDS = frozenset({WALK_QUEUE, INTERVAL_SAMPLE})
+
+
+class TraceEvent:
+    """One simulator event.  Deliberately a plain slotted class: events
+    are created on hot paths, so construction must stay cheap."""
+
+    __slots__ = ("kind", "cycle", "core", "track", "dur", "args")
+
+    def __init__(
+        self,
+        kind: str,
+        cycle: int,
+        core: int = -1,
+        track: str = "core",
+        dur: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.kind = kind
+        self.cycle = cycle
+        self.core = core
+        self.track = track
+        self.dur = dur
+        self.args = args if args is not None else {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly form (JSONL sink line format)."""
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "core": self.core,
+            "track": self.track,
+        }
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    @property
+    def span_id(self):
+        """Pairing key for ``_begin``/``_end`` events."""
+        args = self.args
+        return args.get("id", args.get("vpn"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.kind!r}, cycle={self.cycle}, core={self.core}, "
+            f"track={self.track!r}, dur={self.dur}, args={self.args!r})"
+        )

@@ -1,0 +1,260 @@
+"""Pluggable trace sinks.
+
+A sink receives every :class:`~repro.obs.events.TraceEvent` the tracer
+records and must implement ``record(event)`` and ``close()``.  Four
+implementations cover the observability spectrum:
+
+- :class:`NullSink` — drops everything (the default; with no tracer
+  installed the hot paths pay only a module-flag boolean check and never
+  construct events at all).
+- :class:`RingBufferSink` — bounded in-memory buffer, queryable from
+  tests and the post-hoc histogram derivations.
+- :class:`JsonlSink` — streams one JSON object per line to a file.
+- :class:`ChromeTraceSink` — emits Chrome trace-event JSON loadable in
+  Perfetto / ``chrome://tracing``, one process per core and one thread
+  per hardware track (tlb, walker, mshr, dram...).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.events import COUNTER_KINDS, TraceEvent
+
+
+class NullSink:
+    """Accepts and discards every event."""
+
+    def record(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events are dropped (and counted
+        in :attr:`dropped`) once the buffer is full.
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity <= 0:
+            raise ValueError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.recorded += 1
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the buffer by newer ones."""
+        return self.recorded - len(self._buffer)
+
+    def events(self, kind: Optional[str] = None, core: Optional[int] = None) -> List[TraceEvent]:
+        """Retained events, optionally filtered by kind and/or core."""
+        out = list(self._buffer)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if core is not None:
+            out = [e for e in out if e.core == core]
+        return out
+
+    def clear(self) -> None:
+        """Drop all retained events (the drop/record counters persist)."""
+        self._buffer.clear()
+
+
+class JsonlSink:
+    """Streams events as JSON Lines to ``path`` (or a file-like object)."""
+
+    def __init__(self, path_or_file: Union[str, io.TextIOBase]):
+        if isinstance(path_or_file, (str, bytes)):
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+            self.path: Optional[str] = str(path_or_file)
+        else:
+            self._file = path_or_file
+            self._owns_file = False
+            self.path = getattr(path_or_file, "name", None)
+        self.written = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.as_dict(), sort_keys=True))
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+        elif not self._file.closed:
+            self._file.flush()
+
+
+class ChromeTraceSink:
+    """Accumulates Chrome trace-event JSON and writes it on ``close``.
+
+    Mapping from simulator events to the trace-event format:
+
+    - ``<kind>_begin`` / ``<kind>_end`` pairs (matched by their
+      ``id``/``vpn`` argument on the same core+track) become one
+      complete ``"X"`` span; unmatched halves degrade to instants.
+    - Events with ``dur`` set become ``"X"`` spans directly.
+    - Counter kinds become ``"C"`` counter samples.
+    - Everything else becomes a thread-scoped instant ``"i"``.
+
+    One trace-event *process* per simulated core, one *thread* per
+    track; ``process_name``/``thread_name`` metadata events label them
+    for Perfetto.  Timestamps are simulated cycles (Perfetto displays
+    them as microseconds; only relative placement matters).
+    """
+
+    def __init__(self, path_or_file: Union[str, io.TextIOBase]):
+        self._path_or_file = path_or_file
+        self._events: List[Dict[str, Any]] = []
+        self._open_spans: Dict[tuple, TraceEvent] = {}
+        self._tids: Dict[tuple, int] = {}
+        self._named_pids: set = set()
+        self.path = path_or_file if isinstance(path_or_file, str) else None
+        self.closed = False
+
+    # -- track bookkeeping ---------------------------------------------
+
+    def _tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = self._tids.get(key)
+        if tid is not None:
+            return tid
+        if pid not in self._named_pids:
+            self._named_pids.add(pid)
+            self._events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"core{pid}" if pid >= 0 else "machine"},
+                }
+            )
+        tid = sum(1 for (p, _t) in self._tids if p == pid)
+        self._tids[key] = tid
+        self._events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        return tid
+
+    # -- event mapping -------------------------------------------------
+
+    def _emit(
+        self,
+        name: str,
+        ph: str,
+        ts: int,
+        pid: int,
+        tid: int,
+        args: Dict[str, Any],
+        dur: Optional[int] = None,
+    ) -> None:
+        out: Dict[str, Any] = {
+            "name": name,
+            "ph": ph,
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if dur is not None:
+            out["dur"] = dur
+        if ph == "i":
+            out["s"] = "t"  # thread-scoped instant
+        if args:
+            out["args"] = dict(args)
+        self._events.append(out)
+
+    def record(self, event: TraceEvent) -> None:
+        pid = event.core
+        tid = self._tid(pid, event.track)
+        kind = event.kind
+        if kind.endswith("_begin"):
+            base = kind[: -len("_begin")]
+            self._open_spans[(base, pid, event.track, event.span_id)] = event
+            return
+        if kind.endswith("_end"):
+            base = kind[: -len("_end")]
+            begin = self._open_spans.pop(
+                (base, pid, event.track, event.span_id), None
+            )
+            if begin is not None:
+                args = dict(begin.args)
+                args.update(event.args)
+                self._emit(
+                    base,
+                    "X",
+                    begin.cycle,
+                    pid,
+                    tid,
+                    args,
+                    dur=max(0, event.cycle - begin.cycle),
+                )
+            else:
+                self._emit(kind, "i", event.cycle, pid, tid, event.args)
+            return
+        if kind in COUNTER_KINDS:
+            numeric = {
+                k: v
+                for k, v in event.args.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+            self._emit(kind, "C", event.cycle, pid, tid, numeric or {"value": 0})
+            return
+        if event.dur is not None:
+            self._emit(kind, "X", event.cycle, pid, tid, event.args, dur=event.dur)
+            return
+        self._emit(kind, "i", event.cycle, pid, tid, event.args)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        # Spans whose end never arrived (e.g. a truncated run) degrade
+        # to instants rather than being silently lost.
+        for (base, pid, track, _span), begin in sorted(
+            self._open_spans.items(), key=lambda kv: kv[1].cycle
+        ):
+            self._emit(
+                f"{base}_begin",
+                "i",
+                begin.cycle,
+                pid,
+                self._tid(pid, track),
+                begin.args,
+            )
+        self._open_spans.clear()
+        if isinstance(self._path_or_file, (str, bytes)):
+            with open(self._path_or_file, "w", encoding="utf-8") as f:
+                json.dump(self._events, f)
+        else:
+            json.dump(self._events, self._path_or_file)
+        self.closed = True

@@ -1,0 +1,136 @@
+"""The tracer: module-level fast path plus the sink fan-out.
+
+Hot-path contract
+-----------------
+Instrumented components guard every emission with the module flag::
+
+    from repro.obs import tracer as _trace
+    ...
+    if _trace.ENABLED:
+        _trace.emit(events.TLB_LOOKUP, vpn=vpn, hit=True)
+
+With no tracer installed ``ENABLED`` is False, so the disabled cost is
+one module-attribute load and one branch — no event objects, no calls.
+Tracing never touches simulated state, so cycle counts are identical
+with tracing on or off (``tests/obs/test_overhead.py`` asserts this).
+
+Timing context
+--------------
+Components without their own clock (the TLB, the caches, the MSHR file
+in some paths) stamp events with the module-level :data:`NOW` /
+:data:`CORE` context, which the owning shader core refreshes as its
+clock advances.  Cores execute sequentially in this simulator, so the
+context is unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, NullSink, RingBufferSink
+
+#: Fast-path flag: True exactly while a tracer is installed.
+ENABLED = False
+
+#: Current simulated cycle, maintained by the executing shader core for
+#: components that do not carry their own clock.
+NOW = 0
+
+#: Core whose timeline is currently executing (-1 outside any core).
+CORE = -1
+
+_ACTIVE: Optional["Tracer"] = None
+
+
+class Tracer:
+    """Fans recorded events out to its sinks."""
+
+    def __init__(self, sinks: Optional[List] = None):
+        self.sinks = list(sinks) if sinks is not None else [NullSink()]
+
+    def record(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.record(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def ring(self) -> Optional[RingBufferSink]:
+        """The first ring-buffer sink, if any (histograms read it)."""
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink
+        return None
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the active tracer and raise the fast-path flag."""
+    global _ACTIVE, ENABLED
+    _ACTIVE = tracer
+    ENABLED = True
+
+
+def uninstall() -> None:
+    """Deactivate tracing; the fast path returns to a single branch."""
+    global _ACTIVE, ENABLED, NOW, CORE
+    _ACTIVE = None
+    ENABLED = False
+    NOW = 0
+    CORE = -1
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or None."""
+    return _ACTIVE
+
+
+def emit(
+    kind: str,
+    cycle: Optional[int] = None,
+    core: Optional[int] = None,
+    track: str = "core",
+    dur: Optional[int] = None,
+    **args,
+) -> None:
+    """Record one event on the active tracer (no-op when none is).
+
+    ``cycle``/``core`` default to the module context (:data:`NOW` /
+    :data:`CORE`) so clock-less components can emit without plumbing.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    tracer.record(
+        TraceEvent(
+            kind,
+            NOW if cycle is None else cycle,
+            CORE if core is None else core,
+            track,
+            dur,
+            args,
+        )
+    )
+
+
+def build_tracer(trace_config) -> Tracer:
+    """Construct a tracer from a ``TraceConfig``-shaped object.
+
+    Reads ``ring_capacity`` (0 disables the ring buffer),
+    ``jsonl_path`` and ``chrome_path`` (None disables each file sink).
+    Duck-typed so :mod:`repro.obs` never imports :mod:`repro.core`.
+    """
+    sinks: List = []
+    capacity = getattr(trace_config, "ring_capacity", 0)
+    if capacity:
+        sinks.append(RingBufferSink(capacity))
+    jsonl_path = getattr(trace_config, "jsonl_path", None)
+    if jsonl_path:
+        sinks.append(JsonlSink(jsonl_path))
+    chrome_path = getattr(trace_config, "chrome_path", None)
+    if chrome_path:
+        sinks.append(ChromeTraceSink(chrome_path))
+    if not sinks:
+        sinks.append(NullSink())
+    return Tracer(sinks)

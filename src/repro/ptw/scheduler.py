@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
 from repro.ptw.walker import PageTableWalker, WalkBatchResult
 from repro.vm.address import cache_line_of
 from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
@@ -114,9 +116,22 @@ class ScheduledPageTableWalker(PageTableWalker):
                 for vpn, steps in walk_steps.items()
             }
         )
+        tracing = _trace.ENABLED
+        if tracing:
+            self._walk_seq += 1
+            batch_id = self._walk_seq
+            _trace.emit(
+                _ev.WALK_BEGIN,
+                cycle=start,
+                track="walker",
+                id=batch_id,
+                vpns=len(vpn_list),
+                queued=start - now,
+                naive_refs=plan.naive_refs,
+            )
         load_ready: Dict[int, int] = {}
         clock = start
-        for level_loads in plan.loads_per_level:
+        for level, level_loads in enumerate(plan.loads_per_level):
             if not level_loads:
                 continue
             level_done = clock
@@ -124,6 +139,15 @@ class ScheduledPageTableWalker(PageTableWalker):
                 ready = self._load(paddr, clock + offset)
                 load_ready[paddr] = ready
                 level_done = max(level_done, ready)
+                if tracing:
+                    _trace.emit(
+                        _ev.WALK_STEP,
+                        cycle=clock + offset,
+                        track="walker",
+                        dur=ready - (clock + offset),
+                        level=level,
+                        paddr=paddr,
+                    )
             clock = level_done
         translations: Dict[int, int] = {}
         ready_times: Dict[int, int] = {}
@@ -145,6 +169,15 @@ class ScheduledPageTableWalker(PageTableWalker):
         self.total_walk_cycles += sum(
             ready - now for ready in ready_times.values()
         )
+        if tracing:
+            _trace.emit(
+                _ev.WALK_END,
+                cycle=clock,
+                track="walker",
+                id=batch_id,
+                refs=plan.scheduled_refs,
+                eliminated=plan.refs_eliminated,
+            )
         return WalkBatchResult(
             ready_time=clock,
             translations=translations,

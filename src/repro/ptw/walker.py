@@ -14,6 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.mem.hierarchy import SharedMemory
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
 from repro.vm.address import cache_line_of
 from repro.vm.page_table import PageTable
 from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
@@ -70,6 +72,7 @@ class PageTableWalker:
         self.refs_issued = 0
         self.refs_naive = 0  # what a 4-loads-per-walk design would issue
         self.total_walk_cycles = 0
+        self._walk_seq = 0  # trace span ids
 
     def _load(self, paddr: int, now: int) -> int:
         """Issue one walk load; return its data-ready cycle."""
@@ -81,9 +84,40 @@ class PageTableWalker:
         """Walk one page serially starting no earlier than ``now``."""
         start = now if now >= self.busy_until else self.busy_until
         steps = self.page_table.walk(vpn)
+        tracing = _trace.ENABLED
+        if tracing:
+            self._walk_seq += 1
+            walk_id = self._walk_seq
+            _trace.emit(
+                _ev.WALK_BEGIN,
+                cycle=start,
+                track="walker",
+                id=walk_id,
+                vpn=vpn,
+                queued=start - now,
+            )
         clock = start
         for step in steps:
+            issued_at = clock
             clock = self._load(step.load_paddr, clock)
+            if tracing:
+                _trace.emit(
+                    _ev.WALK_STEP,
+                    cycle=issued_at,
+                    track="walker",
+                    dur=clock - issued_at,
+                    level=step.level,
+                    paddr=step.load_paddr,
+                )
+        if tracing:
+            _trace.emit(
+                _ev.WALK_END,
+                cycle=clock,
+                track="walker",
+                id=walk_id,
+                vpn=vpn,
+                refs=len(steps),
+            )
         self.busy_until = clock
         self.walks += 1
         self.refs_naive += len(steps)

@@ -1,0 +1,176 @@
+"""Post-hoc histograms derived from a trace ring buffer.
+
+The event stream is the ground truth the aggregate counters summarize;
+these helpers recover the distributions the paper's analysis leans on —
+per-miss TLB latency (Figure 4 is its mean), page divergence per warp
+memory instruction (Figure 3 right is its mean/max), and walk queue
+occupancy (the pressure Figure 10's scheduler relieves) — from the
+events a :class:`repro.obs.sinks.RingBufferSink` retained.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import (
+    MEM_COALESCE,
+    TLB_MISS_BEGIN,
+    TLB_MISS_END,
+    WALK_QUEUE,
+    TraceEvent,
+)
+from repro.stats.report import ascii_bar_chart
+
+
+def pow2_bucket(value: int) -> int:
+    """The power-of-two bucket floor for ``value`` (0 and 1 stay put)."""
+    if value <= 1:
+        return max(0, value)
+    return 1 << (value.bit_length() - 1)
+
+
+class Histogram:
+    """A bucketed value distribution.
+
+    Parameters
+    ----------
+    name / unit:
+        Labels carried into renders and serialized dicts.
+    pow2:
+        Bucket values by their power-of-two floor (for wide-range
+        quantities such as latencies); otherwise buckets are exact
+        integer values (divergence counts, queue depths).
+    """
+
+    def __init__(self, name: str, unit: str = "", pow2: bool = False):
+        self.name = name
+        self.unit = unit
+        self.pow2 = pow2
+        self.counts: Counter = Counter()
+        self.total = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def add(self, value: int) -> None:
+        value = int(value)
+        self.counts[pow2_bucket(value) if self.pow2 else value] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Bucket floor containing the ``p``-th percentile (0-100)."""
+        if not self.total:
+            return 0
+        target = max(1, round(self.total * p / 100.0))
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= target:
+                return bucket
+        return max(self.counts)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form (bucket keys become strings)."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "pow2": self.pow2,
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "counts": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Histogram":
+        hist = cls(data["name"], data.get("unit", ""), data.get("pow2", False))
+        hist.counts = Counter({int(k): v for k, v in data["counts"].items()})
+        hist.total = data["total"]
+        hist.sum = data["sum"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def render(self, width: int = 40) -> str:
+        """Text histogram: one bar per bucket plus a summary line."""
+        head = (
+            f"{self.name}: n={self.total} mean={self.mean:.1f} "
+            f"min={self.min if self.min is not None else 'nan'} "
+            f"p50={self.percentile(50)} p95={self.percentile(95)} "
+            f"max={self.max if self.max is not None else 'nan'}"
+            + (f" [{self.unit}]" if self.unit else "")
+        )
+        if not self.total:
+            return head + "\n(no samples)"
+        label = "{}+" if self.pow2 else "{}"
+        bars = ascii_bar_chart(
+            {label.format(k): v for k, v in sorted(self.counts.items())},
+            width=width,
+            reference=0.0,
+        )
+        return head + "\n" + bars
+
+
+def _pair_spans(
+    events: List[TraceEvent], begin_kind: str, end_kind: str
+) -> List[int]:
+    """Durations of matched begin/end pairs (same core+track+span id)."""
+    opened: Dict[tuple, int] = {}
+    durations: List[int] = []
+    for event in events:
+        key = (event.core, event.track, event.span_id)
+        if event.kind == begin_kind:
+            opened[key] = event.cycle
+        elif event.kind == end_kind:
+            start = opened.pop(key, None)
+            if start is not None:
+                durations.append(event.cycle - start)
+    return durations
+
+
+def tlb_miss_latency_histogram(events: List[TraceEvent]) -> Histogram:
+    """Cycles from miss detection to translation return, per miss."""
+    hist = Histogram("tlb_miss_latency", unit="cycles", pow2=True)
+    hist.extend(_pair_spans(events, TLB_MISS_BEGIN, TLB_MISS_END))
+    return hist
+
+
+def page_divergence_histogram(events: List[TraceEvent]) -> Histogram:
+    """Distinct pages per warp memory instruction (Figure 3 right)."""
+    hist = Histogram("page_divergence", unit="pages/instr")
+    hist.extend(
+        e.args["pages"] for e in events if e.kind == MEM_COALESCE and "pages" in e.args
+    )
+    return hist
+
+
+def walk_queue_depth_histogram(events: List[TraceEvent]) -> Histogram:
+    """Outstanding page walks observed at each walker dispatch."""
+    hist = Histogram("walk_queue_depth", unit="walks")
+    hist.extend(
+        e.args["depth"] for e in events if e.kind == WALK_QUEUE and "depth" in e.args
+    )
+    return hist
+
+
+def histograms_from_events(events: List[TraceEvent]) -> Dict[str, Histogram]:
+    """All derivable histograms, keyed by name (empty ones omitted)."""
+    all_hists = (
+        tlb_miss_latency_histogram(events),
+        page_divergence_histogram(events),
+        walk_queue_depth_histogram(events),
+    )
+    return {h.name: h for h in all_hists if h.total}

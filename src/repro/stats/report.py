@@ -7,13 +7,18 @@ or a captured log file.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Sequence, Union
 
 Number = Union[int, float]
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return "nan"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
         return f"{value:.3f}"
     return str(value)
 
@@ -45,7 +50,9 @@ def format_series(series: Mapping[str, Mapping[str, Number]], key_header: str = 
     headers = [key_header] + names
     rows = []
     for key in keys:
-        rows.append([key] + [series[name].get(key, float("nan")) for name in names])
+        # Missing cells render as "nan" regardless of the column's value
+        # type (int columns must not fall back to str(float("nan"))).
+        rows.append([key] + [series[name].get(key) for name in names])
     return format_table(headers, rows)
 
 
@@ -53,7 +60,11 @@ def ascii_bar_chart(values: Mapping[str, Number], width: int = 50, reference: fl
     """Render a horizontal bar chart with a reference tick (e.g. speedup 1.0)."""
     if not values:
         return "(no data)"
+    # An all-zero/negative series (e.g. a quiet interval sample) must
+    # still render: clamp the scale so the division below is defined.
     peak = max(max(values.values()), reference)
+    if peak <= 0:
+        peak = 1.0
     label_width = max(len(str(k)) for k in values)
     lines = []
     for key, value in values.items():

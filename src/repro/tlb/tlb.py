@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
 from repro.vm.pte import HISTORY_LENGTH
 
 
@@ -103,6 +105,10 @@ class SetAssociativeTLB:
         tlb_set = self._sets.get(self._set_index(vpn))
         if tlb_set is None or vpn not in tlb_set:
             self.misses += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.TLB_LOOKUP, track="tlb", vpn=vpn, hit=False, warp=warp_id
+                )
             return TLBLookup(hit=False)
         self.hits += 1
         depth_from_mru = len(tlb_set) - 1 - list(tlb_set).index(vpn)
@@ -114,6 +120,15 @@ class SetAssociativeTLB:
             entry.history.insert(0, warp_id)
             del entry.history[HISTORY_LENGTH:]
         tlb_set[vpn] = entry  # move to MRU
+        if _trace.ENABLED:
+            _trace.emit(
+                _ev.TLB_LOOKUP,
+                track="tlb",
+                vpn=vpn,
+                hit=True,
+                depth=depth_from_mru,
+                warp=warp_id,
+            )
         return TLBLookup(
             hit=True,
             pfn=entry.pfn,

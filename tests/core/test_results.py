@@ -1,8 +1,10 @@
-"""Speedup arithmetic."""
+"""Speedup arithmetic and result serialization."""
+
+import json
 
 import pytest
 
-from repro.core.results import SimulationResult, speedup
+from repro.core.results import RESULT_SCHEMA_VERSION, SimulationResult, speedup
 from repro.stats.counters import CoreStats
 
 
@@ -33,3 +35,62 @@ class TestSpeedup:
         r = result(10)
         r.l1_hits, r.l1_misses = 3, 1
         assert r.l1_miss_rate == 0.25
+
+
+class TestSerialization:
+    def full_result(self):
+        r = SimulationResult(
+            workload="bfs",
+            config_description="TLB 128e/4p",
+            cycles=1234,
+            stats=CoreStats(cores=2, cycles=1234, tlb_lookups=10, tlb_misses=3),
+            l1_hits=40,
+            l1_misses=8,
+            avg_l1_miss_cycles=182.5,
+            avg_walk_cycles=96.25,
+            l2_hits=5,
+            l2_misses=3,
+            ptw_refs=12,
+            ptw_l2_hit_rate=0.75,
+            dram_requests=11,
+            extra={"walks_per_kinstr": 4.5},
+        )
+        r.interval_series = [{"core": 0, "cycle": 100, "instructions": 9}]
+        r.histograms = {
+            "tlb_miss_latency": {
+                "name": "tlb_miss_latency",
+                "unit": "cycles",
+                "pow2": True,
+                "total": 1,
+                "sum": 80,
+                "min": 80,
+                "max": 80,
+                "counts": {"64": 1},
+            }
+        }
+        return r
+
+    def test_json_round_trip_is_identity(self):
+        original = self.full_result()
+        restored = SimulationResult.from_json(original.to_json())
+        assert restored == original
+        # and serializing again is byte-identical
+        assert restored.to_json() == original.to_json()
+
+    def test_to_json_is_valid_sorted_json(self):
+        data = json.loads(self.full_result().to_json(indent=2))
+        assert data["schema_version"] == RESULT_SCHEMA_VERSION
+        assert data["stats"]["tlb_misses"] == 3
+        assert data["workload"] == "bfs"
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = self.full_result().to_dict()
+        data["from_the_future"] = 7
+        restored = SimulationResult.from_dict(data)
+        assert restored.cycles == 1234
+
+    def test_from_dict_defaults_missing_stats(self):
+        restored = SimulationResult.from_dict(
+            {"workload": "w", "config_description": "c", "cycles": 10}
+        )
+        assert restored.stats == CoreStats()

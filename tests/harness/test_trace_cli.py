@@ -1,0 +1,77 @@
+"""The ``python -m repro.harness trace`` subcommand."""
+
+import json
+
+from repro.harness.__main__ import main
+from repro.harness.trace import resolve_target
+
+
+class TestResolveTarget:
+    def test_figure_target(self):
+        config, workload, label = resolve_target("fig04", None)
+        assert workload.name == "bfs"
+        assert label == "fig04/bfs"
+
+    def test_figure_target_with_workload(self):
+        _, workload, label = resolve_target("fig07", "kmeans")
+        assert workload.name == "kmeans"
+        assert label == "fig07/kmeans"
+
+    def test_workload_target(self):
+        _, workload, label = resolve_target("memcached", None)
+        assert workload.name == "memcached"
+        assert label == "memcached"
+
+    def test_unknown_target(self):
+        try:
+            resolve_target("nope", None)
+        except KeyError as exc:
+            assert "nope" in str(exc)
+        else:
+            raise AssertionError("expected KeyError")
+
+
+class TestTraceCommand:
+    def run_tiny(self, tmp_path, target="fig04"):
+        rc = main(
+            ["trace", target, "--tiny", "--out", str(tmp_path), "--interval", "500"]
+        )
+        assert rc == 0
+        return tmp_path
+
+    def test_writes_valid_jsonl(self, tmp_path, capsys):
+        out = self.run_tiny(tmp_path)
+        lines = (out / "trace.jsonl").read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all("kind" in e and "cycle" in e for e in events)
+        kinds = {e["kind"] for e in events}
+        assert "tlb_lookup" in kinds and "walk_begin" in kinds
+
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = self.run_tiny(tmp_path)
+        data = json.loads((out / "trace.chrome.json").read_text())
+        assert isinstance(data, list) and data
+        for entry in data:
+            assert "name" in entry and "ph" in entry and "ts" in entry
+        # at least one named track per simulated core
+        thread_names = [e for e in data if e["ph"] == "M" and e["name"] == "thread_name"]
+        pids = {e["pid"] for e in data if e["ph"] != "M"}
+        assert pids  # every core present
+        assert {e["pid"] for e in thread_names} >= pids
+
+    def test_report_summarizes_run(self, tmp_path, capsys):
+        self.run_tiny(tmp_path)
+        out = capsys.readouterr().out
+        assert "fig04/bfs (tiny)" in out
+        assert "tlb_miss_latency" in out
+        assert "interval metrics" in out
+
+    def test_workload_target(self, tmp_path, capsys):
+        self.run_tiny(tmp_path, target="bfs")
+        out = capsys.readouterr().out
+        assert "bfs (tiny)" in out
+
+    def test_unknown_target_fails(self, tmp_path, capsys):
+        assert main(["trace", "nope", "--out", str(tmp_path)]) == 2
+        assert "unknown trace target" in capsys.readouterr().err

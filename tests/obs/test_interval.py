@@ -1,0 +1,68 @@
+"""IntervalSampler: boundary rows, deltas, warmup reset, finalize."""
+
+import pytest
+
+from repro.obs.interval import IntervalSampler
+from repro.stats.counters import CoreStats
+
+
+class TestSampling:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(0)
+
+    def test_rows_are_deltas_on_the_boundary_grid(self):
+        sampler = IntervalSampler(100, core_id=3)
+        stats = CoreStats()
+        stats.instructions = 10
+        sampler.maybe_sample(100, stats)
+        stats.instructions = 25
+        sampler.maybe_sample(200, stats)
+        assert [r["cycle"] for r in sampler.rows] == [100, 200]
+        assert [r["instructions"] for r in sampler.rows] == [10, 15]
+        assert all(r["core"] == 3 for r in sampler.rows)
+
+    def test_clock_jump_crossing_many_boundaries(self):
+        sampler = IntervalSampler(100)
+        stats = CoreStats()
+        stats.instructions = 7
+        # One fast-forward from 0 to 350 crosses three boundaries: the
+        # whole delta lands on the first, the rest read zero.
+        sampler.maybe_sample(350, stats)
+        assert [r["cycle"] for r in sampler.rows] == [100, 200, 300]
+        assert [r["instructions"] for r in sampler.rows] == [7, 0, 0]
+
+    def test_no_row_before_first_boundary(self):
+        sampler = IntervalSampler(100)
+        sampler.maybe_sample(99, CoreStats())
+        assert sampler.rows == []
+
+    def test_finalize_flushes_partial_tail(self):
+        sampler = IntervalSampler(100)
+        stats = CoreStats()
+        stats.instructions = 4
+        sampler.maybe_sample(100, stats)
+        stats.instructions = 9
+        sampler.finalize(142, stats)
+        assert [r["cycle"] for r in sampler.rows] == [100, 142]
+        assert sampler.rows[-1]["instructions"] == 5
+
+    def test_finalize_without_new_activity_adds_nothing(self):
+        sampler = IntervalSampler(100)
+        stats = CoreStats()
+        stats.instructions = 4
+        sampler.maybe_sample(100, stats)
+        sampler.finalize(150, stats)
+        assert len(sampler.rows) == 1
+
+    def test_counter_reset_realigns_baselines(self):
+        sampler = IntervalSampler(100)
+        stats = CoreStats()
+        stats.instructions = 50
+        sampler.maybe_sample(100, stats)
+        # Warmup ends: the core zeroes its counters and restarts the clock.
+        stats.instructions = 0
+        sampler.on_counter_reset()
+        stats.instructions = 8
+        sampler.maybe_sample(200, stats)
+        assert sampler.rows[-1]["instructions"] == 8

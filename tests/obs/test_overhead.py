@@ -1,0 +1,57 @@
+"""Tracing must not perturb simulation: identical results on or off."""
+
+from repro.core.config import TraceConfig
+from repro.core.simulator import Simulator
+from repro.obs import tracer as trace
+
+from helpers import small_config, small_workload
+
+
+def run(config):
+    workload = small_workload()
+    work = workload.build(config)
+    return Simulator(config, work, workload.name).run()
+
+
+class TestObservationOnly:
+    def test_ring_buffer_tracing_preserves_every_statistic(self):
+        base = small_config()
+        traced = small_config(
+            trace=TraceConfig(enabled=True, ring_capacity=1 << 14, interval_cycles=0)
+        )
+        off = run(base)
+        on = run(traced)
+        assert on.cycles == off.cycles
+        assert on.stats == off.stats
+        # Serialized forms are byte-identical once the trace-only extras
+        # (attached only when tracing) are stripped.
+        on.interval_series, on.histograms = [], {}
+        assert on.to_json() == off.to_json()
+
+    def test_interval_sampling_preserves_cycles(self):
+        off = run(small_config())
+        on = run(
+            small_config(
+                trace=TraceConfig(enabled=True, ring_capacity=1 << 14, interval_cycles=256)
+            )
+        )
+        assert on.cycles == off.cycles
+        assert on.stats == off.stats
+        assert on.interval_series  # and the series actually materialized
+
+    def test_traced_run_attaches_histograms(self):
+        result = run(
+            small_config(trace=TraceConfig(enabled=True, ring_capacity=1 << 14))
+        )
+        assert "tlb_miss_latency" in result.histograms
+        assert "page_divergence" in result.histograms
+
+    def test_untraced_run_attaches_nothing(self):
+        result = run(small_config())
+        assert result.interval_series == []
+        assert result.histograms == {}
+
+    def test_tracer_uninstalled_after_run(self):
+        run(small_config(trace=TraceConfig(enabled=True)))
+        assert trace.ENABLED is False
+        assert trace.active() is None

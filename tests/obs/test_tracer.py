@@ -1,0 +1,86 @@
+"""Tracer lifecycle: install/uninstall, emit defaults, build_tracer."""
+
+import pytest
+
+from repro.core.config import TraceConfig
+from repro.obs import events as ev
+from repro.obs import tracer as trace
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, NullSink, RingBufferSink
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with no tracer installed."""
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert trace.ENABLED is False
+        assert trace.active() is None
+        # emit with nothing installed is a silent no-op
+        trace.emit(ev.TLB_LOOKUP, cycle=1, core=0)
+
+    def test_install_sets_flag_and_routes_events(self):
+        ring = RingBufferSink()
+        trace.install(trace.Tracer([ring]))
+        assert trace.ENABLED is True
+        trace.emit(ev.TLB_LOOKUP, cycle=5, core=2, vpn=7)
+        assert len(ring) == 1
+        event = ring.events()[0]
+        assert event.cycle == 5 and event.core == 2
+        assert event.args["vpn"] == 7
+
+    def test_uninstall_clears_flag_and_context(self):
+        trace.install(trace.Tracer([RingBufferSink()]))
+        trace.NOW = 99
+        trace.CORE = 3
+        trace.uninstall()
+        assert trace.ENABLED is False
+        assert trace.NOW == 0 and trace.CORE == -1
+
+    def test_emit_defaults_to_module_context(self):
+        ring = RingBufferSink()
+        trace.install(trace.Tracer([ring]))
+        trace.NOW = 42
+        trace.CORE = 1
+        trace.emit(ev.DRAM_ACCESS, line=8)
+        event = ring.events()[0]
+        assert event.cycle == 42 and event.core == 1
+
+    def test_fan_out_to_all_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        trace.install(trace.Tracer([a, b]))
+        trace.emit(ev.TLB_LOOKUP, cycle=0, core=0)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_ring_accessor(self):
+        ring = RingBufferSink()
+        tracer = trace.Tracer([NullSink(), ring])
+        assert tracer.ring() is ring
+        assert trace.Tracer([NullSink()]).ring() is None
+
+
+class TestBuildTracer:
+    def test_default_is_ring_only(self):
+        tracer = trace.build_tracer(TraceConfig(enabled=True))
+        assert isinstance(tracer.ring(), RingBufferSink)
+        assert tracer.ring().capacity == TraceConfig().ring_capacity
+
+    def test_paths_add_file_sinks(self, tmp_path):
+        config = TraceConfig(
+            enabled=True,
+            jsonl_path=str(tmp_path / "t.jsonl"),
+            chrome_path=str(tmp_path / "t.chrome.json"),
+        )
+        tracer = trace.build_tracer(config)
+        kinds = {type(s) for s in tracer.sinks}
+        assert JsonlSink in kinds and ChromeTraceSink in kinds
+        tracer.close()
+
+    def test_zero_ring_capacity_skips_ring(self):
+        tracer = trace.build_tracer(TraceConfig(enabled=True, ring_capacity=0))
+        assert tracer.ring() is None
+        assert any(isinstance(s, NullSink) for s in tracer.sinks)

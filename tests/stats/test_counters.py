@@ -1,5 +1,7 @@
 """Statistic counters and derived metrics."""
 
+import dataclasses
+
 import pytest
 
 from repro.stats.counters import CoreStats
@@ -51,3 +53,51 @@ class TestMerge:
         a.merge(CoreStats(cycles=100, idle_cycles=60))
         a.merge(CoreStats(cycles=100, idle_cycles=60))
         assert a.idle_fraction == pytest.approx(0.6)
+
+    def test_every_field_is_covered_by_merge(self):
+        """Merging two fully-populated stats leaves no field untouched —
+        guards against adding a counter and forgetting the merge rule."""
+        kwargs = {
+            f.name: i + 1
+            for i, f in enumerate(dataclasses.fields(CoreStats))
+        }
+        a = CoreStats(**kwargs)
+        before = dataclasses.asdict(a)
+        a.merge(CoreStats(**kwargs))
+        after = dataclasses.asdict(a)
+        unchanged = [k for k, v in after.items() if v == before[k]]
+        # cycles and page_divergence_max legitimately keep their value
+        # (max of two equal operands); everything else must move.
+        assert set(unchanged) <= {"cycles", "page_divergence_max"}
+
+    def test_merge_identity_on_empty(self):
+        a = CoreStats(cores=1, cycles=50, tlb_misses=2, instructions=9)
+        snapshot = dataclasses.replace(a)
+        a.merge(CoreStats(cores=0))
+        snapshot.cores += 0  # cores field: 1 + 0
+        assert a == snapshot
+
+    def test_merge_is_commutative_on_disjoint_cores(self):
+        x = CoreStats(cycles=120, tlb_lookups=10, tlb_misses=4, idle_cycles=30)
+        y = CoreStats(cycles=80, tlb_lookups=6, tlb_misses=1, idle_cycles=70)
+        ab = CoreStats(cores=0)
+        ab.merge(x)
+        ab.merge(y)
+        ba = CoreStats(cores=0)
+        ba.merge(y)
+        ba.merge(x)
+        assert ab == ba
+        assert ab.cycles == 120
+        assert ab.tlb_misses == 5
+
+    def test_derived_metrics_consistent_after_merge(self):
+        merged = CoreStats(cores=0)
+        parts = [
+            CoreStats(tlb_lookups=10, tlb_misses=5),
+            CoreStats(tlb_lookups=30, tlb_misses=5),
+        ]
+        for part in parts:
+            merged.merge(part)
+        total_lookups = sum(p.tlb_lookups for p in parts)
+        total_misses = sum(p.tlb_misses for p in parts)
+        assert merged.tlb_miss_rate == pytest.approx(total_misses / total_lookups)

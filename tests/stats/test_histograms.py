@@ -1,0 +1,96 @@
+"""Bucketed histograms and their derivation from trace events."""
+
+import pytest
+
+from repro.obs.events import (
+    MEM_COALESCE,
+    TLB_MISS_BEGIN,
+    TLB_MISS_END,
+    WALK_QUEUE,
+    TraceEvent,
+)
+from repro.stats.histograms import (
+    Histogram,
+    histograms_from_events,
+    pow2_bucket,
+)
+
+
+def ev(kind, cycle, **args):
+    return TraceEvent(kind, cycle, 0, "t", None, args)
+
+
+class TestPow2Bucket:
+    @pytest.mark.parametrize(
+        "value,bucket",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 4), (7, 4), (8, 8), (1023, 512)],
+    )
+    def test_floor(self, value, bucket):
+        assert pow2_bucket(value) == bucket
+
+    def test_negative_clamps_to_zero(self):
+        assert pow2_bucket(-5) == 0
+
+
+class TestHistogram:
+    def test_exact_buckets(self):
+        hist = Histogram("h")
+        hist.extend([1, 1, 2, 5])
+        assert hist.counts == {1: 2, 2: 1, 5: 1}
+        assert hist.total == 4
+        assert hist.mean == pytest.approx(9 / 4)
+        assert (hist.min, hist.max) == (1, 5)
+
+    def test_pow2_buckets(self):
+        hist = Histogram("h", pow2=True)
+        hist.extend([3, 5, 6, 100])
+        assert hist.counts == {2: 1, 4: 2, 64: 1}
+
+    def test_percentiles(self):
+        hist = Histogram("h")
+        hist.extend(range(1, 101))
+        assert hist.percentile(50) == 50
+        assert hist.percentile(95) == 95
+        assert Histogram("empty").percentile(50) == 0
+
+    def test_dict_round_trip(self):
+        hist = Histogram("lat", unit="cycles", pow2=True)
+        hist.extend([3, 90, 700])
+        back = Histogram.from_dict(hist.to_dict())
+        assert back.counts == hist.counts
+        assert back.to_dict() == hist.to_dict()
+
+    def test_render_empty_and_populated(self):
+        assert "(no samples)" in Histogram("e").render()
+        hist = Histogram("lat", unit="cycles", pow2=True)
+        hist.extend([5, 5, 9])
+        text = hist.render()
+        assert "n=3" in text and "[cycles]" in text and "4+" in text
+
+
+class TestDerivations:
+    def test_tlb_latency_from_span_pairs(self):
+        events = [
+            ev(TLB_MISS_BEGIN, 10, vpn=1),
+            ev(TLB_MISS_BEGIN, 12, vpn=2),
+            ev(TLB_MISS_END, 50, vpn=2),   # latency 38
+            ev(TLB_MISS_END, 110, vpn=1),  # latency 100
+            ev(TLB_MISS_END, 999, vpn=3),  # unmatched: dropped
+        ]
+        hists = histograms_from_events(events)
+        hist = hists["tlb_miss_latency"]
+        assert hist.total == 2
+        assert hist.sum == 138
+
+    def test_divergence_and_queue_depth(self):
+        events = [
+            ev(MEM_COALESCE, 1, pages=3, lines=8),
+            ev(MEM_COALESCE, 2, pages=1, lines=2),
+            ev(WALK_QUEUE, 3, depth=4),
+        ]
+        hists = histograms_from_events(events)
+        assert hists["page_divergence"].counts == {3: 1, 1: 1}
+        assert hists["walk_queue_depth"].counts == {4: 1}
+
+    def test_empty_histograms_omitted(self):
+        assert histograms_from_events([]) == {}

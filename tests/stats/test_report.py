@@ -27,6 +27,17 @@ class TestSeries:
         text = format_series({"s1": {"a": 1.0}, "s2": {"b": 2.0}})
         assert "nan" in text
 
+    def test_missing_cell_is_nan_in_integer_columns(self):
+        # Integer-valued series must render missing keys as "nan" too,
+        # not crash or fall back to a float repr.
+        text = format_series({"ints": {"a": 1, "b": 2}, "other": {"a": 3}})
+        row_b = next(l for l in text.splitlines() if l.startswith("b"))
+        assert "nan" in row_b
+
+    def test_none_cell_renders_nan(self):
+        text = format_series({"s": {"a": None}})
+        assert "nan" in text
+
 
 class TestBars:
     def test_reference_tick(self):
@@ -39,3 +50,11 @@ class TestBars:
     def test_values_rendered(self):
         text = ascii_bar_chart({"a": 0.5, "b": 1.5})
         assert "0.500" in text and "1.500" in text
+
+    def test_all_zero_series_renders(self):
+        text = ascii_bar_chart({"a": 0, "b": 0}, reference=0.0)
+        assert "a" in text and "b" in text
+
+    def test_negative_values_render_without_error(self):
+        text = ascii_bar_chart({"a": -2.0, "b": -0.5}, reference=0.0)
+        assert "-2.000" in text
