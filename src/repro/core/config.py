@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.faults.config import FaultConfig
 from repro.vm.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
 
 
@@ -62,10 +63,25 @@ class TLBConfig:
 
     def __post_init__(self):
         if self.enabled:
-            if self.entries <= 0 or self.ports <= 0:
-                raise ValueError("TLB entries and ports must be positive")
+            if self.entries <= 0:
+                raise ValueError(
+                    f"TLB entries must be positive, got {self.entries}"
+                )
+            if self.ports <= 0:
+                raise ValueError(f"TLB ports must be positive, got {self.ports}")
+            if self.associativity <= 0:
+                raise ValueError(
+                    f"TLB associativity must be positive, got {self.associativity}"
+                )
             if self.entries % self.associativity:
-                raise ValueError("TLB entries must divide into sets")
+                raise ValueError(
+                    f"TLB entries ({self.entries}) must divide into "
+                    f"{self.associativity}-way sets"
+                )
+            if self.mshr_entries < 1:
+                raise ValueError(
+                    f"TLB needs at least one MSHR entry, got {self.mshr_entries}"
+                )
             if self.cache_overlap and self.blocking:
                 raise ValueError(
                     "cache_overlap requires a non-blocking TLB "
@@ -113,6 +129,24 @@ class CacheConfig:
     l2_latency: int = 12
     l2_service_interval: int = 2
 
+    def __post_init__(self):
+        for name in ("l1_bytes", "line_bytes", "l1_associativity",
+                     "l2_bytes_per_channel", "l2_associativity"):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"cache {name} must be positive, got {getattr(self, name)}"
+                )
+        if self.l1_mshr_entries < 1:
+            raise ValueError(
+                f"L1 needs at least one MSHR entry, got {self.l1_mshr_entries}"
+            )
+        if self.l1_latency < 0 or self.l2_latency < 0:
+            raise ValueError("cache latencies must be >= 0")
+        if self.l2_service_interval < 1:
+            raise ValueError(
+                f"l2_service_interval must be >= 1, got {self.l2_service_interval}"
+            )
+
 
 @dataclass(frozen=True)
 class DRAMConfig:
@@ -127,6 +161,18 @@ class DRAMConfig:
     access_latency: int = 350
     service_interval: int = 4
     interconnect_latency: int = 4
+
+    def __post_init__(self):
+        if self.num_channels < 1:
+            raise ValueError(
+                f"need at least one DRAM channel, got {self.num_channels}"
+            )
+        if self.access_latency < 0 or self.interconnect_latency < 0:
+            raise ValueError("DRAM latencies must be >= 0")
+        if self.service_interval < 1:
+            raise ValueError(
+                f"DRAM service_interval must be >= 1, got {self.service_interval}"
+            )
 
 
 @dataclass(frozen=True)
@@ -257,10 +303,21 @@ class GPUConfig:
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     tbc: TBCConfig = field(default_factory=TBCConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self):
-        if self.num_cores <= 0 or self.warps_per_core <= 0 or self.warp_width <= 0:
-            raise ValueError("core/warp geometry must be positive")
+        if self.num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {self.num_cores}")
+        if self.warps_per_core <= 0:
+            raise ValueError(
+                f"warps_per_core must be positive, got {self.warps_per_core}"
+            )
+        if self.warp_width <= 0:
+            raise ValueError(f"warp_width must be positive, got {self.warp_width}")
+        if self.warmup_instructions < 0:
+            raise ValueError(
+                f"warmup_instructions must be >= 0, got {self.warmup_instructions}"
+            )
         if self.page_shift not in (PAGE_SHIFT_4K, PAGE_SHIFT_2M):
             raise ValueError("page_shift must be 12 (4 KB) or 21 (2 MB)")
 
@@ -292,4 +349,14 @@ class GPUConfig:
             parts.append(f"tbc={self.tbc.mode}")
         if self.page_shift == PAGE_SHIFT_2M:
             parts.append("2MB-pages")
+        if self.faults.enabled:
+            bits = []
+            if self.faults.demand_paging:
+                bits.append("paging")
+            if self.faults.injection_active:
+                bits.append("inject")
+            label = "faults:" + "+".join(bits) if bits else "faults"
+            # The seed is part of the experiment's identity: same seed,
+            # same fault sites.
+            parts.append(f"{label}@{self.faults.seed}")
         return ", ".join(parts)

@@ -74,9 +74,21 @@ class SimulationResult:
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict (``stats`` nested as its own dict)."""
+        """JSON-safe dict (``stats`` nested as its own dict).
+
+        Fault counters (``CoreStats.FAULT_FIELDS``) are included only
+        when nonzero: fault-free runs therefore serialize byte-identically
+        to results produced before the fault subsystem existed
+        (``tests/faults/test_regression.py`` pins this against golden
+        files), and :meth:`from_dict` defaults the missing keys to 0, so
+        the round trip is exact either way.
+        """
         out = dataclasses.asdict(self)
         out["schema_version"] = RESULT_SCHEMA_VERSION
+        stats = out["stats"]
+        for name in CoreStats.FAULT_FIELDS:
+            if not stats.get(name):
+                stats.pop(name, None)
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -2,9 +2,11 @@
 
 Responsibilities: allocate physical memory and the process page table,
 pre-map every page the workload touches (the paper's workloads never
-page-fault, Section 6.2), instantiate the shared memory system and one
-shader core per configured core, execute, and aggregate statistics into
-a :class:`repro.core.results.SimulationResult`.
+page-fault, Section 6.2 — unless ``config.faults.demand_paging`` asks
+for pages to fault in on first touch), instantiate the shared memory
+system and one shader core per configured core, execute, aggregate
+statistics into a :class:`repro.core.results.SimulationResult`, and
+cross-check counter invariants afterwards.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from typing import Iterable, List, Sequence, Union
 
 from repro.core.config import GPUConfig
 from repro.core.results import SimulationResult
+from repro.faults.context import FaultContext
+from repro.faults.errors import InvariantViolation, SimulationError
 from repro.gpu.instruction import MemoryInstruction, WarpTrace
 from repro.gpu.shader_core import ShaderCore
 from repro.gpu.tbc.blocks import ThreadBlock
@@ -74,6 +78,12 @@ class Simulator:
         self.workload_name = workload_name
         self.memory = PhysicalMemory()
         self.page_table = PageTable(self.memory)
+        self.faults = FaultContext.build(
+            config.faults,
+            self.page_table,
+            tlb_enabled=config.tlb.enabled,
+            page_shift=config.page_shift,
+        )
         self._map_pages(per_core_work)
         dram = config.dram
         cache = config.cache
@@ -114,6 +124,7 @@ class Simulator:
                 self.shared_per_core[core_id],
                 work,
                 frame_map=self.frame_map,
+                faults=self.faults,
             )
             for core_id, work in enumerate(per_core_work)
         ]
@@ -125,9 +136,15 @@ class Simulator:
         size): the no-TLB baseline uses it for zero-latency physical
         addressing, so baseline and TLB runs exercise identical cache
         set behaviour and differ only in translation cost.
+
+        Under demand paging (``config.faults.demand_paging`` on a
+        TLB-enabled machine) nothing is pre-mapped: pages fault in at
+        first touch through :class:`repro.faults.model.FaultModel`.
         """
         large = self.config.page_shift == PAGE_SHIFT_2M
         self.frame_map = {}
+        if self.faults is not None and self.faults.model is not None:
+            return
         for work in per_core_work:
             for addr in _addresses_of(work):
                 if large:
@@ -164,7 +181,15 @@ class Simulator:
         walks = 0
         try:
             for core in self.cores:
-                stats = core.run()
+                try:
+                    stats = core.run()
+                except SimulationError as exc:
+                    exc.add_context(
+                        workload=self.workload_name,
+                        config=self.config.describe(),
+                        core=core.core_id,
+                    )
+                    raise
                 merged.merge(stats)
                 hits, misses, miss_latency = core.steady_memory_counters()
                 l1_hits += hits
@@ -176,6 +201,12 @@ class Simulator:
         finally:
             if tracer is not None:
                 obs_tracer.uninstall()
+        if self.faults is not None and self.faults.model is not None:
+            model = self.faults.model
+            merged.page_faults_minor = model.minor_faults
+            merged.page_faults_major = model.major_faults
+            merged.page_fault_stall_cycles = model.fault_stall_cycles
+        self._check_invariants(merged)
         l2_hits = sum(s.l2_hits for s in self.shared_per_core)
         l2_misses = sum(s.l2_misses for s in self.shared_per_core)
         ptw_refs = sum(s.ptw_refs for s in self.shared_per_core)
@@ -215,3 +246,34 @@ class Simulator:
                 }
             tracer.close()
         return result
+
+    def _check_invariants(self, merged: CoreStats) -> None:
+        """Cheap post-run consistency checks on the aggregated counters.
+
+        These catch wiring bugs (a counter updated on one path but not
+        another) at the point they happen rather than as a silently
+        wrong figure; they hold for every machine configuration, with
+        faults enabled or not.
+        """
+        context = {
+            "workload": self.workload_name,
+            "config": self.config.describe(),
+        }
+        if merged.tlb_hits + merged.tlb_misses != merged.tlb_lookups:
+            raise InvariantViolation(
+                f"TLB accounting broken: {merged.tlb_hits} hits + "
+                f"{merged.tlb_misses} misses != {merged.tlb_lookups} lookups",
+                diagnostics=context,
+            )
+        if merged.memory_instructions > merged.instructions:
+            raise InvariantViolation(
+                f"{merged.memory_instructions} memory instructions exceed "
+                f"{merged.instructions} total instructions",
+                diagnostics=context,
+            )
+        for name, value in vars(merged).items():
+            if isinstance(value, int) and value < 0:
+                raise InvariantViolation(
+                    f"counter {name!r} went negative ({value})",
+                    diagnostics=context,
+                )

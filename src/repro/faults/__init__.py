@@ -1,0 +1,45 @@
+"""Fault injection, demand paging, and hang detection (``repro.faults``).
+
+The subsystem has four parts:
+
+- :mod:`repro.faults.model` — demand paging: pages start unmapped,
+  fault at the walker, and are mapped by a CPU-assist handler charging
+  paper-style far-fault penalties;
+- :mod:`repro.faults.injection` — seeded, deterministic injection of
+  transient PTW errors, TLB shootdowns/invalidations, and walk
+  timeouts;
+- :mod:`repro.faults.watchdog` — the forward-progress watchdog that
+  turns silent livelocks into structured
+  :class:`~repro.faults.errors.SimulationHang` errors;
+- :mod:`repro.faults.errors` — the :class:`~repro.faults.errors.SimulationError`
+  hierarchy the harness retries or reports on.
+
+Everything defaults off; a default :class:`FaultConfig` is
+byte-identical to a machine without the subsystem.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.context import FaultContext
+from repro.faults.errors import (
+    InvariantViolation,
+    PTWError,
+    SimulationError,
+    SimulationHang,
+    WalkTimeout,
+)
+from repro.faults.injection import FaultInjector
+from repro.faults.model import FaultModel
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "FaultConfig",
+    "FaultContext",
+    "FaultInjector",
+    "FaultModel",
+    "InvariantViolation",
+    "PTWError",
+    "SimulationError",
+    "SimulationHang",
+    "WalkTimeout",
+    "Watchdog",
+]

@@ -1,0 +1,127 @@
+"""Fault-subsystem configuration (wired into ``GPUConfig.faults``).
+
+Kept dependency-free so :mod:`repro.core.config` can import it without
+cycles.  All knobs default *off*: a default :class:`FaultConfig` leaves
+every simulated quantity byte-identical to a machine without the fault
+subsystem (``tests/faults/test_regression.py`` pins this against golden
+results generated before the subsystem existed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper-style far-fault cost: a GPU page fault forwarded to the CPU's
+#: IOMMU/OS handler costs thousands of GPU cycles (the paper's workloads
+#: avoid this entirely by pre-mapping; see EXPERIMENTS.md).
+DEFAULT_MAJOR_FAULT_CYCLES = 5000
+
+#: Near fault: the page is CPU-resident and only needs a PTE installed.
+DEFAULT_MINOR_FAULT_CYCLES = 700
+
+#: Cycles with no retired instruction before the watchdog declares a
+#: hang.  Orders of magnitude above any legitimate memory round trip
+#: (DRAM ~350 cycles, a faulting walk ~5000), far below "pytest hung".
+DEFAULT_WATCHDOG_CYCLES = 2_000_000
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Demand paging, deterministic fault injection, and the watchdog.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch for the *modeled* faults (demand paging and
+        injection).  The watchdog is protective rather than modeled and
+        arms whenever ``watchdog_cycles > 0``, independent of this flag.
+    demand_paging:
+        Pages start unmapped and fault in at the walker on first touch
+        (instead of the paper's pre-mapped setup).  Applies to
+        translated (TLB-enabled) machines; the no-TLB baseline models
+        pinned physical memory and always pre-maps.
+    major_fault_cycles / minor_fault_cycles:
+        CPU-assist penalty charged to a faulting walk.  A *major* (far)
+        fault allocates/migrates the page; a *minor* (near) fault only
+        installs the PTE for an already-resident page.
+    minor_fraction:
+        Seeded probability that a first-touch fault is minor (the page
+        happened to be CPU-resident).  0 makes every fault major.
+    seed:
+        Seeds every random draw of the subsystem.  Identical seeds give
+        identical fault sites, counters, and cycle counts.
+    ptw_error_rate:
+        Per-walk-load probability of an injected transient memory error;
+        the walker retries the load after ``ptw_retry_backoff`` cycles,
+        up to ``ptw_max_retries`` times before raising
+        :class:`repro.faults.errors.PTWError`.
+    ptw_retry_backoff:
+        Cycles between a failed walk load and its retry.
+    ptw_max_retries:
+        Retries allowed per walk load before giving up.
+    tlb_shootdown_rate:
+        Per-memory-instruction probability of a full-TLB shootdown
+        (models inter-processor invalidation of a shared address space).
+    tlb_invalidate_rate:
+        Per-TLB-fill probability that the just-installed entry is
+        immediately invalidated (models an invalidation racing the
+        fill); the next access to the page misses and re-walks.
+    walk_timeout_cycles:
+        Upper bound on a single walk's latency; 0 disables.  A walk
+        exceeding it is retried once from scratch, then raises
+        :class:`repro.faults.errors.WalkTimeout`.
+    watchdog_cycles:
+        Forward-progress bound: a core that retires no instruction for
+        this many cycles aborts with
+        :class:`repro.faults.errors.SimulationHang` (plus an obs
+        ``hang_dump``).  0 disables the watchdog.  Observation-only:
+        it never alters the timing of runs that do make progress.
+    """
+
+    enabled: bool = False
+    demand_paging: bool = False
+    major_fault_cycles: int = DEFAULT_MAJOR_FAULT_CYCLES
+    minor_fault_cycles: int = DEFAULT_MINOR_FAULT_CYCLES
+    minor_fraction: float = 0.0
+    seed: int = 0
+    ptw_error_rate: float = 0.0
+    ptw_retry_backoff: int = 20
+    ptw_max_retries: int = 3
+    tlb_shootdown_rate: float = 0.0
+    tlb_invalidate_rate: float = 0.0
+    walk_timeout_cycles: int = 0
+    watchdog_cycles: int = DEFAULT_WATCHDOG_CYCLES
+
+    def __post_init__(self):
+        for name in ("minor_fraction", "ptw_error_rate", "tlb_shootdown_rate",
+                     "tlb_invalidate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+        for name in ("major_fault_cycles", "minor_fault_cycles",
+                     "ptw_retry_backoff", "walk_timeout_cycles",
+                     "watchdog_cycles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.ptw_max_retries < 0:
+            raise ValueError("ptw_max_retries must be >= 0")
+        if self.major_fault_cycles < self.minor_fault_cycles:
+            raise ValueError(
+                "major_fault_cycles must be >= minor_fault_cycles "
+                f"({self.major_fault_cycles} < {self.minor_fault_cycles})"
+            )
+
+    @property
+    def injection_active(self) -> bool:
+        """Whether any injection knob can actually fire."""
+        return self.enabled and (
+            self.ptw_error_rate > 0.0
+            or self.tlb_shootdown_rate > 0.0
+            or self.tlb_invalidate_rate > 0.0
+            or self.walk_timeout_cycles > 0
+        )
+
+    @property
+    def paging_active(self) -> bool:
+        """Whether demand paging is in effect."""
+        return self.enabled and self.demand_paging

@@ -1,0 +1,88 @@
+"""The forward-progress watchdog.
+
+An event-driven core loop cannot spin without advancing its clock, but a
+buggy scheduler or fault configuration *can* advance the clock forever
+without retiring an instruction (a livelock) — historically this hung
+whole sweeps silently.  Each shader core arms a :class:`Watchdog`; every
+retired instruction feeds it, and every stall checks it.  When no
+instruction retires for ``limit`` cycles the watchdog dumps diagnostic
+state through the :mod:`repro.obs` tracer (a ``hang_dump`` event, when a
+tracer is installed) and raises
+:class:`repro.faults.errors.SimulationHang` carrying the same dump.
+
+The watchdog is observation-only: on runs that make progress it never
+alters timing or statistics (a boolean comparison per stall is its whole
+footprint), so arming it by default keeps results byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.faults.errors import SimulationHang
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+
+DiagnosticsFn = Callable[[], Dict[str, Any]]
+
+
+class Watchdog:
+    """Detects cores that stop retiring instructions.
+
+    Parameters
+    ----------
+    limit:
+        Cycles without progress before firing (must be positive; a
+        disabled watchdog is simply not constructed).
+    core_id:
+        The core being watched (diagnostic labeling only).
+    """
+
+    def __init__(self, limit: int, core_id: int = -1):
+        if limit <= 0:
+            raise ValueError("watchdog limit must be positive")
+        self.limit = limit
+        self.core_id = core_id
+        self.last_progress = 0
+        self.fired = False
+
+    def progress(self, now: int) -> None:
+        """An instruction retired at ``now``; reset the countdown."""
+        self.last_progress = now
+
+    def expired(self, now: int) -> bool:
+        """Whether the no-progress window has been exceeded."""
+        return now - self.last_progress > self.limit
+
+    def check(self, now: int, diagnostics: Optional[DiagnosticsFn] = None) -> None:
+        """Raise :class:`SimulationHang` when progress stopped.
+
+        ``diagnostics`` is invoked only on firing (gathering warp state
+        is not free, so it must not run on the healthy path).
+        """
+        if not self.expired(now):
+            return
+        self.fired = True
+        dump: Dict[str, Any] = {
+            "core": self.core_id,
+            "cycle": now,
+            "last_progress_cycle": self.last_progress,
+            "stalled_cycles": now - self.last_progress,
+            "watchdog_limit": self.limit,
+        }
+        if diagnostics is not None:
+            dump.update(diagnostics())
+        if _trace.ENABLED:
+            _trace.emit(
+                _ev.HANG_DUMP,
+                cycle=now,
+                core=self.core_id,
+                track="faults",
+                **{k: v for k, v in dump.items() if k not in ("core", "cycle")},
+            )
+        raise SimulationHang(
+            f"core {self.core_id}: no instruction retired for "
+            f"{now - self.last_progress} cycles (limit {self.limit}) — "
+            f"deadlock/livelock at cycle {now}",
+            diagnostics=dump,
+        )

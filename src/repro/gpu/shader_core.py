@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import GPUConfig
+from repro.faults.context import FaultContext
+from repro.faults.watchdog import Watchdog
 from repro.gpu.coalescer import coalesce
 from repro.gpu.instruction import ComputeInstruction, MemoryInstruction, WarpTrace
 from repro.gpu.scheduler.base import Candidate
@@ -86,10 +88,21 @@ class ShaderCore:
         shared_memory: SharedMemory,
         work: Union[Sequence[WarpTrace], Sequence[ThreadBlock]],
         frame_map: Optional[Dict[int, int]] = None,
+        faults: Optional[FaultContext] = None,
     ):
         self.core_id = core_id
         self.config = config
         self.page_table = page_table
+        #: Fault machinery (None on fault-free machines); the injector
+        #: drives TLB shootdowns/invalidations here and walk errors in
+        #: the walker, the model handles demand-paging faults.
+        self.faults = faults
+        self._injector = faults.injector if faults is not None else None
+        # Whole-run injected-fault tallies (kept off CoreStats so the
+        # warmup counter reset cannot window them; copied into the stats
+        # at the end of run()).
+        self._shootdowns = 0
+        self._injected_invalidations = 0
         #: Optional interval-metrics sampler, installed by the simulator
         #: when tracing is configured (observation only — never timing).
         self.sampler: Optional[IntervalSampler] = None
@@ -130,11 +143,17 @@ class ShaderCore:
                 config.tlb.entries, config.tlb.ports, ideal=config.tlb.ideal_latency
             )
             if config.ptw.scheduled:
-                self.walker = ScheduledPageTableWalker(page_table, shared_memory)
+                self.walker = ScheduledPageTableWalker(
+                    page_table, shared_memory, faults=faults
+                )
             elif config.ptw.count > 1:
-                self.walker = WalkerPool(page_table, shared_memory, config.ptw.count)
+                self.walker = WalkerPool(
+                    page_table, shared_memory, config.ptw.count, faults=faults
+                )
             else:
-                self.walker = PageTableWalker(page_table, shared_memory)
+                self.walker = PageTableWalker(
+                    page_table, shared_memory, faults=faults
+                )
 
         self.tbc_mode = config.tbc.mode
         self.cpm: Optional[CommonPageMatrix] = None
@@ -255,14 +274,34 @@ class ShaderCore:
         )
 
     def run(self) -> CoreStats:
-        """Execute the core's work to completion; return its counters."""
+        """Execute the core's work to completion; return its counters.
+
+        Raises :class:`repro.faults.errors.SimulationHang` when the
+        forward-progress watchdog (``config.faults.watchdog_cycles``)
+        detects a deadlock/livelock — no instruction retired for the
+        configured window.
+        """
         now = 0
         finish = 0
+        watchdog: Optional[Watchdog] = None
+        if self.config.faults.watchdog_cycles > 0:
+            watchdog = Watchdog(
+                self.config.faults.watchdog_cycles, core_id=self.core_id
+            )
         blocking = self.config.tlb.enabled and self.config.tlb.blocking
         self._measure_from = 0
         self._warm_mem = (0, 0, 0)
         self._warm_walker = (0, 0, 0, 0)
         warmup_budget = self.config.warmup_instructions * max(len(self.warps), 1)
+        if warmup_budget and self.warps and not self._block_runs:
+            total = sum(len(w.trace.instructions) for w in self.warps)
+            if warmup_budget >= total:
+                raise ValueError(
+                    f"warmup of {self.config.warmup_instructions} "
+                    f"instructions per warp ({warmup_budget} total) consumes "
+                    f"the whole trace ({total} instructions); nothing would "
+                    f"be measured"
+                )
         issued_total = 0
         measuring = warmup_budget == 0
         while True:
@@ -286,6 +325,8 @@ class ShaderCore:
                 blocked_only = False
                 candidates.append((warp, Candidate(warp.warp_id, is_mem)))
             if not candidates:
+                if watchdog is not None:
+                    watchdog.check(now, self._hang_diagnostics)
                 waits = [w.ready_at for w in live if w.ready_at > now]
                 if blocking and self.tlb_blocked_until > now:
                     waits.append(self.tlb_blocked_until)
@@ -326,6 +367,8 @@ class ShaderCore:
                     candidates=len(candidates),
                 )
             if chosen_id is None:
+                if watchdog is not None:
+                    watchdog.check(now, self._hang_diagnostics)
                 waits = [w.ready_at for w in live if w.ready_at > now]
                 next_event = min(waits) if waits else now + 1
                 self.stats.idle_cycles += next_event - now
@@ -359,6 +402,8 @@ class ShaderCore:
                 self.stats.scalar_instructions += 1
                 advance = 1
             self.stats.instructions += 1
+            if watchdog is not None:
+                watchdog.last_progress = now
             warp.issued += 1
             warp.pc += 1
             finish = max(finish, warp.ready_at)
@@ -372,7 +417,39 @@ class ShaderCore:
         if self.sampler is not None:
             self.sampler.finalize(max(now, finish), self.stats)
         self.stats.cycles = max(now, finish) - self._measure_from
+        self._record_fault_counters()
         return self.stats
+
+    def _record_fault_counters(self) -> None:
+        """Copy whole-run fault tallies into the (possibly reset) stats."""
+        self.stats.tlb_shootdowns = self._shootdowns
+        self.stats.tlb_injected_invalidations = self._injected_invalidations
+        walker = self.walker
+        if walker is not None:
+            self.stats.ptw_transient_errors = walker.transient_errors
+            self.stats.ptw_retries = walker.load_retries
+            self.stats.ptw_walk_timeouts = walker.walk_timeouts
+
+    def _hang_diagnostics(self) -> Dict[str, object]:
+        """State snapshot attached to a watchdog :class:`SimulationHang`."""
+        live = [w for w in self.warps if not w.done]
+        return {
+            "scheduler": self.config.scheduler.kind,
+            "live_warps": len(live),
+            "tlb_blocked_until": self.tlb_blocked_until,
+            "tlb_port_busy_until": self.tlb_port_busy_until,
+            "pending_walks": dict(self._pending_walks),
+            "instructions_retired": self.stats.instructions,
+            "warp_states": [
+                {
+                    "warp_id": w.warp_id,
+                    "ready_at": w.ready_at,
+                    "pc": w.pc,
+                    "issued": w.issued,
+                }
+                for w in live[:16]
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Memory unit
@@ -431,7 +508,44 @@ class ShaderCore:
             origins.setdefault(vpn, origin)
         return origins
 
+    def _fill_tlb(self, vpn: int, pfn: int, owner: int, now: int) -> None:
+        """Install a translation, then apply any injected invalidation.
+
+        An injected single-entry invalidation models an OS unmapping the
+        page on another core right after the fill (a lost-translation
+        race); the next access re-walks.
+        """
+        eviction = self.tlb.fill(vpn, pfn, owner)
+        if eviction is not None:
+            self.scheduler.on_tlb_evict(eviction.vpn, eviction.owner)
+        if self._injector is not None and self._injector.tlb_invalidate(vpn):
+            self.tlb.invalidate(vpn)
+            self._injected_invalidations += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.FAULT_INJECT,
+                    cycle=now,
+                    track="faults",
+                    fault="tlb_invalidate",
+                    vpn=vpn,
+                )
+
     def _issue_translated(self, warp: Warp, instr: MemoryInstruction, coal, now: int) -> int:
+        if self._injector is not None and self._injector.tlb_shootdown(
+            self.core_id
+        ):
+            # Full-TLB shootdown (e.g. an munmap broadcast): every cached
+            # translation on this core is dropped before the lookup.
+            self.tlb.flush()
+            self._shootdowns += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.FAULT_INJECT,
+                    cycle=now,
+                    track="faults",
+                    fault="tlb_shootdown",
+                    core=self.core_id,
+                )
         config = self.config.tlb
         n_pages = coal.page_divergence
         lookup_cycles = -(-n_pages // config.ports)  # ceil division
@@ -567,11 +681,9 @@ class ShaderCore:
                 result[vpn] = (pfn, pending)
                 # The completing walk installs the translation for the
                 # merged requesters too (same treatment as a fresh walk).
-                eviction = self.tlb.fill(
-                    vpn, pfn, origins.get(vpn, warp.warp_id)
+                self._fill_tlb(
+                    vpn, pfn, origins.get(vpn, warp.warp_id), walk_start
                 )
-                if eviction is not None:
-                    self.scheduler.on_tlb_evict(eviction.vpn, eviction.owner)
             else:
                 to_walk.append(vpn)
         if to_walk:
@@ -594,11 +706,9 @@ class ShaderCore:
                 ready = batch.ready_times[walk_vpn]
                 result[vpn] = (pfn, ready)
                 self._pending_walks[vpn] = ready
-                eviction = self.tlb.fill(
-                    vpn, pfn, origins.get(vpn, warp.warp_id)
+                self._fill_tlb(
+                    vpn, pfn, origins.get(vpn, warp.warp_id), walk_start
                 )
-                if eviction is not None:
-                    self.scheduler.on_tlb_evict(eviction.vpn, eviction.owner)
             self.stats.walks += len(to_walk)
             self.stats.walk_refs_issued += batch.refs
             self.stats.walk_refs_naive += sum(

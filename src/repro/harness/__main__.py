@@ -5,14 +5,23 @@ Usage::
     python -m repro.harness list
     python -m repro.harness fig10
     python -m repro.harness fig13 --workloads bfs,kmeans
-    python -m repro.harness all
+    python -m repro.harness all --checkpoint sweep.jsonl --retries 2
     python -m repro.harness trace fig04 --out traces/
     python -m repro.harness trace bfs --tiny
+    python -m repro.harness faults --tiny --check-determinism
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`; the
 rendered table prints to stdout.  ``trace`` runs one configuration with
 the :mod:`repro.obs` event tracer enabled and writes ``trace.jsonl`` and
-``trace.chrome.json`` (see :mod:`repro.harness.trace`).
+``trace.chrome.json`` (see :mod:`repro.harness.trace`); ``faults`` is
+the fault-injection smoke run (see :mod:`repro.harness.faults`).
+
+``--checkpoint`` makes a figure sweep resumable: each completed
+(config, workload) cell appends to the JSONL file as it finishes, and a
+rerun skips the recorded cells.  ``--retries`` retries cells that die
+with a structured simulator error (hang, permanent walk failure) before
+recording the failure.  Unknown figure or workload names exit with
+status 2 and a message naming the valid choices.
 """
 
 from __future__ import annotations
@@ -20,7 +29,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.harness.experiment import sweep_session
 from repro.harness.figures import ALL_FIGURES
+from repro.workloads.registry import workload_names
 
 
 def main(argv=None) -> int:
@@ -30,6 +41,10 @@ def main(argv=None) -> int:
         from repro.harness.trace import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "faults":
+        from repro.harness.faults import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",
@@ -43,6 +58,19 @@ def main(argv=None) -> int:
         help="comma-separated workload subset (default: all six)",
         default=None,
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL checkpoint file; completed sweep cells are recorded "
+        "there and skipped on rerun",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per sweep cell after a simulator error "
+        "(default 0)",
+    )
     args = parser.parse_args(argv)
 
     if args.figure == "list":
@@ -52,6 +80,16 @@ def main(argv=None) -> int:
         return 0
 
     workloads = args.workloads.split(",") if args.workloads else None
+    if workloads:
+        known = set(workload_names())
+        bad = [w for w in workloads if w not in known]
+        if bad:
+            print(
+                f"unknown workload(s) {bad}; choose from "
+                f"{sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
     targets = list(ALL_FIGURES) if args.figure == "all" else [args.figure]
     unknown = [t for t in targets if t not in ALL_FIGURES]
     if unknown:
@@ -59,10 +97,13 @@ def main(argv=None) -> int:
             f"unknown figure(s) {unknown}; try 'list'", file=sys.stderr
         )
         return 2
-    for target in targets:
-        figure = ALL_FIGURES[target](workloads=workloads)
-        print(figure.render())
-        print()
+    with sweep_session(
+        checkpoint_path=args.checkpoint, cell_retries=args.retries
+    ):
+        for target in targets:
+            figure = ALL_FIGURES[target](workloads=workloads)
+            print(figure.render())
+            print()
     return 0
 
 

@@ -1,0 +1,145 @@
+"""Resumable sweeps: an append-only JSONL checkpoint of finished cells.
+
+Long sweeps (``python -m repro.harness all``, fault-injection campaigns)
+can lose hours to one crashed or hung cell.  A :class:`SweepCheckpoint`
+records every completed (config, workload) cell as one JSON line the
+moment it finishes; re-running the same sweep with the same checkpoint
+file skips completed cells and recomputes only the missing ones, so a
+killed sweep resumes where it stopped.
+
+The file is append-only and line-oriented on purpose: a crash mid-write
+corrupts at most the final line (which is detected and dropped on load),
+never previously recorded results.  Failed cells are recorded too —
+with the structured diagnostics of their :class:`SimulationError` — but
+are *not* treated as completed, so a resume retries them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.results import SimulationResult
+
+
+def cell_key(
+    label: str,
+    workload: str,
+    config_description: str,
+    form: Optional[str] = None,
+    miss_scale: Optional[float] = None,
+) -> str:
+    """Identity of one sweep cell.
+
+    Includes the config description (not just the series label) so two
+    figures that reuse a label like ``"naive"`` for different machines
+    can share one checkpoint file without collisions.
+    """
+    return "|".join(
+        [
+            label,
+            workload,
+            config_description,
+            form if form is not None else "-",
+            repr(miss_scale) if miss_scale is not None else "-",
+        ]
+    )
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed (and failed) sweep cells."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._results: Dict[str, SimulationResult] = {}
+        self._failures: Dict[str, Dict[str, Any]] = {}
+        self._load()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._file = open(path, "a", encoding="utf-8")
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one torn final
+                    # line; that cell simply reruns.
+                    continue
+                key = entry.get("key")
+                if key is None:
+                    continue
+                if entry.get("status") == "ok":
+                    self._results[key] = SimulationResult.from_dict(
+                        entry["result"]
+                    )
+                    self._failures.pop(key, None)
+                else:
+                    self._failures[key] = entry
+
+    # -- queries -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The recorded result for a completed cell, else None."""
+        return self._results.get(key)
+
+    @property
+    def completed(self) -> int:
+        """Number of distinct cells recorded as completed."""
+        return len(self._results)
+
+    @property
+    def failures(self) -> List[Dict[str, Any]]:
+        """Recorded failure entries (cells a resume will retry)."""
+        return list(self._failures.values())
+
+    # -- recording -----------------------------------------------------
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def record(self, key: str, result: SimulationResult) -> None:
+        """Persist a completed cell (idempotent on resume)."""
+        self._results[key] = result
+        self._failures.pop(key, None)
+        self._append({"key": key, "status": "ok", "result": result.to_dict()})
+
+    def record_failure(
+        self, key: str, error: BaseException, attempts: int
+    ) -> None:
+        """Persist a cell that exhausted its retries."""
+        entry: Dict[str, Any] = {
+            "key": key,
+            "status": "error",
+            "error_type": type(error).__name__,
+            "error": str(error),
+            "attempts": attempts,
+        }
+        diagnostics = getattr(error, "diagnostics", None)
+        if diagnostics:
+            try:
+                entry["diagnostics"] = json.loads(
+                    json.dumps(diagnostics, default=repr)
+                )
+            except (TypeError, ValueError):
+                pass
+        self._failures[key] = entry
+        self._append(entry)
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,13 +1,30 @@
-"""Generic experiment plumbing shared by the per-figure drivers."""
+"""Generic experiment plumbing shared by the per-figure drivers.
+
+Sweeps are resumable: wrap figure calls in :func:`sweep_session` (the
+CLI's ``--checkpoint``/``--retries`` flags do this) and every
+(config, workload) cell :func:`run_matrix` executes is recorded to an
+append-only :class:`repro.harness.checkpoint.SweepCheckpoint` as it
+finishes.  A cell that raises a structured
+:class:`repro.faults.errors.SimulationError` (hang, permanent walk
+error, timeout) is retried up to ``cell_retries`` times — with the
+fault seed perturbed on each retry so deterministic injection does not
+simply replay the identical failure — and recorded as a failure if the
+retries are exhausted.  Rerunning the sweep skips completed cells and
+recomputes only missing or failed ones.
+"""
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses as _dc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.core.config import GPUConfig
 from repro.core.results import SimulationResult
 from repro.core.simulator import Simulator
+from repro.faults.errors import SimulationError
+from repro.harness.checkpoint import SweepCheckpoint, cell_key
 from repro.stats.report import format_series
 from repro.workloads.base import TIMING_MISS_SCALE, Workload
 from repro.workloads.registry import get_workload, workload_names
@@ -59,25 +76,133 @@ def run_config(
     return Simulator(config, work, workload.name).run()
 
 
+# Ambient sweep state, installed by sweep_session().  run_matrix() picks
+# it up so the per-figure drivers need no signature changes to become
+# resumable.
+_ACTIVE_CHECKPOINT: Optional[SweepCheckpoint] = None
+_ACTIVE_RETRIES: int = 0
+
+
+@contextlib.contextmanager
+def sweep_session(
+    checkpoint_path: Optional[str] = None, cell_retries: int = 0
+) -> Iterator[Optional[SweepCheckpoint]]:
+    """Make every :func:`run_matrix` call inside resumable.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        JSONL checkpoint file; completed cells found in it are skipped,
+        new completions append to it.  None disables checkpointing but
+        still applies ``cell_retries``.
+    cell_retries:
+        Extra attempts per cell after a :class:`SimulationError`.
+    """
+    global _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES
+    checkpoint = (
+        SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
+    )
+    previous = (_ACTIVE_CHECKPOINT, _ACTIVE_RETRIES)
+    _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES = checkpoint, cell_retries
+    try:
+        yield checkpoint
+    finally:
+        _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES = previous
+        if checkpoint is not None:
+            checkpoint.close()
+
+
+def _reseeded(config: GPUConfig, attempt: int) -> GPUConfig:
+    """Perturb the fault seed for a retry attempt.
+
+    Deterministic injection would otherwise replay the identical
+    failure on every retry; attempt 0 always runs the configured seed.
+    """
+    if attempt == 0 or not config.faults.enabled:
+        return config
+    faults = _dc.replace(config.faults, seed=config.faults.seed + attempt)
+    return _dc.replace(config, faults=faults)
+
+
+def run_cell(
+    label: str,
+    factory: Callable[[], GPUConfig],
+    workload_name: str,
+    form: Optional[str] = None,
+    miss_scale: float = TIMING_MISS_SCALE,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    cell_retries: int = 0,
+) -> SimulationResult:
+    """Run one sweep cell with checkpoint skip and bounded retries.
+
+    Raises the final :class:`SimulationError` (after recording it) when
+    every attempt fails; any other exception propagates immediately.
+    """
+    key = cell_key(label, workload_name, factory().describe(), form, miss_scale)
+    if checkpoint is not None:
+        cached = checkpoint.get(key)
+        if cached is not None:
+            return cached
+    attempts = cell_retries + 1
+    last_error: Optional[SimulationError] = None
+    for attempt in range(attempts):
+        try:
+            result = run_config(
+                _reseeded(factory(), attempt),
+                get_workload(workload_name),
+                form=form,
+                miss_scale=miss_scale,
+            )
+        except SimulationError as exc:
+            last_error = exc
+            continue
+        if checkpoint is not None:
+            checkpoint.record(key, result)
+        return result
+    assert last_error is not None
+    last_error.add_context(
+        series=label, workload=workload_name, attempts=attempts
+    )
+    if checkpoint is not None:
+        checkpoint.record_failure(key, last_error, attempts)
+    raise last_error
+
+
 def run_matrix(
     configs: Mapping[str, Callable[[], GPUConfig]],
     workloads: Optional[Sequence[str]] = None,
     form: Optional[str] = None,
     miss_scale: float = TIMING_MISS_SCALE,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    cell_retries: Optional[int] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every (config, workload) pair.
 
     ``configs`` maps a series label to a zero-argument config factory
     (so each run gets a fresh config).  Returns
     ``{label: {workload: result}}``.
+
+    ``checkpoint``/``cell_retries`` default to the ambient
+    :func:`sweep_session` state, so figure drivers inherit resumability
+    without plumbing.
     """
+    if checkpoint is None:
+        checkpoint = _ACTIVE_CHECKPOINT
+    if cell_retries is None:
+        cell_retries = _ACTIVE_RETRIES
     names = list(workloads) if workloads is not None else workload_names()
     results: Dict[str, Dict[str, SimulationResult]] = {}
     for label, factory in configs.items():
         per_workload: Dict[str, SimulationResult] = {}
         for name in names:
-            per_workload[name] = run_config(
-                factory(), get_workload(name), form=form, miss_scale=miss_scale
+            per_workload[name] = run_cell(
+                label,
+                factory,
+                name,
+                form=form,
+                miss_scale=miss_scale,
+                checkpoint=checkpoint,
+                cell_retries=cell_retries,
             )
         results[label] = per_workload
     return results

@@ -39,6 +39,9 @@ CACHE_ACCESS = "cache_access"
 MEM_COALESCE = "mem_coalesce"
 WALK_QUEUE = "walk_queue"
 INTERVAL_SAMPLE = "interval_sample"
+PAGE_FAULT = "page_fault"
+FAULT_INJECT = "fault_inject"
+HANG_DUMP = "hang_dump"
 
 #: Every kind the instrumentation emits (sinks accept unknown kinds too,
 #: so downstream tooling can filter without the tracer gatekeeping).
@@ -61,6 +64,9 @@ KINDS = frozenset(
         MEM_COALESCE,
         WALK_QUEUE,
         INTERVAL_SAMPLE,
+        PAGE_FAULT,
+        FAULT_INJECT,
+        HANG_DUMP,
     }
 )
 

@@ -32,11 +32,17 @@ class WalkerPool:
         page_table: PageTable,
         shared_memory: SharedMemory,
         num_walkers: int,
+        faults=None,
     ):
         if num_walkers <= 0:
             raise ValueError("need at least one walker")
+        # The walkers share one fault context: the page-fault handler
+        # and the injected-error stream are machine-global resources, so
+        # retry/backoff and fault merging behave identically whether a
+        # walk lands on walker 0 or walker 7.
         self.walkers: List[PageTableWalker] = [
-            PageTableWalker(page_table, shared_memory) for _ in range(num_walkers)
+            PageTableWalker(page_table, shared_memory, faults=faults)
+            for _ in range(num_walkers)
         ]
 
     @property
@@ -86,6 +92,21 @@ class WalkerPool:
     def total_walk_cycles(self) -> int:
         """Summed per-walk latency across the pool."""
         return sum(walker.total_walk_cycles for walker in self.walkers)
+
+    @property
+    def transient_errors(self) -> int:
+        """Injected transient walk-load errors across the pool."""
+        return sum(walker.transient_errors for walker in self.walkers)
+
+    @property
+    def load_retries(self) -> int:
+        """Walk-load retries issued across the pool."""
+        return sum(walker.load_retries for walker in self.walkers)
+
+    @property
+    def walk_timeouts(self) -> int:
+        """Timed-out walks across the pool."""
+        return sum(walker.walk_timeouts for walker in self.walkers)
 
     @property
     def average_walk_cycles(self) -> float:

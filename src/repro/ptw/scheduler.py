@@ -25,6 +25,7 @@ from repro.obs import events as _ev
 from repro.obs import tracer as _trace
 from repro.ptw.walker import PageTableWalker, WalkBatchResult
 from repro.vm.address import cache_line_of
+from repro.vm.page_table import TranslationFault
 from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
 
 
@@ -109,7 +110,64 @@ class ScheduledPageTableWalker(PageTableWalker):
                 ready_time=now, translations={}, ready_times={}, refs=0
             )
         start = now if now >= self.busy_until else self.busy_until
+        if self._fault_model is not None:
+            return self._walk_many_faulting(vpn_list, now, start)
         walk_steps = {vpn: self.page_table.walk(vpn) for vpn in vpn_list}
+        return self._walk_batch(vpn_list, walk_steps, now, start)
+
+    def _walk_many_faulting(
+        self, vpn_list: List[int], now: int, start: int
+    ) -> WalkBatchResult:
+        """Batch walk under demand paging.
+
+        Pages whose walk faults are handed to the OS handler; the
+        non-faulting pages proceed through the scheduled batch
+        immediately (the scheduler works out of the MSHRs, so healthy
+        walks are not serialized behind the handler).  Once the
+        handler(s) complete, the faulted pages retry as a second
+        scheduled batch.
+        """
+        walk_steps = {}
+        faulted: List[int] = []
+        handler_ready = start
+        for vpn in vpn_list:
+            try:
+                walk_steps[vpn] = self.page_table.walk(vpn)
+            except TranslationFault:
+                ready = self._fault_model.page_fault(vpn, start)
+                handler_ready = max(handler_ready, ready)
+                faulted.append(vpn)
+        if walk_steps:
+            batch = self._walk_batch(
+                list(walk_steps), walk_steps, now, start
+            )
+        else:
+            batch = WalkBatchResult(
+                ready_time=now, translations={}, ready_times={}, refs=0
+            )
+        if not faulted:
+            return batch
+        retry_at = max(handler_ready, self.busy_until)
+        retry = self.walk_many(faulted, retry_at)
+        translations = dict(batch.translations)
+        translations.update(retry.translations)
+        ready_times = dict(batch.ready_times)
+        ready_times.update(retry.ready_times)
+        return WalkBatchResult(
+            ready_time=max(batch.ready_time, retry.ready_time),
+            translations=translations,
+            ready_times=ready_times,
+            refs=batch.refs + retry.refs,
+        )
+
+    def _walk_batch(
+        self,
+        vpn_list: List[int],
+        walk_steps: Dict[int, List],
+        now: int,
+        start: int,
+    ) -> WalkBatchResult:
+        """Schedule and issue one batch whose walks all succeed."""
         plan = plan_batch(
             {
                 vpn: [(step.level, step.load_paddr) for step in steps]
@@ -160,6 +218,14 @@ class ScheduledPageTableWalker(PageTableWalker):
             else:
                 translations[vpn] = leaf_pfn
             ready_times[vpn] = load_ready[leaf.load_paddr]
+        if self._fault_model is not None:
+            # Translations installed by a still-running OS handler are
+            # not visible before the handler completes.
+            for vpn in ready_times:
+                pending = self._fault_model.pending_ready(vpn)
+                if pending > ready_times[vpn]:
+                    ready_times[vpn] = pending
+                    clock = max(clock, pending)
         # Issue-bandwidth occupancy: the walker frees once every
         # reference of this batch has been injected; the in-flight data
         # returns overlap with subsequent batches.

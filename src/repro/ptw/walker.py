@@ -6,18 +6,38 @@ injected into the shared cache hierarchy; concurrent TLB misses are
 handled one walk at a time, which is precisely the serialization the
 paper blames for TLB miss penalties being about twice L1 miss penalties
 (Figure 4).
+
+Fault path (``repro.faults``)
+-----------------------------
+With a :class:`repro.faults.context.FaultContext` attached the walker
+models the events the paper's pre-mapped setup avoids:
+
+- *demand paging* — a walk that hits a missing entry raises a page
+  fault; the OS handler maps the page (charging the minor/major
+  CPU-assist penalty) and the walk retries after it completes, so the
+  faulting warp stalls for the full penalty;
+- *transient walk errors* — injected per-load; the load is reissued
+  after ``ptw_retry_backoff`` cycles, up to ``ptw_max_retries`` times
+  before :class:`repro.faults.errors.PTWError`;
+- *walk timeouts* — a walk exceeding ``walk_timeout_cycles`` is retried
+  once from scratch, then raises
+  :class:`repro.faults.errors.WalkTimeout`.
+
+Without a context every method follows the exact pre-fault-subsystem
+code path, keeping results byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.faults.errors import PTWError, WalkTimeout
 from repro.mem.hierarchy import SharedMemory
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
 from repro.vm.address import cache_line_of
-from repro.vm.page_table import PageTable
+from repro.vm.page_table import PageTable, TranslationFault, WalkStep
 from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
 
 
@@ -62,9 +82,17 @@ class PageTableWalker:
         The process page table to traverse.
     shared_memory:
         The L2/DRAM path walk loads travel through.
+    faults:
+        Optional :class:`repro.faults.context.FaultContext`; attaches
+        the demand-paging model and/or the fault injector.
     """
 
-    def __init__(self, page_table: PageTable, shared_memory: SharedMemory):
+    def __init__(
+        self,
+        page_table: PageTable,
+        shared_memory: SharedMemory,
+        faults=None,
+    ):
         self.page_table = page_table
         self.shared = shared_memory
         self.busy_until = 0
@@ -73,29 +101,82 @@ class PageTableWalker:
         self.refs_naive = 0  # what a 4-loads-per-walk design would issue
         self.total_walk_cycles = 0
         self._walk_seq = 0  # trace span ids
+        self.faults = faults
+        self._fault_model = faults.model if faults is not None else None
+        self._injector = faults.injector if faults is not None else None
+        cfg = faults.config if faults is not None else None
+        self._retry_backoff = cfg.ptw_retry_backoff if cfg is not None else 0
+        self._max_retries = cfg.ptw_max_retries if cfg is not None else 0
+        self._timeout = cfg.walk_timeout_cycles if cfg is not None else 0
+        # Fault counters (whole-run; aggregated into CoreStats).
+        self.transient_errors = 0
+        self.load_retries = 0
+        self.walk_timeouts = 0
 
     def _load(self, paddr: int, now: int) -> int:
-        """Issue one walk load; return its data-ready cycle."""
+        """Issue one walk load; return its data-ready cycle.
+
+        With an injector attached, each (re)issue draws a transient
+        error; errored loads reissue after the backoff until one
+        succeeds or the retry budget is exhausted.
+        """
         result = self.shared.access_line(cache_line_of(paddr), now, is_ptw=True)
         self.refs_issued += 1
-        return result.ready_time
-
-    def walk(self, vpn: int, now: int) -> WalkResult:
-        """Walk one page serially starting no earlier than ``now``."""
-        start = now if now >= self.busy_until else self.busy_until
-        steps = self.page_table.walk(vpn)
-        tracing = _trace.ENABLED
-        if tracing:
-            self._walk_seq += 1
-            walk_id = self._walk_seq
-            _trace.emit(
-                _ev.WALK_BEGIN,
-                cycle=start,
-                track="walker",
-                id=walk_id,
-                vpn=vpn,
-                queued=start - now,
+        injector = self._injector
+        if injector is None:
+            return result.ready_time
+        ready = result.ready_time
+        errors = 0
+        while injector.ptw_transient_error(paddr):
+            self.transient_errors += 1
+            errors += 1
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.FAULT_INJECT,
+                    cycle=ready,
+                    track="faults",
+                    fault="ptw_error",
+                    paddr=paddr,
+                    attempt=errors,
+                )
+            if errors > self._max_retries:
+                raise PTWError(
+                    f"walk load of paddr {paddr:#x} failed {errors} times "
+                    f"(retry budget {self._max_retries})",
+                    diagnostics={
+                        "paddr": paddr,
+                        "errors": errors,
+                        "max_retries": self._max_retries,
+                        "cycle": ready,
+                    },
+                )
+            retry_at = ready + self._retry_backoff
+            result = self.shared.access_line(
+                cache_line_of(paddr), retry_at, is_ptw=True
             )
+            self.refs_issued += 1
+            self.load_retries += 1
+            ready = result.ready_time
+        return ready
+
+    def _resolve_steps(self, vpn: int, start: int) -> Tuple[List[WalkStep], int]:
+        """Walk the table functionally, faulting in the page if needed.
+
+        Returns the walk's memory references and the cycle the hardware
+        walk may begin (deferred past the OS handler on a fault).
+        """
+        if self._fault_model is None:
+            return self.page_table.walk(vpn), start
+        try:
+            return self.page_table.walk(vpn), start
+        except TranslationFault:
+            ready = self._fault_model.page_fault(vpn, start)
+            # The handler mapped the page; the hardware walk retries
+            # once it completes.
+            return self.page_table.walk(vpn), ready
+
+    def _issue_steps(self, steps: List[WalkStep], start: int, tracing: bool) -> int:
+        """Issue a walk's loads serially from ``start``; return done cycle."""
         clock = start
         for step in steps:
             issued_at = clock
@@ -108,6 +189,56 @@ class PageTableWalker:
                     dur=clock - issued_at,
                     level=step.level,
                     paddr=step.load_paddr,
+                )
+        return clock
+
+    def walk(self, vpn: int, now: int) -> WalkResult:
+        """Walk one page serially starting no earlier than ``now``."""
+        start = now if now >= self.busy_until else self.busy_until
+        steps, start = self._resolve_steps(vpn, start)
+        tracing = _trace.ENABLED
+        if tracing:
+            self._walk_seq += 1
+            walk_id = self._walk_seq
+            _trace.emit(
+                _ev.WALK_BEGIN,
+                cycle=start,
+                track="walker",
+                id=walk_id,
+                vpn=vpn,
+                queued=start - now,
+            )
+        clock = self._issue_steps(steps, start, tracing)
+        if self._fault_model is not None:
+            # Another warp's fault on this page may still be in flight;
+            # the translation is not architecturally visible before the
+            # handler completes.
+            pending = self._fault_model.pending_ready(vpn)
+            if pending > clock:
+                clock = pending
+        if self._timeout and clock - start > self._timeout:
+            self.walk_timeouts += 1
+            if tracing:
+                _trace.emit(
+                    _ev.FAULT_INJECT,
+                    cycle=clock,
+                    track="faults",
+                    fault="walk_timeout",
+                    vpn=vpn,
+                    latency=clock - start,
+                )
+            retry_start = clock
+            clock = self._issue_steps(steps, retry_start, tracing)
+            if clock - retry_start > self._timeout:
+                raise WalkTimeout(
+                    f"walk for vpn {vpn:#x} exceeded "
+                    f"{self._timeout} cycles twice "
+                    f"({clock - retry_start} on retry)",
+                    diagnostics={
+                        "vpn": vpn,
+                        "timeout_cycles": self._timeout,
+                        "retry_latency": clock - retry_start,
+                    },
                 )
         if tracing:
             _trace.emit(

@@ -46,6 +46,32 @@ class CoreStats:
     dynamic_warps_formed: int = 0
     regions_executed: int = 0
 
+    # Faults (repro.faults).  Whole-run counts (not warmup-windowed):
+    # faults are rare global events, and fault-injection sweeps care
+    # about totals.  Serialized only when nonzero so fault-free results
+    # stay byte-identical to the pre-fault-subsystem layout (see
+    # SimulationResult.to_dict).
+    page_faults_minor: int = 0
+    page_faults_major: int = 0
+    page_fault_stall_cycles: int = 0
+    ptw_transient_errors: int = 0
+    ptw_retries: int = 0
+    ptw_walk_timeouts: int = 0
+    tlb_shootdowns: int = 0
+    tlb_injected_invalidations: int = 0
+
+    #: The fault-subsystem counters (zero-stripped in serialization).
+    FAULT_FIELDS = (
+        "page_faults_minor",
+        "page_faults_major",
+        "page_fault_stall_cycles",
+        "ptw_transient_errors",
+        "ptw_retries",
+        "ptw_walk_timeouts",
+        "tlb_shootdowns",
+        "tlb_injected_invalidations",
+    )
+
     def merge(self, other: "CoreStats") -> None:
         """Accumulate another core's counters into this one.
 
@@ -77,6 +103,7 @@ class CoreStats:
             "warp_fetches",
             "dynamic_warps_formed",
             "regions_executed",
+            *self.FAULT_FIELDS,
         ]
         for name in sum_fields:
             setattr(self, name, getattr(self, name) + getattr(other, name))
@@ -111,6 +138,11 @@ class CoreStats:
         if not self.walk_refs_naive:
             return 0.0
         return 1.0 - self.walk_refs_issued / self.walk_refs_naive
+
+    @property
+    def page_faults(self) -> int:
+        """Total page faults handled (minor + major)."""
+        return self.page_faults_minor + self.page_faults_major
 
     @property
     def idle_fraction(self) -> float:

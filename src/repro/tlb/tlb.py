@@ -168,6 +168,15 @@ class SetAssociativeTLB:
         """Invalidate all entries (TLB shootdown, Section 6.2)."""
         self._sets.clear()
 
+    def invalidate(self, vpn: int) -> bool:
+        """Invalidate one translation (targeted shootdown / injected
+        invalidation); return whether it was resident."""
+        tlb_set = self._sets.get(self._set_index(vpn))
+        if tlb_set is None or vpn not in tlb_set:
+            return False
+        del tlb_set[vpn]
+        return True
+
     @property
     def resident(self) -> int:
         """Number of translations currently held."""

@@ -38,7 +38,42 @@ _FRAMES_PER_2M = 1 << (PAGE_SHIFT_2M - PAGE_SHIFT_4K)
 
 
 class TranslationFault(LookupError):
-    """Raised when translating a virtual address with no mapping."""
+    """Raised when translating a virtual address with no mapping.
+
+    Carries the faulting site so handlers (and humans reading sweep
+    logs) see *where* the walk died, not just that it did:
+
+    Attributes
+    ----------
+    vpn:
+        The 4 KB virtual page number being translated (None when the
+        fault is not page-granular).
+    vaddr:
+        A byte virtual address inside the faulting page (the page base
+        when only the VPN is known).
+    level / level_name:
+        The page-table level whose entry was missing (0 = PML4 through
+        3 = PT), or None when no walk was involved (e.g. unmapping an
+        unmapped page).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        vpn: Optional[int] = None,
+        vaddr: Optional[int] = None,
+        level: Optional[int] = None,
+        level_name: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.vpn = vpn
+        if vaddr is None and vpn is not None:
+            vaddr = vpn << PAGE_SHIFT_4K
+        self.vaddr = vaddr
+        self.level = level
+        if level_name is None and level is not None:
+            level_name = LEVEL_NAMES[level]
+        self.level_name = level_name
 
 
 @dataclass(frozen=True)
@@ -185,7 +220,11 @@ class PageTable:
         """Remove a 4 KB mapping and free its data frame."""
         pfn = self._mapped_4k.pop(vpn, None)
         if pfn is None:
-            raise TranslationFault(f"virtual page {vpn:#x} is not mapped")
+            raise TranslationFault(
+                f"virtual page {vpn:#x} (vaddr {vpn << PAGE_SHIFT_4K:#x}) "
+                "is not mapped",
+                vpn=vpn,
+            )
         indices = split_vpn(vpn)
         node = self._root
         for index in indices[:-1]:
@@ -209,7 +248,11 @@ class PageTable:
             entry = entries.get(index) if entries is not None else None
             if entry is None:
                 raise TranslationFault(
-                    f"page walk for vpn {vpn:#x} faulted at {LEVEL_NAMES[level]}"
+                    f"page walk for vpn {vpn:#x} (vaddr "
+                    f"{vpn << PAGE_SHIFT_4K:#x}) faulted at level {level} "
+                    f"({LEVEL_NAMES[level]}): entry {index} not present",
+                    vpn=vpn,
+                    level=level,
                 )
             pfn, flags = unpack_pte(entry)
             is_leaf = level == 3 or bool(flags & PTE_FLAG_LARGE)
@@ -239,7 +282,13 @@ class PageTable:
         leaf = steps[-1]
         pfn, flags = unpack_pte(leaf.entry)
         if not flags & PTE_FLAG_PRESENT:
-            raise TranslationFault(f"leaf not present for vaddr {vaddr:#x}")
+            raise TranslationFault(
+                f"leaf not present for vaddr {vaddr:#x} (vpn {vpn:#x}, "
+                f"level {leaf.level}, {leaf.level_name})",
+                vpn=vpn,
+                vaddr=vaddr,
+                level=leaf.level,
+            )
         if flags & PTE_FLAG_LARGE:
             base = pfn << PAGE_SHIFT_4K
             return base + (vaddr & ((1 << PAGE_SHIFT_2M) - 1))

@@ -1,0 +1,126 @@
+"""Resumable sweeps: checkpointed cells are skipped, failures retried."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from helpers import small_config
+
+from repro.core.results import SimulationResult
+from repro.faults.errors import SimulationHang
+from repro.harness import experiment
+from repro.harness.checkpoint import SweepCheckpoint, cell_key
+from repro.harness.experiment import run_cell, run_matrix, sweep_session
+from repro.stats.counters import CoreStats
+
+WORKLOAD = "bfs"
+
+
+def _configs():
+    return {"tiny": lambda: small_config()}
+
+
+def test_resumed_sweep_is_byte_identical_and_skips_simulation(tmp_path, monkeypatch):
+    path = str(tmp_path / "sweep.jsonl")
+    with sweep_session(checkpoint_path=path):
+        first = run_matrix(_configs(), workloads=[WORKLOAD])
+    # Sabotage the simulator: a resume that re-simulated would explode.
+    def _boom(*args, **kwargs):
+        raise AssertionError("cell was re-simulated despite checkpoint")
+
+    monkeypatch.setattr(experiment, "run_config", _boom)
+    with sweep_session(checkpoint_path=path):
+        second = run_matrix(_configs(), workloads=[WORKLOAD])
+    a = first["tiny"][WORKLOAD]
+    b = second["tiny"][WORKLOAD]
+    assert a.to_json() == b.to_json()
+
+
+def test_checkpoint_survives_a_torn_final_line(tmp_path):
+    path = str(tmp_path / "sweep.jsonl")
+    with sweep_session(checkpoint_path=path):
+        run_matrix(_configs(), workloads=[WORKLOAD])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "half-written')  # crash mid-append
+    with SweepCheckpoint(path) as checkpoint:
+        assert checkpoint.completed == 1
+
+
+def test_distinct_configs_do_not_collide_under_one_label():
+    a = cell_key("naive", "bfs", "TLB 64e/1p", None, 1.0)
+    b = cell_key("naive", "bfs", "TLB 128e/4p", None, 1.0)
+    assert a != b
+
+
+def test_failed_cells_retry_then_record_failure(tmp_path, monkeypatch):
+    path = str(tmp_path / "sweep.jsonl")
+    calls = {"n": 0}
+
+    def _always_hangs(*args, **kwargs):
+        calls["n"] += 1
+        raise SimulationHang("stuck", diagnostics={"cycle": 123})
+
+    monkeypatch.setattr(experiment, "run_config", _always_hangs)
+    with SweepCheckpoint(path) as checkpoint:
+        with pytest.raises(SimulationHang) as excinfo:
+            run_cell(
+                "tiny",
+                lambda: small_config(),
+                WORKLOAD,
+                checkpoint=checkpoint,
+                cell_retries=2,
+            )
+        assert calls["n"] == 3  # 1 attempt + 2 retries
+        assert excinfo.value.diagnostics["attempts"] == 3
+        failures = checkpoint.failures
+    assert len(failures) == 1
+    assert failures[0]["error_type"] == "SimulationHang"
+    assert failures[0]["attempts"] == 3
+    # The failure is persisted for post-mortem...
+    lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+    assert lines[-1]["status"] == "error"
+    # ...but is not treated as completed: a resume retries the cell.
+    with SweepCheckpoint(path) as resumed:
+        assert resumed.completed == 0
+        assert len(resumed.failures) == 1
+
+
+def test_transient_failures_recover_within_retry_budget(tmp_path, monkeypatch):
+    calls = {"n": 0}
+    healthy = SimulationResult(
+        workload=WORKLOAD, config_description="x", cycles=10,
+        stats=CoreStats(),
+    )
+
+    def _flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise SimulationHang("stuck")
+        return healthy
+
+    monkeypatch.setattr(experiment, "run_config", _flaky)
+    with SweepCheckpoint(str(tmp_path / "sweep.jsonl")) as checkpoint:
+        result = run_cell(
+            "tiny",
+            lambda: small_config(),
+            WORKLOAD,
+            checkpoint=checkpoint,
+            cell_retries=2,
+        )
+        assert result.cycles == 10
+        assert checkpoint.completed == 1
+
+
+def test_retries_perturb_the_fault_seed():
+    from repro.faults.config import FaultConfig
+
+    config = small_config(
+        faults=FaultConfig(enabled=True, ptw_error_rate=0.1, seed=5)
+    )
+    assert experiment._reseeded(config, 0).faults.seed == 5
+    assert experiment._reseeded(config, 1).faults.seed == 6
+    # Fault-free configs are never touched.
+    clean = small_config()
+    assert experiment._reseeded(clean, 1) is clean

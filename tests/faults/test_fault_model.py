@@ -1,0 +1,126 @@
+"""Demand paging: pages fault in at first touch, with paper-style costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import small_config, small_workload
+
+from repro.core import presets
+from repro.core.simulator import Simulator
+from repro.faults.config import FaultConfig
+from repro.faults.model import FaultModel
+from repro.vm.page_table import PageTable, TranslationFault
+from repro.vm.physical_memory import PhysicalMemory
+
+GEOM = dict(num_cores=1, warps_per_core=8, warp_width=8)
+
+
+def _paging_config(**fault_overrides):
+    defaults = dict(enabled=True, demand_paging=True, seed=11)
+    defaults.update(fault_overrides)
+    return presets.augmented_tlb(**GEOM).with_(faults=FaultConfig(**defaults))
+
+
+def _run(config):
+    work = small_workload().build(config)
+    return Simulator(config, work, workload_name="tiny").run()
+
+
+def test_model_maps_page_and_charges_major_penalty(page_table):
+    config = FaultConfig(
+        enabled=True, demand_paging=True, major_fault_cycles=5000,
+        minor_fraction=0.0, seed=1,
+    )
+    model = FaultModel(page_table, config)
+    with pytest.raises(TranslationFault):
+        page_table.walk(0x40)
+    ready = model.page_fault(0x40, now=100)
+    assert ready == 100 + 5000
+    # The handler mapped the page: the retried walk now succeeds.
+    assert page_table.walk(0x40)
+    assert model.major_faults == 1 and model.minor_faults == 0
+    assert model.fault_stall_cycles == 5000
+
+
+def test_concurrent_faults_on_one_page_merge(page_table):
+    config = FaultConfig(
+        enabled=True, demand_paging=True, major_fault_cycles=5000,
+        minor_fraction=0.0, seed=1,
+    )
+    model = FaultModel(page_table, config)
+    first_ready = model.page_fault(0x40, now=0)
+    merged_ready = model.page_fault(0x40, now=10)  # handler still running
+    assert merged_ready == first_ready
+    assert model.faults == 1  # merged fault is not double-counted
+    assert model.pending_ready(0x40) == first_ready
+    # After the handler completes, a fresh fault on the same page (e.g.
+    # after an eviction under memory pressure) counts again.
+    later = model.page_fault(0x41, now=first_ready + 1)
+    assert later > first_ready
+
+
+def test_minor_fraction_splits_fault_population():
+    config = _paging_config(minor_fraction=0.5, seed=11)
+    stats = _run(config).stats
+    assert stats.page_faults_minor > 0
+    assert stats.page_faults_major > 0
+    assert stats.page_fault_stall_cycles > 0
+
+
+def test_major_faults_stall_the_machine():
+    clean = _run(presets.augmented_tlb(**GEOM))
+    faulty = _run(_paging_config(minor_fraction=0.0))
+    stats = faulty.stats
+    assert stats.page_faults_major > 0
+    # Every touched page far-faults once; the run must absorb at least
+    # one full CPU-assist round trip of extra latency.
+    assert faulty.cycles >= clean.cycles + 5000
+
+
+def test_demand_paging_is_seed_deterministic():
+    config = _paging_config(minor_fraction=0.3)
+    assert _run(config).to_json() == _run(config).to_json()
+
+
+def test_demand_paging_requires_a_tlb():
+    config = presets.no_tlb(**GEOM).with_(
+        faults=FaultConfig(enabled=True, demand_paging=True)
+    )
+    result = _run(config)
+    # The no-TLB baseline models pinned, pre-mapped memory: paging is
+    # inert there and the run completes fault-free.
+    assert result.stats.page_faults_minor == 0
+    assert result.stats.page_faults_major == 0
+
+
+def test_tracing_does_not_perturb_a_faulting_run():
+    from repro.core.config import TraceConfig
+    from repro.obs import events as _ev
+
+    config = _paging_config(minor_fraction=0.3)
+    plain = _run(config)
+    traced_config = config.with_(
+        trace=TraceConfig(enabled=True, ring_capacity=1 << 14)
+    )
+    from repro.obs import tracer as obs_tracer
+    from repro.obs.sinks import RingBufferSink
+
+    sink = RingBufferSink(capacity=1 << 14)
+    obs_tracer.install(obs_tracer.Tracer(sinks=[sink]))
+    try:
+        traced = _run(config)
+    finally:
+        obs_tracer.uninstall()
+    assert traced.to_json() == plain.to_json()
+    # The fault path emitted its events.
+    assert sink.events(kind=_ev.PAGE_FAULT)
+
+
+def test_faulted_pages_translate_identically_to_premapped():
+    clean = _run(presets.augmented_tlb(**GEOM))
+    faulty = _run(_paging_config(minor_fraction=0.0))
+    # Paging changes timing, never functional behaviour: same work, same
+    # translation structure, same instruction count.
+    assert faulty.stats.instructions == clean.stats.instructions
+    assert faulty.stats.memory_instructions == clean.stats.memory_instructions

@@ -1,0 +1,134 @@
+"""Config validation fails fast with messages naming the bad field."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import small_config
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    TLBConfig,
+)
+from repro.faults.config import FaultConfig
+from repro.vm.page_table import PageTable, TranslationFault
+from repro.vm.physical_memory import PhysicalMemory
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        (dict(entries=0), "entries"),
+        (dict(entries=-128), "entries"),
+        (dict(ports=0), "ports"),
+        (dict(associativity=0), "associativity"),
+        (dict(entries=100, associativity=8), "divide"),
+        (dict(mshr_entries=0), "(?i)mshr"),
+    ],
+)
+def test_tlb_config_rejects_bad_geometry(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        TLBConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        (dict(l1_bytes=0), "l1_bytes"),
+        (dict(line_bytes=-1), "line_bytes"),
+        (dict(l1_mshr_entries=0), "(?i)mshr"),
+        (dict(l2_latency=-3), "(?i)latenc"),
+        (dict(l2_service_interval=0), "service_interval"),
+    ],
+)
+def test_cache_config_rejects_bad_values(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        CacheConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        (dict(num_channels=0), "channel"),
+        (dict(access_latency=-1), "(?i)latenc"),
+        (dict(service_interval=0), "service_interval"),
+    ],
+)
+def test_dram_config_rejects_bad_values(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        DRAMConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        (dict(num_cores=0), "num_cores"),
+        (dict(warps_per_core=-1), "warps_per_core"),
+        (dict(warp_width=0), "warp_width"),
+        (dict(warmup_instructions=-5), "warmup"),
+    ],
+)
+def test_gpu_config_rejects_bad_geometry(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        GPUConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs, fragment",
+    [
+        (dict(ptw_error_rate=1.5), "ptw_error_rate"),
+        (dict(tlb_shootdown_rate=-0.1), "tlb_shootdown_rate"),
+        (dict(minor_fraction=2.0), "minor_fraction"),
+        (dict(major_fault_cycles=-1), "major_fault_cycles"),
+        (dict(major_fault_cycles=10, minor_fault_cycles=100), "minor"),
+        (dict(ptw_max_retries=-1), "ptw_max_retries"),
+        (dict(watchdog_cycles=-1), "watchdog_cycles"),
+    ],
+)
+def test_fault_config_rejects_bad_values(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        FaultConfig(**kwargs)
+
+
+def test_warmup_longer_than_trace_is_rejected():
+    from helpers import small_workload
+    from repro.core.simulator import Simulator
+
+    # 20 instructions/warp of warmup exactly consumes the 20-instruction
+    # traces: nothing would be measured.
+    config = small_config(warmup_instructions=20)
+    work = small_workload().build(config)
+    with pytest.raises(ValueError, match="warmup"):
+        Simulator(config, work, workload_name="tiny").run()
+
+
+def test_fault_config_activity_properties():
+    assert not FaultConfig().injection_active
+    assert not FaultConfig(ptw_error_rate=0.5).injection_active  # not enabled
+    assert FaultConfig(enabled=True, ptw_error_rate=0.5).injection_active
+    assert FaultConfig(enabled=True, demand_paging=True).paging_active
+    assert not FaultConfig(demand_paging=True).paging_active
+
+
+def test_describe_mentions_faults_only_when_enabled():
+    assert "faults" not in small_config().describe()
+    noisy = small_config(
+        faults=FaultConfig(enabled=True, demand_paging=True, seed=9)
+    )
+    assert "faults" in noisy.describe()
+    assert "9" in noisy.describe()
+
+
+def test_translation_fault_names_address_and_level():
+    table = PageTable(PhysicalMemory())
+    with pytest.raises(TranslationFault) as excinfo:
+        table.walk(0x123)
+    message = str(excinfo.value)
+    assert "0x123" in message  # the vpn
+    assert hex(0x123 << 12) in message  # the vaddr
+    assert "level" in message.lower()
+    assert excinfo.value.vpn == 0x123
+    assert excinfo.value.level is not None
+    assert excinfo.value.level_name

@@ -1,0 +1,87 @@
+"""The forward-progress watchdog turns livelock into a structured error."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import small_config, small_workload
+
+from repro.core.simulator import Simulator
+from repro.faults.config import FaultConfig
+from repro.faults.errors import SimulationHang
+from repro.faults.watchdog import Watchdog
+from repro.obs import tracer as obs_tracer
+from repro.obs.sinks import RingBufferSink
+
+
+class _NeverScheduler:
+    """A broken scheduler that refuses every candidate (artificial livelock)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def select(self, candidates, now, inflight):
+        return None
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _livelocked_simulator(watchdog_cycles=500):
+    config = small_config(faults=FaultConfig(watchdog_cycles=watchdog_cycles))
+    work = small_workload().build(config)
+    sim = Simulator(config, work, workload_name="tiny")
+    sim.cores[0].scheduler = _NeverScheduler(sim.cores[0].scheduler)
+    return sim
+
+
+def test_watchdog_unit_fires_past_limit():
+    dog = Watchdog(100, core_id=0)
+    dog.check(100, None)  # exactly at the limit: still fine
+    dog.progress(100)
+    dog.check(200, None)
+    with pytest.raises(SimulationHang):
+        dog.check(201, None)
+
+
+def test_livelocked_simulation_terminates_with_structured_hang():
+    sim = _livelocked_simulator(watchdog_cycles=500)
+    with pytest.raises(SimulationHang) as excinfo:
+        sim.run()
+    diag = excinfo.value.diagnostics
+    # The dump names the stuck core, the stall span, and enough machine
+    # state to debug the hang without re-running.
+    assert diag["core"] == 0
+    assert diag["stalled_cycles"] > 500
+    assert diag["live_warps"] > 0
+    assert diag["warp_states"]
+    # The simulator layered on run context before re-raising.
+    assert diag["workload"] == "tiny"
+    assert "config" in diag
+
+
+def test_watchdog_dump_reaches_the_tracer():
+    sim = _livelocked_simulator(watchdog_cycles=500)
+    sink = RingBufferSink(capacity=1 << 12)
+    obs_tracer.install(obs_tracer.Tracer(sinks=[sink]))
+    try:
+        with pytest.raises(SimulationHang):
+            sim.run()
+    finally:
+        obs_tracer.uninstall()
+    dumps = sink.events(kind="hang_dump")
+    assert len(dumps) == 1
+
+
+def test_healthy_run_never_trips_the_watchdog():
+    config = small_config(faults=FaultConfig(watchdog_cycles=200))
+    work = small_workload().build(config)
+    result = Simulator(config, work, workload_name="tiny").run()
+    assert result.cycles > 0
+
+
+def test_watchdog_disabled_with_zero_cycles():
+    config = small_config(faults=FaultConfig(watchdog_cycles=0))
+    assert not config.faults.enabled
+    work = small_workload().build(config)
+    assert Simulator(config, work, workload_name="tiny").run().cycles > 0

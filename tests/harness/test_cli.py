@@ -1,5 +1,7 @@
 """The python -m repro.harness command line."""
 
+import json
+
 from repro.harness.__main__ import main
 
 
@@ -11,8 +13,48 @@ class TestCLI:
 
     def test_unknown_figure(self, capsys):
         assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "list" in err
+
+    def test_unknown_workload(self, capsys):
+        assert main(["fig04", "--workloads", "nosuchthing"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchthing" in err
+        assert "bfs" in err  # the message names the valid choices
 
     def test_single_figure_restricted_workloads(self, capsys):
         assert main(["fig04", "--workloads", "kmeans"]) == 0
         out = capsys.readouterr().out
         assert "fig04" in out and "kmeans" in out
+
+    def test_figure_with_checkpoint_resumes(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        args = ["fig10", "--workloads", "kmeans", "--checkpoint", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        entries = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert entries and all(e["status"] == "ok" for e in entries)
+        recorded = len(entries)
+        # Rerun: all cells come from the checkpoint, output identical,
+        # no new lines appended.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert len(open(path, encoding="utf-8").readlines()) == recorded
+
+
+class TestFaultsCLI:
+    def test_tiny_smoke_reports_fault_counters(self, capsys):
+        assert main(["faults", "--tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "page faults" in out
+        assert "ptw" in out
+
+    def test_tiny_smoke_is_deterministic(self, capsys):
+        assert main(["faults", "--tiny", "--check-determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["faults", "nosuchthing"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchthing" in err and "bfs" in err
