@@ -9,26 +9,27 @@ are "a natural next step" but not a substitute for TLB-aware design.
 Run:  python examples/large_pages.py
 """
 
-from repro.core import presets
-from repro.core.simulator import Simulator
+from repro.api import simulate
+from repro.core.config import GPUConfig
 from repro.stats.report import format_table
-from repro.workloads import get_workload, workload_names
-
-
-def run(config, workload):
-    # Characterization stream: Section 9 reports trace properties.
-    work = workload.build(config, miss_scale=1.0)
-    return Simulator(config, work, workload.name).run()
+from repro.workloads import workload_names
 
 
 def main():
+    warm = dict(warmup_instructions=20)
     rows = []
     for name in workload_names():
-        workload = get_workload(name)
-        small = run(presets.naive_tlb(ports=4, warmup_instructions=20), workload)
-        large = run(
-            presets.naive_tlb(ports=4, page_shift=21, warmup_instructions=20),
-            workload,
+        # Characterization stream: Section 9 reports trace properties,
+        # so run at miss_scale=1.0 rather than the timing default.
+        small = simulate(
+            config=GPUConfig.preset("blocking", **warm),
+            workload=name,
+            miss_scale=1.0,
+        )
+        large = simulate(
+            config=GPUConfig.preset("blocking", page_shift=21, **warm),
+            workload=name,
+            miss_scale=1.0,
         )
         rows.append(
             [

@@ -4,43 +4,40 @@ Reproduces the paper's Section 6 narrative on one workload of your
 choice: starting from the naive blocking 3-port TLB, each step adds one
 of the paper's augmentations and reports the recovered performance —
 ports, hit-under-miss, overlapped cache access, PTW scheduling — ending
-at the impractical ideal TLB for reference.
+at the impractical ideal TLB for reference.  Every design point is a
+named preset run through :func:`repro.api.simulate`.
 
 Run:  python examples/mmu_design_space.py [workload]
 """
 
 import sys
 
-from repro.core import presets
-from repro.core.simulator import Simulator
+from repro.api import simulate
+from repro.core.config import GPUConfig
 from repro.stats.report import ascii_bar_chart, format_table
-from repro.workloads import TIMING_MISS_SCALE, get_workload, workload_names
-
-
-def run(config, workload):
-    """Simulate and return the result."""
-    work = workload.build(config, miss_scale=TIMING_MISS_SCALE)
-    return Simulator(config, work, workload.name).run()
+from repro.workloads import workload_names
 
 
 def main():
     name = sys.argv[1] if len(sys.argv) > 1 else "memcached"
     if name not in workload_names():
         raise SystemExit(f"unknown workload {name!r}; pick from {workload_names()}")
-    workload = get_workload(name)
     warm = dict(warmup_instructions=20)
 
     steps = [
-        ("no TLB (baseline)", presets.no_tlb(**warm)),
-        ("naive 3-port blocking", presets.naive_tlb(ports=3, **warm)),
-        ("4 ports", presets.naive_tlb(ports=4, **warm)),
-        ("+ hit under miss", presets.hit_under_miss_tlb(**warm)),
-        ("+ overlapped cache access", presets.overlap_tlb(**warm)),
-        ("+ PTW scheduling (augmented)", presets.augmented_tlb(**warm)),
-        ("ideal 512e/32p (impractical)", presets.ideal_tlb(**warm)),
+        ("no TLB (baseline)", GPUConfig.preset("no_tlb", **warm)),
+        ("naive 3-port blocking", GPUConfig.preset("naive", ports=3, **warm)),
+        ("4 ports", GPUConfig.preset("blocking", **warm)),
+        ("+ hit under miss", GPUConfig.preset("hit_under_miss", **warm)),
+        ("+ overlapped cache access", GPUConfig.preset("non_blocking", **warm)),
+        ("+ PTW scheduling (augmented)", GPUConfig.preset("augmented", **warm)),
+        ("ideal 512e/32p (impractical)", GPUConfig.preset("ideal", **warm)),
     ]
 
-    results = {label: run(config, workload) for label, config in steps}
+    results = {
+        label: simulate(config=config, workload=name)
+        for label, config in steps
+    }
     baseline = results["no TLB (baseline)"]
 
     print(f"MMU design walk on {name}\n")

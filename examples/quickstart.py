@@ -1,34 +1,31 @@
 """Quickstart: simulate one workload on three MMU designs.
 
-Builds the paper's bfs-like workload, runs it on (1) a GPU without
-address translation, (2) the naive CPU-style TLB strawman, and (3) the
-paper's augmented design, then prints the speedups and the TLB
+Runs the paper's bfs-like workload on (1) a GPU without address
+translation, (2) the naive CPU-style TLB strawman, and (3) the paper's
+augmented design — all through the stable :mod:`repro.api` facade and
+the named config presets — then prints the speedups and the TLB
 statistics behind them.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import presets
-from repro.core.simulator import Simulator
+from repro.api import simulate
+from repro.core.config import GPUConfig
 from repro.stats.report import ascii_bar_chart
-from repro.workloads import TIMING_MISS_SCALE, get_workload
-
-
-def run(config, workload):
-    """Simulate ``workload`` on ``config`` and return the result."""
-    work = workload.build(config, miss_scale=TIMING_MISS_SCALE)
-    return Simulator(config, work, workload.name).run()
 
 
 def main():
-    workload = get_workload("bfs")
     warm = dict(warmup_instructions=20)
 
-    baseline = run(presets.no_tlb(**warm), workload)
-    naive = run(presets.naive_tlb(ports=3, **warm), workload)
-    augmented = run(presets.augmented_tlb(**warm), workload)
+    baseline = simulate(config=GPUConfig.preset("no_tlb", **warm), workload="bfs")
+    naive = simulate(
+        config=GPUConfig.preset("naive", ports=3, **warm), workload="bfs"
+    )
+    augmented = simulate(
+        config=GPUConfig.preset("augmented", **warm), workload="bfs"
+    )
 
-    print(f"workload: {workload.name} ({workload.spec.description})")
+    print(f"workload: {baseline.workload}")
     print(f"baseline (no TLB): {baseline.cycles} cycles")
     print()
     print("speedup vs no-TLB baseline (1.0 = no overhead):")

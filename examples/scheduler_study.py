@@ -4,45 +4,47 @@ Reproduces the paper's Section 7 story on a cache-sensitive workload:
 CCWS recovers intra-warp locality, naive TLBs erase most of the gain,
 and the TLB-aware variants (TA-CCWS weighting, TCWS with page-grain
 victim tag arrays) win it back — TCWS with half the VTA hardware.
+Machines combine the named presets with the scheduler combinators from
+:mod:`repro.core.presets`; each cell runs through
+:func:`repro.api.simulate`.
 
 Run:  python examples/scheduler_study.py [workload]
 """
 
 import sys
 
+from repro.api import simulate
 from repro.core import presets
-from repro.core.simulator import Simulator
+from repro.core.config import GPUConfig
 from repro.gpu.scheduler.tcws import TCWSScheduler
 from repro.stats.report import ascii_bar_chart
 from repro.tlb.victim_array import VictimTagArray
-from repro.workloads import TIMING_MISS_SCALE, get_workload, workload_names
-
-
-def run(config, workload):
-    work = workload.build(config, miss_scale=TIMING_MISS_SCALE)
-    return Simulator(config, work, workload.name).run()
+from repro.workloads import workload_names
 
 
 def main():
     name = sys.argv[1] if len(sys.argv) > 1 else "streamcluster"
     if name not in workload_names():
         raise SystemExit(f"unknown workload {name!r}; pick from {workload_names()}")
-    workload = get_workload(name)
     warm = dict(warmup_instructions=20)
+    _preset = GPUConfig.preset
 
     configs = {
-        "round-robin (no TLB)": presets.no_tlb(**warm),
-        "ccws (no TLB)": presets.with_ccws(presets.no_tlb(**warm)),
-        "ccws + naive TLB": presets.with_ccws(presets.naive_tlb(ports=4, **warm)),
-        "ccws + augmented TLB": presets.with_ccws(presets.augmented_tlb(**warm)),
+        "round-robin (no TLB)": _preset("no_tlb", **warm),
+        "ccws (no TLB)": presets.with_ccws(_preset("no_tlb", **warm)),
+        "ccws + naive TLB": presets.with_ccws(_preset("blocking", **warm)),
+        "ccws + augmented TLB": presets.with_ccws(_preset("augmented", **warm)),
         "ta-ccws 4:1 + augmented": presets.with_ta_ccws(
-            presets.augmented_tlb(**warm), tlb_miss_weight=4
+            _preset("augmented", **warm), tlb_miss_weight=4
         ),
         "tcws 8epw + augmented": presets.with_tcws(
-            presets.augmented_tlb(**warm), entries_per_warp=8
+            _preset("augmented", **warm), entries_per_warp=8
         ),
     }
-    results = {label: run(config, workload) for label, config in configs.items()}
+    results = {
+        label: simulate(config=config, workload=name)
+        for label, config in configs.items()
+    }
     baseline = results["round-robin (no TLB)"]
 
     print(f"warp-scheduler study on {name}\n")

@@ -8,14 +8,24 @@ the paper's TLB-aware variant built on the Common Page Matrix).
 
 Public entry points:
 
-- :class:`repro.core.GPUConfig` and friends describe a machine.
-- :mod:`repro.core.presets` holds the paper's named configurations.
+- :mod:`repro.api` — the stable facade: ``simulate`` one (config,
+  workload) pair, ``sweep`` a matrix (optionally across a worker pool),
+  ``figure`` to regenerate one paper figure.  Re-exported here, so
+  ``from repro.api import simulate, sweep, figure`` (or ``from repro
+  import simulate``) is the only import most code needs.
+- :class:`repro.core.GPUConfig` and friends describe a machine;
+  ``GPUConfig.preset("augmented")`` builds the paper's named design
+  points.
+- :mod:`repro.core.presets` holds the preset factories and
+  scheduler/TBC combinators.
 - :class:`repro.core.Simulator` runs a workload on a configuration.
 - :func:`repro.workloads.get_workload` builds the calibrated synthetic
   workloads standing in for the paper's Rodinia + memcached traces.
-- :mod:`repro.harness` regenerates every figure in the evaluation.
+- :mod:`repro.harness` regenerates every figure in the evaluation;
+  :mod:`repro.parallel` is the sweep engine behind ``jobs=``.
 """
 
+from repro.api import figure, simulate, sweep
 from repro.core.config import (
     CacheConfig,
     DRAMConfig,
@@ -37,9 +47,12 @@ __all__ = [
     "TraceConfig",
     "SimulationResult",
     "Simulator",
+    "figure",
     "get_workload",
-    "workload_names",
+    "simulate",
     "speedup",
+    "sweep",
+    "workload_names",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

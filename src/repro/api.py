@@ -1,0 +1,213 @@
+"""The stable public facade: ``simulate``, ``sweep``, ``figure``.
+
+These three keyword-only entry points are the supported surface for
+user code — everything the README quickstart does goes through them::
+
+    from repro.api import simulate, sweep, figure
+
+    result = simulate(config="augmented", workload="bfs")
+    rows = sweep(configs={"base": "no_tlb", "aug": "augmented"},
+                 workloads=["bfs", "kmeans"], jobs=4)
+    fig07 = figure(name="fig07", jobs=4)
+
+``config`` arguments accept a :class:`repro.core.config.GPUConfig`, a
+preset name (see ``GPUConfig.preset`` / :data:`repro.core.presets.PRESETS`),
+or a zero-argument factory returning a config.  Sweeps fan cells out to
+a :mod:`repro.parallel` worker pool when ``jobs > 1``, reuse the
+content-addressed result cache when ``cache`` names a directory, and
+resume from ``checkpoint`` JSONL files — with series guaranteed
+byte-identical to a serial run.
+
+Older entry points (``repro.harness.experiment.run_config``, the
+per-example ``run()`` helpers) remain as thin deprecated shims over
+this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import GPUConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator
+from repro.workloads.base import TIMING_MISS_SCALE, Workload
+from repro.workloads.registry import get_workload
+
+__all__ = ["simulate", "sweep", "figure"]
+
+ConfigLike = Union[GPUConfig, str, Callable[[], GPUConfig]]
+
+
+def _resolve_config(config: ConfigLike) -> GPUConfig:
+    if isinstance(config, GPUConfig):
+        return config
+    if isinstance(config, str):
+        return GPUConfig.preset(config)
+    if callable(config):
+        built = config()
+        if not isinstance(built, GPUConfig):
+            raise TypeError(
+                f"config factory returned {type(built).__name__}, "
+                "expected GPUConfig"
+            )
+        return built
+    raise TypeError(
+        f"config must be a GPUConfig, preset name, or factory; "
+        f"got {type(config).__name__}"
+    )
+
+
+def _resolve_workload(workload: Union[Workload, str]) -> Workload:
+    if isinstance(workload, str):
+        return get_workload(workload)
+    return workload
+
+
+def _progress_stream(progress: bool):
+    import sys
+
+    return sys.stderr if progress else None
+
+
+def simulate(
+    *,
+    config: ConfigLike,
+    workload: Union[Workload, str],
+    form: Optional[str] = None,
+    miss_scale: float = TIMING_MISS_SCALE,
+) -> SimulationResult:
+    """Run one workload on one machine configuration.
+
+    Parameters
+    ----------
+    config:
+        A :class:`GPUConfig`, a preset name (``"no_tlb"``,
+        ``"blocking"``, ``"augmented"``, ``"ideal"``, ...), or a
+        zero-argument config factory.
+    workload:
+        A workload name (see :func:`repro.workloads.workload_names`) or
+        a built :class:`repro.workloads.base.Workload`.
+    form:
+        ``None``/``"linear"`` for per-warp traces, ``"blocks"`` for the
+        TBC experiments' thread-block form.
+    miss_scale:
+        Address-stream timing scale; figures use the default, workload
+        characterization passes 1.0.
+    """
+    machine = _resolve_config(config)
+    work_source = _resolve_workload(workload)
+    work = work_source.build(machine, form=form, miss_scale=miss_scale)
+    return Simulator(machine, work, work_source.name).run()
+
+
+def sweep(
+    *,
+    configs: Mapping[str, ConfigLike],
+    workloads: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    retries: int = 0,
+    cache: Optional[str] = None,
+    timeout: Optional[float] = None,
+    form: Optional[str] = None,
+    miss_scale: float = TIMING_MISS_SCALE,
+    baseline: Optional[str] = None,
+    progress: bool = False,
+) -> List["FigureResult"]:
+    """Run every (config, workload) cell, optionally in parallel.
+
+    Returns one :class:`repro.harness.experiment.FigureResult` per
+    config label (in ``configs`` order), each carrying a ``"cycles"``
+    series over the workloads — plus a ``"speedup vs <baseline>"``
+    series when ``baseline`` names one of the labels.
+
+    ``jobs`` > 1 fans cells out to that many worker processes (series
+    stay byte-identical to a serial run); ``checkpoint`` makes the sweep
+    resumable; ``cache`` names a content-addressed result-cache
+    directory shared across sweeps and figures; ``timeout`` bounds each
+    cell's wall-clock seconds; ``retries`` re-attempts cells that die
+    with a structured simulator error.
+    """
+    from repro.harness.experiment import (
+        FigureResult,
+        run_matrix,
+        sweep_session,
+    )
+
+    if baseline is not None and baseline not in configs:
+        raise ValueError(
+            f"baseline {baseline!r} is not a config label; "
+            f"have {sorted(configs)}"
+        )
+    factories = {
+        label: (lambda spec=spec: _resolve_config(spec))
+        for label, spec in configs.items()
+    }
+    with sweep_session(
+        checkpoint_path=checkpoint,
+        cell_retries=retries,
+        jobs=jobs,
+        cache_dir=cache,
+        cell_timeout=timeout,
+        progress_stream=_progress_stream(progress),
+    ):
+        results = run_matrix(
+            factories, workloads=workloads, form=form, miss_scale=miss_scale
+        )
+    rows: List[FigureResult] = []
+    for label, per_workload in results.items():
+        series: Dict[str, Dict[str, float]] = {
+            "cycles": {
+                name: float(result.cycles)
+                for name, result in per_workload.items()
+            }
+        }
+        if baseline is not None and label != baseline:
+            series[f"speedup vs {baseline}"] = {
+                name: result.speedup_vs(results[baseline][name])
+                for name, result in per_workload.items()
+            }
+        rows.append(
+            FigureResult(
+                figure=label,
+                title=factories[label]().describe(),
+                series=series,
+            )
+        )
+    return rows
+
+
+def figure(
+    *,
+    name: str,
+    workloads: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    retries: int = 0,
+    cache: Optional[str] = None,
+    timeout: Optional[float] = None,
+    progress: bool = False,
+) -> "FigureResult":
+    """Regenerate one paper figure (``"fig02"`` ... ``"sec9"``).
+
+    The figure's sweep inherits ``jobs``/``checkpoint``/``cache``/
+    ``retries``/``timeout`` exactly as :func:`sweep` does.  Unknown
+    names raise ``ValueError`` listing the valid figure ids.
+    """
+    from repro.harness.experiment import sweep_session
+    from repro.harness.figures import ALL_FIGURES
+
+    driver = ALL_FIGURES.get(name)
+    if driver is None:
+        raise ValueError(
+            f"unknown figure {name!r}; choose from {sorted(ALL_FIGURES)}"
+        )
+    with sweep_session(
+        checkpoint_path=checkpoint,
+        cell_retries=retries,
+        jobs=jobs,
+        cache_dir=cache,
+        cell_timeout=timeout,
+        progress_stream=_progress_stream(progress),
+    ):
+        return driver(workloads=workloads)

@@ -15,11 +15,32 @@ than hours of pure-Python simulation).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.faults.config import FaultConfig
 from repro.vm.address import PAGE_SHIFT_2M, PAGE_SHIFT_4K
+
+
+def canonical_config_json(config: Any) -> str:
+    """Canonical JSON form of a (nested) config dataclass.
+
+    Keys are emitted sorted, so the text — and anything hashed from it —
+    is invariant under dataclass *field reordering*; it changes only
+    when a field is added, removed, renamed, or its value differs.
+    Checkpoint cell keys and the sweep result cache both key off this
+    (``tests/parallel/test_config_hash.py`` pins the invariance).
+    """
+    data = dataclasses.asdict(config) if dataclasses.is_dataclass(config) else config
+    return json.dumps(data, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def config_hash(config: Any) -> str:
+    """Stable SHA-256 hex digest of :func:`canonical_config_json`."""
+    return hashlib.sha256(canonical_config_json(config).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -324,6 +345,34 @@ class GPUConfig:
     def with_(self, **kwargs) -> "GPUConfig":
         """Return a copy with top-level fields replaced."""
         return replace(self, **kwargs)
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "GPUConfig":
+        """Build one of the paper's named design points.
+
+        ``name`` is a key of :data:`repro.core.presets.PRESETS`
+        (``"no_tlb"``, ``"blocking"``, ``"augmented"``, ``"ideal"``, ...);
+        ``overrides`` pass through to the underlying factory, so e.g.
+        ``GPUConfig.preset("no_tlb", warmup_instructions=20)`` works.
+        Figure drivers and user code build configs the same one way.
+        """
+        from repro.core import presets as _presets
+
+        return _presets.preset(name, **overrides)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict form (the input to :func:`config_hash`)."""
+        return dataclasses.asdict(self)
+
+    def stable_hash(self) -> str:
+        """Content hash of this machine description.
+
+        Invariant under dataclass field reordering (keys are sorted
+        before hashing); two configs hash equal iff every field of every
+        nested config is equal.  Used for checkpoint cell keys and the
+        content-addressed sweep result cache.
+        """
+        return config_hash(self)
 
     def describe(self) -> str:
         """One-line human-readable summary for bench output."""

@@ -167,3 +167,50 @@ def with_tbc(config: GPUConfig, mode: str = "tbc", counter_bits: int = 3) -> GPU
     return replace(
         config, tbc=TBCConfig(mode=mode, cpm_counter_bits=counter_bits)
     )
+
+
+# ---------------------------------------------------------------------
+# Named-preset registry (GPUConfig.preset)
+# ---------------------------------------------------------------------
+
+#: Parameterless design points by canonical name.  ``"blocking"`` is the
+#: 4-port naive baseline used from Figure 6 onwards; ``"naive"`` keeps
+#: Figure 2's 3-port strawman.  Aliases map common spellings onto the
+#: canonical names.
+PRESETS = {
+    "no_tlb": no_tlb,
+    "naive": naive_tlb,
+    "blocking": lambda **kw: naive_tlb(ports=4, **kw),
+    "hit_under_miss": hit_under_miss_tlb,
+    "non_blocking": overlap_tlb,
+    "augmented": augmented_tlb,
+    "ideal": ideal_tlb,
+}
+
+_ALIASES = {
+    "no-tlb": "no_tlb",
+    "notlb": "no_tlb",
+    "baseline": "no_tlb",
+    "hum": "hit_under_miss",
+    "overlap": "non_blocking",
+    "nonblocking": "non_blocking",
+}
+
+
+def preset_names() -> list:
+    """Canonical preset names, sorted (error messages and docs)."""
+    return sorted(PRESETS)
+
+
+def preset(name: str, **overrides) -> GPUConfig:
+    """Build the named design point; overrides pass to its factory.
+
+    Raises ``ValueError`` naming the valid choices on an unknown name.
+    """
+    key = _ALIASES.get(name, name)
+    factory = PRESETS.get(key)
+    if factory is None:
+        raise ValueError(
+            f"unknown config preset {name!r}; choose from {preset_names()}"
+        )
+    return factory(**overrides)

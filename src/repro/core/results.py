@@ -95,6 +95,15 @@ class SimulationResult:
         """Serialize so benchmark outputs can be diffed mechanically."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def canonical_json(self) -> str:
+        """Compact sorted-key JSON — the result-cache storage format.
+
+        The round trip ``from_json(canonical_json()).canonical_json()``
+        is byte-identical (``tests/parallel/test_cache.py`` pins it), so
+        a cache hit is indistinguishable from a fresh simulation.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
         """Inverse of :meth:`to_dict` (unknown keys are ignored)."""

@@ -60,6 +60,19 @@ class WalkTimeout(SimulationError):
     """
 
 
+class CellTimeout(SimulationError):
+    """A sweep cell exceeded its wall-clock budget.
+
+    The cycle-based watchdog (:class:`SimulationHang`) catches livelocks
+    whose clock still advances; this is its wall-clock twin for cells
+    whose host-side execution wedges entirely (pathological configs,
+    runaway traces).  Raised by
+    :func:`repro.faults.watchdog.wall_clock_guard` and handled by the
+    sweep machinery exactly like any structured simulator failure:
+    retried with a perturbed seed, then recorded to the checkpoint.
+    """
+
+
 class InvariantViolation(SimulationError):
     """A post-run counter invariant does not hold.
 

@@ -17,9 +17,13 @@ footprint), so arming it by default keeps results byte-identical.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+import contextlib
+import signal
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, Optional
 
-from repro.faults.errors import SimulationHang
+from repro.faults.errors import CellTimeout, SimulationHang
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
 
@@ -86,3 +90,51 @@ class Watchdog:
             f"deadlock/livelock at cycle {now}",
             diagnostics=dump,
         )
+
+
+@contextlib.contextmanager
+def wall_clock_guard(seconds: float, label: str = "sweep cell") -> Iterator[None]:
+    """Bound a block of host execution by wall-clock time.
+
+    The cycle-based :class:`Watchdog` needs the simulated clock to keep
+    moving; a cell that wedges the *host* (or whose simulated clock
+    crawls) escapes it.  This guard raises
+    :class:`repro.faults.errors.CellTimeout` after ``seconds`` of real
+    time, so one hung cell cannot stall a whole sweep — the same
+    contract the watchdog gives per-core, lifted to wall-clock.
+
+    Degrades to a no-op when ``seconds`` is falsy/non-positive, on
+    platforms without ``SIGALRM``, or off the main thread (POSIX timers
+    only fire there); sweeps still complete, just without the bound.
+    Guards do not nest: the inner one wins for its duration.
+    """
+    if not seconds or seconds <= 0:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    started = time.monotonic()
+
+    def _fire(signum, frame):
+        elapsed = time.monotonic() - started
+        raise CellTimeout(
+            f"{label}: exceeded wall-clock budget of {seconds:g}s "
+            f"(ran {elapsed:.1f}s)",
+            diagnostics={
+                "wall_clock_limit_s": seconds,
+                "elapsed_s": round(elapsed, 3),
+                "label": label,
+            },
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

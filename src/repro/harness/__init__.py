@@ -6,6 +6,11 @@ simulations behind one figure of the evaluation and returns a
 printed (``.render()``) or asserted against the paper's qualitative
 claims.  The benchmarks under ``benchmarks/`` are thin wrappers around
 these drivers.
+
+Prefer the stable facade :mod:`repro.api` (``simulate`` / ``sweep`` /
+``figure``) in user code; ``run_config`` here is a deprecated shim over
+it.  Sweeps parallelize and cache through :mod:`repro.parallel` — see
+:func:`repro.harness.experiment.sweep_session`.
 """
 
 from repro.harness.experiment import (
@@ -13,6 +18,7 @@ from repro.harness.experiment import (
     run_config,
     run_matrix,
     speedups_vs_baseline,
+    sweep_session,
 )
 from repro.harness import figures
 
@@ -21,5 +27,6 @@ __all__ = [
     "run_config",
     "run_matrix",
     "speedups_vs_baseline",
+    "sweep_session",
     "figures",
 ]

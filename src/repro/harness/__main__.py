@@ -5,23 +5,34 @@ Usage::
     python -m repro.harness list
     python -m repro.harness fig10
     python -m repro.harness fig13 --workloads bfs,kmeans
-    python -m repro.harness all --checkpoint sweep.jsonl --retries 2
+    python -m repro.harness fig07 --jobs 4
+    python -m repro.harness all --checkpoint sweep.jsonl --retries 2 \
+        --jobs 8 --cache ~/.cache/repro-sweeps
+    python -m repro.harness fig07 --json > fig07.json
     python -m repro.harness trace fig04 --out traces/
     python -m repro.harness trace bfs --tiny
     python -m repro.harness faults --tiny --check-determinism
 
-Each figure id maps to a driver in :mod:`repro.harness.figures`; the
-rendered table prints to stdout.  ``trace`` runs one configuration with
-the :mod:`repro.obs` event tracer enabled and writes ``trace.jsonl`` and
-``trace.chrome.json`` (see :mod:`repro.harness.trace`); ``faults`` is
-the fault-injection smoke run (see :mod:`repro.harness.faults`).
+Each figure id maps to a driver in :mod:`repro.harness.figures`, run
+through the stable :mod:`repro.api` facade; the rendered table prints
+to stdout (``--json`` prints the figure's canonical JSON instead).
 
-``--checkpoint`` makes a figure sweep resumable: each completed
-(config, workload) cell appends to the JSONL file as it finishes, and a
-rerun skips the recorded cells.  ``--retries`` retries cells that die
-with a structured simulator error (hang, permanent walk failure) before
-recording the failure.  Unknown figure or workload names exit with
-status 2 and a message naming the valid choices.
+``--jobs N`` fans the sweep's (config, workload) cells out to N worker
+processes (default: one per CPU core); the series are byte-identical to
+a serial run.  ``--cache DIR`` enables the content-addressed result
+cache, so reruns and overlapping figures skip already-simulated cells.
+``--checkpoint`` makes a sweep resumable: each completed cell appends
+to the JSONL file as it finishes, and a rerun skips the recorded cells.
+``--retries`` retries cells that die with a structured simulator error
+(hang, permanent walk failure) before recording the failure, and
+``--timeout`` bounds each cell's wall-clock seconds.  Unknown figure or
+workload names exit with status 2 and a message naming the valid
+choices.
+
+``trace`` runs one configuration with the :mod:`repro.obs` event tracer
+enabled and writes ``trace.jsonl`` and ``trace.chrome.json`` (see
+:mod:`repro.harness.trace`); ``faults`` is the fault-injection smoke
+run (see :mod:`repro.harness.faults`).
 """
 
 from __future__ import annotations
@@ -29,8 +40,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.harness.experiment import sweep_session
+from repro.api import figure as api_figure
 from repro.harness.figures import ALL_FIGURES
+from repro.parallel.pool import default_jobs
 from repro.workloads.registry import workload_names
 
 
@@ -59,6 +71,21 @@ def main(argv=None) -> int:
         default=None,
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep cells (default: CPU count; "
+        "1 = serial; results are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result-cache directory; identical "
+        "(config, workload) cells are simulated once across figures "
+        "and reruns",
+    )
+    parser.add_argument(
         "--checkpoint",
         default=None,
         help="JSONL checkpoint file; completed sweep cells are recorded "
@@ -70,6 +97,18 @@ def main(argv=None) -> int:
         default=0,
         help="extra attempts per sweep cell after a simulator error "
         "(default 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per sweep cell attempt (default: none)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print each figure as canonical JSON instead of a table",
     )
     args = parser.parse_args(argv)
 
@@ -97,12 +136,22 @@ def main(argv=None) -> int:
             f"unknown figure(s) {unknown}; try 'list'", file=sys.stderr
         )
         return 2
-    with sweep_session(
-        checkpoint_path=args.checkpoint, cell_retries=args.retries
-    ):
-        for target in targets:
-            figure = ALL_FIGURES[target](workloads=workloads)
-            print(figure.render())
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    for target in targets:
+        result = api_figure(
+            name=target,
+            workloads=workloads,
+            jobs=jobs,
+            checkpoint=args.checkpoint,
+            retries=args.retries,
+            cache=args.cache,
+            timeout=args.timeout,
+            progress=jobs > 1,
+        )
+        if args.json:
+            print(result.to_json(indent=2))
+        else:
+            print(result.render())
             print()
     return 0
 

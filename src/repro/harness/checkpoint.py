@@ -20,21 +20,51 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from repro.core.config import GPUConfig, config_hash
 from repro.core.results import SimulationResult
 
 
 def cell_key(
     label: str,
     workload: str,
-    config_description: str,
+    config: GPUConfig,
     form: Optional[str] = None,
     miss_scale: Optional[float] = None,
 ) -> str:
     """Identity of one sweep cell.
 
-    Includes the config description (not just the series label) so two
-    figures that reuse a label like ``"naive"`` for different machines
-    can share one checkpoint file without collisions.
+    The config contributes through its *canonical hash*
+    (:func:`repro.core.config.config_hash`), which is invariant under
+    dataclass field reordering and captures every field — two configs
+    that differ anywhere (fault seed included) get distinct keys, and
+    reordering fields in a future refactor cannot silently orphan an
+    existing checkpoint (``tests/parallel/test_config_hash.py`` pins
+    this).  The label still participates so two series deliberately
+    running the same machine stay distinguishable in failure reports.
+    """
+    return "|".join(
+        [
+            label,
+            workload,
+            "cfg:" + config_hash(config)[:24],
+            form if form is not None else "-",
+            repr(miss_scale) if miss_scale is not None else "-",
+        ]
+    )
+
+
+def legacy_cell_key(
+    label: str,
+    workload: str,
+    config_description: str,
+    form: Optional[str] = None,
+    miss_scale: Optional[float] = None,
+) -> str:
+    """The pre-hash key format (config ``describe()`` string).
+
+    Kept so checkpoint files written by older harnesses remain
+    readable: lookups fall back to this key when the hash-based one
+    misses (see :class:`repro.parallel.pool.SweepExecutor`).
     """
     return "|".join(
         [

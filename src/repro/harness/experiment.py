@@ -1,33 +1,51 @@
 """Generic experiment plumbing shared by the per-figure drivers.
 
-Sweeps are resumable: wrap figure calls in :func:`sweep_session` (the
-CLI's ``--checkpoint``/``--retries`` flags do this) and every
-(config, workload) cell :func:`run_matrix` executes is recorded to an
-append-only :class:`repro.harness.checkpoint.SweepCheckpoint` as it
-finishes.  A cell that raises a structured
+Sweeps are resumable and parallelizable: wrap figure calls in
+:func:`sweep_session` (the CLI's ``--checkpoint``/``--retries``/
+``--jobs``/``--cache`` flags do this) and every (config, workload) cell
+:func:`run_matrix` executes is resolved through the
+:class:`repro.parallel.pool.SweepExecutor` — checkpoint first, then the
+content-addressed result cache, then simulation, fanned out to a worker
+pool when ``jobs > 1``.  Parallel execution is guaranteed to produce
+byte-identical results to a serial run (cells carry their own seeds;
+nothing depends on completion order).
+
+A cell that raises a structured
 :class:`repro.faults.errors.SimulationError` (hang, permanent walk
-error, timeout) is retried up to ``cell_retries`` times — with the
-fault seed perturbed on each retry so deterministic injection does not
-simply replay the identical failure — and recorded as a failure if the
-retries are exhausted.  Rerunning the sweep skips completed cells and
-recomputes only missing or failed ones.
+error, wall-clock timeout) is retried up to ``cell_retries`` times —
+with the fault seed perturbed on each retry so deterministic injection
+does not simply replay the identical failure — and recorded as a
+failure if the retries are exhausted.  Rerunning the sweep skips
+completed cells and recomputes only missing or failed ones.
 """
 
 from __future__ import annotations
 
 import contextlib
-import dataclasses as _dc
+import json
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+)
 
 from repro.core.config import GPUConfig
 from repro.core.results import SimulationResult
-from repro.core.simulator import Simulator
-from repro.faults.errors import SimulationError
-from repro.harness.checkpoint import SweepCheckpoint, cell_key
+from repro.harness.checkpoint import SweepCheckpoint
+from repro.parallel.cache import ResultCache
+from repro.parallel.cells import Cell, reseeded
+from repro.parallel.pool import SweepExecutor
 from repro.stats.report import format_series
-from repro.workloads.base import TIMING_MISS_SCALE, Workload
-from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.base import TIMING_MISS_SCALE
+from repro.workloads.registry import workload_names
 
 #: Warp instructions excluded from measurement in every experiment
 #: (structures warm up; see GPUConfig.warmup_instructions).
@@ -64,64 +82,136 @@ class FigureResult:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of the figure's data."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "series": {
+                name: dict(values) for name, values in self.series.items()
+            },
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON (sorted keys) so outputs diff mechanically.
+
+        The CI parallel smoke step compares ``--jobs 1`` and
+        ``--jobs 2`` renderings of this byte-for-byte.
+        """
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FigureResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            figure=data["figure"],
+            title=data.get("title", ""),
+            series={
+                name: dict(values)
+                for name, values in data.get("series", {}).items()
+            },
+            notes=list(data.get("notes", [])),
+        )
+
 
 def run_config(
     config: GPUConfig,
-    workload: Workload,
+    workload,
     form: Optional[str] = None,
     miss_scale: float = TIMING_MISS_SCALE,
 ) -> SimulationResult:
-    """Build the workload for ``config`` and simulate it."""
-    work = workload.build(config, form=form, miss_scale=miss_scale)
-    return Simulator(config, work, workload.name).run()
+    """Deprecated: use :func:`repro.api.simulate` instead.
+
+    Kept as a thin shim so pre-``repro.api`` scripts keep working.
+    """
+    warnings.warn(
+        "repro.harness.experiment.run_config is deprecated; use "
+        "repro.api.simulate(config=..., workload=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import simulate
+
+    return simulate(
+        config=config, workload=workload, form=form, miss_scale=miss_scale
+    )
+
+
+def _reseeded(config: GPUConfig, attempt: int) -> GPUConfig:
+    """Back-compat alias for :func:`repro.parallel.cells.reseeded`."""
+    return reseeded(config, attempt)
+
+
+@dataclass
+class SweepSettings:
+    """Ambient execution settings installed by :func:`sweep_session`."""
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    cell_retries: int = 0
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    cell_timeout: Optional[float] = None
+    progress_stream: Optional[TextIO] = None
 
 
 # Ambient sweep state, installed by sweep_session().  run_matrix() picks
 # it up so the per-figure drivers need no signature changes to become
-# resumable.
-_ACTIVE_CHECKPOINT: Optional[SweepCheckpoint] = None
-_ACTIVE_RETRIES: int = 0
+# resumable and parallel.
+_ACTIVE = SweepSettings()
 
 
 @contextlib.contextmanager
 def sweep_session(
-    checkpoint_path: Optional[str] = None, cell_retries: int = 0
+    checkpoint_path: Optional[str] = None,
+    cell_retries: int = 0,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    progress_stream: Optional[TextIO] = None,
 ) -> Iterator[Optional[SweepCheckpoint]]:
-    """Make every :func:`run_matrix` call inside resumable.
+    """Make every :func:`run_matrix` call inside resumable/parallel.
 
     Parameters
     ----------
     checkpoint_path:
         JSONL checkpoint file; completed cells found in it are skipped,
         new completions append to it.  None disables checkpointing but
-        still applies ``cell_retries``.
+        still applies the other settings.
     cell_retries:
         Extra attempts per cell after a :class:`SimulationError`.
+    jobs:
+        Worker processes for matrix cells (None/1 = serial in-process).
+        Results are byte-identical either way.
+    cache_dir:
+        Directory of the content-addressed
+        :class:`repro.parallel.cache.ResultCache`; None disables
+        caching.
+    cell_timeout:
+        Wall-clock seconds allowed per cell attempt (None/0 = unbounded).
+    progress_stream:
+        Where live sweep progress lines go (None = silent).
     """
-    global _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES
+    global _ACTIVE
     checkpoint = (
         SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
     )
-    previous = (_ACTIVE_CHECKPOINT, _ACTIVE_RETRIES)
-    _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES = checkpoint, cell_retries
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    previous = _ACTIVE
+    _ACTIVE = SweepSettings(
+        checkpoint=checkpoint,
+        cell_retries=cell_retries,
+        jobs=jobs if jobs is not None else 1,
+        cache=cache,
+        cell_timeout=cell_timeout,
+        progress_stream=progress_stream,
+    )
     try:
         yield checkpoint
     finally:
-        _ACTIVE_CHECKPOINT, _ACTIVE_RETRIES = previous
+        _ACTIVE = previous
         if checkpoint is not None:
             checkpoint.close()
-
-
-def _reseeded(config: GPUConfig, attempt: int) -> GPUConfig:
-    """Perturb the fault seed for a retry attempt.
-
-    Deterministic injection would otherwise replay the identical
-    failure on every retry; attempt 0 always runs the configured seed.
-    """
-    if attempt == 0 or not config.faults.enabled:
-        return config
-    faults = _dc.replace(config.faults, seed=config.faults.seed + attempt)
-    return _dc.replace(config, faults=faults)
 
 
 def run_cell(
@@ -132,40 +222,29 @@ def run_cell(
     miss_scale: float = TIMING_MISS_SCALE,
     checkpoint: Optional[SweepCheckpoint] = None,
     cell_retries: int = 0,
+    cell_timeout: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> SimulationResult:
-    """Run one sweep cell with checkpoint skip and bounded retries.
+    """Run one sweep cell with checkpoint/cache skip and bounded retries.
 
     Raises the final :class:`SimulationError` (after recording it) when
     every attempt fails; any other exception propagates immediately.
     """
-    key = cell_key(label, workload_name, factory().describe(), form, miss_scale)
-    if checkpoint is not None:
-        cached = checkpoint.get(key)
-        if cached is not None:
-            return cached
-    attempts = cell_retries + 1
-    last_error: Optional[SimulationError] = None
-    for attempt in range(attempts):
-        try:
-            result = run_config(
-                _reseeded(factory(), attempt),
-                get_workload(workload_name),
-                form=form,
-                miss_scale=miss_scale,
-            )
-        except SimulationError as exc:
-            last_error = exc
-            continue
-        if checkpoint is not None:
-            checkpoint.record(key, result)
-        return result
-    assert last_error is not None
-    last_error.add_context(
-        series=label, workload=workload_name, attempts=attempts
+    cell = Cell(
+        label=label,
+        workload=workload_name,
+        config=factory(),
+        form=form,
+        miss_scale=miss_scale,
     )
-    if checkpoint is not None:
-        checkpoint.record_failure(key, last_error, attempts)
-    raise last_error
+    executor = SweepExecutor(
+        jobs=1,
+        checkpoint=checkpoint,
+        cache=cache,
+        retries=cell_retries,
+        timeout=cell_timeout,
+    )
+    return executor.run([cell])[0]
 
 
 def run_matrix(
@@ -175,36 +254,60 @@ def run_matrix(
     miss_scale: float = TIMING_MISS_SCALE,
     checkpoint: Optional[SweepCheckpoint] = None,
     cell_retries: Optional[int] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cell_timeout: Optional[float] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every (config, workload) pair.
 
     ``configs`` maps a series label to a zero-argument config factory
-    (so each run gets a fresh config).  Returns
-    ``{label: {workload: result}}``.
+    (so each cell gets a fresh config).  Returns
+    ``{label: {workload: result}}`` in input order — completion order
+    never shows, which is what makes ``jobs > 1`` byte-identical to a
+    serial run.
 
-    ``checkpoint``/``cell_retries`` default to the ambient
-    :func:`sweep_session` state, so figure drivers inherit resumability
-    without plumbing.
+    Unset keyword arguments default to the ambient
+    :func:`sweep_session` state, so figure drivers inherit
+    resumability, caching, and parallelism without plumbing.
     """
+    settings = _ACTIVE
     if checkpoint is None:
-        checkpoint = _ACTIVE_CHECKPOINT
+        checkpoint = settings.checkpoint
     if cell_retries is None:
-        cell_retries = _ACTIVE_RETRIES
+        cell_retries = settings.cell_retries
+    if jobs is None:
+        jobs = settings.jobs
+    if cache is None:
+        cache = settings.cache
+    if cell_timeout is None:
+        cell_timeout = settings.cell_timeout
     names = list(workloads) if workloads is not None else workload_names()
-    results: Dict[str, Dict[str, SimulationResult]] = {}
+    cells: List[Cell] = []
     for label, factory in configs.items():
-        per_workload: Dict[str, SimulationResult] = {}
         for name in names:
-            per_workload[name] = run_cell(
-                label,
-                factory,
-                name,
-                form=form,
-                miss_scale=miss_scale,
-                checkpoint=checkpoint,
-                cell_retries=cell_retries,
+            cells.append(
+                Cell(
+                    label=label,
+                    workload=name,
+                    config=factory(),
+                    form=form,
+                    miss_scale=miss_scale,
+                )
             )
-        results[label] = per_workload
+    executor = SweepExecutor(
+        jobs=jobs,
+        checkpoint=checkpoint,
+        cache=cache,
+        retries=cell_retries,
+        timeout=cell_timeout,
+        progress_stream=settings.progress_stream,
+    )
+    flat = executor.run(cells)
+    results: Dict[str, Dict[str, SimulationResult]] = {
+        label: {} for label in configs
+    }
+    for cell, result in zip(cells, flat):
+        results[cell.label][cell.workload] = result
     return results
 
 

@@ -16,19 +16,25 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from repro.api import simulate
 from repro.core import presets
 from repro.core.config import GPUConfig
 from repro.harness.experiment import (
     DEFAULT_WARMUP,
     FigureResult,
-    run_config,
     run_matrix,
     speedups_vs_baseline,
 )
-from repro.workloads.base import TIMING_MISS_SCALE
-from repro.workloads.registry import get_workload, workload_names
+from repro.workloads.registry import workload_names
 
 _KW = dict(warmup_instructions=DEFAULT_WARMUP)
+
+# Every named design point below comes from the one shared registry
+# (GPUConfig.preset, backed by repro.core.presets.PRESETS), so figure
+# drivers and user code build configs the same way; only parameterized
+# sweeps (geometry, walker pools) and the scheduler/TBC combinators
+# still call repro.core.presets directly.
+_preset = GPUConfig.preset
 
 
 def _workloads(workloads: Optional[Sequence[str]]) -> Sequence[str]:
@@ -41,11 +47,11 @@ def fig02_naive_tlb(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     names = _workloads(workloads)
     linear = run_matrix(
         {
-            "no-tlb": lambda: presets.no_tlb(**_KW),
-            "naive-tlb": lambda: presets.naive_tlb(ports=3, **_KW),
-            "ccws": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+            "no-tlb": lambda: _preset("no_tlb", **_KW),
+            "naive-tlb": lambda: _preset("naive", ports=3, **_KW),
+            "ccws": lambda: presets.with_ccws(_preset("no_tlb", **_KW)),
             "ccws+naive-tlb": lambda: presets.with_ccws(
-                presets.naive_tlb(ports=3, **_KW)
+                _preset("naive", ports=3, **_KW)
             ),
         },
         workloads=names,
@@ -55,12 +61,12 @@ def fig02_naive_tlb(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     # machine executing them with reconvergence stacks and no TLB.
     tbc = run_matrix(
         {
-            "stack-no-tlb": lambda: presets.no_tlb(warmup_instructions=0),
+            "stack-no-tlb": lambda: _preset("no_tlb", warmup_instructions=0),
             "tbc": lambda: presets.with_tbc(
-                presets.no_tlb(warmup_instructions=0), "tbc"
+                _preset("no_tlb", warmup_instructions=0), "tbc"
             ),
             "tbc+naive-tlb": lambda: presets.with_tbc(
-                presets.naive_tlb(ports=3, warmup_instructions=0), "tbc"
+                _preset("naive", ports=3, warmup_instructions=0), "tbc"
             ),
         },
         workloads=names,
@@ -93,8 +99,8 @@ def fig03_characterization(workloads: Optional[Sequence[str]] = None) -> FigureR
         "max page divergence": {},
     }
     for name in names:
-        result = run_config(
-            presets.naive_tlb(ports=4, **_KW), get_workload(name), miss_scale=1.0
+        result = simulate(
+            config=_preset("blocking", **_KW), workload=name, miss_scale=1.0
         )
         stats = result.stats
         series["mem instr %"][name] = 100.0 * stats.memory_instruction_fraction
@@ -123,7 +129,7 @@ def fig04_miss_latency(workloads: Optional[Sequence[str]] = None) -> FigureResul
         "ratio": {},
     }
     for name in names:
-        result = run_config(presets.naive_tlb(ports=4, **_KW), get_workload(name))
+        result = simulate(config=_preset("blocking", **_KW), workload=name)
         l1 = result.avg_l1_miss_cycles
         tlb = result.stats.average_tlb_miss_cycles
         series["avg L1 miss cycles"][name] = l1
@@ -147,7 +153,7 @@ def fig06_size_ports(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     *fixed access times* (the figure's stated assumption); larger and
     wider helps, saturating past 128 entries."""
     names = _workloads(workloads)
-    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    configs = {"no-tlb": lambda: _preset("no_tlb", **_KW)}
     for entries in (64, 128, 256, 512):
         configs[f"{entries}e/4p"] = (
             lambda entries=entries: presets.tlb_with_geometry(
@@ -179,11 +185,11 @@ def fig07_nonblocking(workloads: Optional[Sequence[str]] = None) -> FigureResult
     names = _workloads(workloads)
     results = run_matrix(
         {
-            "no-tlb": lambda: presets.no_tlb(**_KW),
-            "naive 128e/4p": lambda: presets.naive_tlb(ports=4, **_KW),
-            "+hit-under-miss": lambda: presets.hit_under_miss_tlb(**_KW),
-            "+cache-overlap": lambda: presets.overlap_tlb(**_KW),
-            "ideal 512e/32p": lambda: presets.ideal_tlb(**_KW),
+            "no-tlb": lambda: _preset("no_tlb", **_KW),
+            "naive 128e/4p": lambda: _preset("blocking", **_KW),
+            "+hit-under-miss": lambda: _preset("hit_under_miss", **_KW),
+            "+cache-overlap": lambda: _preset("non_blocking", **_KW),
+            "ideal 512e/32p": lambda: _preset("ideal", **_KW),
         },
         workloads=names,
     )
@@ -207,11 +213,11 @@ def fig10_ptw_scheduling(workloads: Optional[Sequence[str]] = None) -> FigureRes
     names = _workloads(workloads)
     results = run_matrix(
         {
-            "no-tlb": lambda: presets.no_tlb(**_KW),
-            "naive 128e/4p": lambda: presets.naive_tlb(ports=4, **_KW),
-            "non-blocking": lambda: presets.overlap_tlb(**_KW),
-            "+ptw-scheduling": lambda: presets.augmented_tlb(**_KW),
-            "ideal 512e/32p": lambda: presets.ideal_tlb(**_KW),
+            "no-tlb": lambda: _preset("no_tlb", **_KW),
+            "naive 128e/4p": lambda: _preset("blocking", **_KW),
+            "non-blocking": lambda: _preset("non_blocking", **_KW),
+            "+ptw-scheduling": lambda: _preset("augmented", **_KW),
+            "ideal 512e/32p": lambda: _preset("ideal", **_KW),
         },
         workloads=names,
     )
@@ -227,7 +233,7 @@ def fig10_ptw_scheduling(workloads: Optional[Sequence[str]] = None) -> FigureRes
     ptw_hits: Dict[str, float] = {}
     for name in names:
         result = run_matrix(
-            {"aug": lambda: presets.augmented_tlb(**_KW)}, workloads=[name]
+            {"aug": lambda: _preset("augmented", **_KW)}, workloads=[name]
         )["aug"][name]
         elim[name] = 100.0 * result.stats.walk_refs_eliminated_fraction
         ptw_hits[name] = 100.0 * result.ptw_l2_hit_rate
@@ -244,12 +250,12 @@ def fig11_multi_ptw(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     """Figure 11: one augmented (scheduled, non-blocking) walker
     outperforms pools of 2-8 naive serial walkers."""
     names = _workloads(workloads)
-    configs = {"no-tlb": lambda: presets.no_tlb(**_KW)}
+    configs = {"no-tlb": lambda: _preset("no_tlb", **_KW)}
     for count in (1, 2, 4, 8):
         configs[f"naive x{count} PTW"] = (
             lambda count=count: presets.multi_ptw_tlb(count, **_KW)
         )
-    configs["augmented x1 PTW"] = lambda: presets.augmented_tlb(**_KW)
+    configs["augmented x1 PTW"] = lambda: _preset("augmented", **_KW)
     results = run_matrix(configs, workloads=names)
     return FigureResult(
         figure="fig11",
@@ -265,15 +271,15 @@ def fig13_ccws(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     names = _workloads(workloads)
     results = run_matrix(
         {
-            "no-tlb": lambda: presets.no_tlb(**_KW),
-            "naive-tlb": lambda: presets.naive_tlb(ports=4, **_KW),
-            "augmented-tlb": lambda: presets.augmented_tlb(**_KW),
-            "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+            "no-tlb": lambda: _preset("no_tlb", **_KW),
+            "naive-tlb": lambda: _preset("blocking", **_KW),
+            "augmented-tlb": lambda: _preset("augmented", **_KW),
+            "ccws (no tlb)": lambda: presets.with_ccws(_preset("no_tlb", **_KW)),
             "ccws+naive": lambda: presets.with_ccws(
-                presets.naive_tlb(ports=4, **_KW)
+                _preset("blocking", **_KW)
             ),
             "ccws+augmented": lambda: presets.with_ccws(
-                presets.augmented_tlb(**_KW)
+                _preset("augmented", **_KW)
             ),
         },
         workloads=names,
@@ -297,14 +303,14 @@ def fig16_ta_ccws(
     lost-locality score (TA-CCWS) recovers CCWS performance; 4:1 best."""
     names = _workloads(workloads)
     configs = {
-        "no-tlb": lambda: presets.no_tlb(**_KW),
-        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
-        "ccws+augmented": lambda: presets.with_ccws(presets.augmented_tlb(**_KW)),
+        "no-tlb": lambda: _preset("no_tlb", **_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(_preset("no_tlb", **_KW)),
+        "ccws+augmented": lambda: presets.with_ccws(_preset("augmented", **_KW)),
     }
     for weight in weights:
         configs[f"ta-ccws {weight}:1"] = (
             lambda weight=weight: presets.with_ta_ccws(
-                presets.augmented_tlb(**_KW), tlb_miss_weight=weight
+                _preset("augmented", **_KW), tlb_miss_weight=weight
             )
         )
     results = run_matrix(configs, workloads=names)
@@ -324,14 +330,14 @@ def fig17_tcws_epw(
     TCWS outperforms TA-CCWS with half the VTA hardware."""
     names = _workloads(workloads)
     configs = {
-        "no-tlb": lambda: presets.no_tlb(**_KW),
-        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
-        "ta-ccws 4:1": lambda: presets.with_ta_ccws(presets.augmented_tlb(**_KW)),
+        "no-tlb": lambda: _preset("no_tlb", **_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(_preset("no_tlb", **_KW)),
+        "ta-ccws 4:1": lambda: presets.with_ta_ccws(_preset("augmented", **_KW)),
     }
     for epw in entries_per_warp:
         configs[f"tcws {epw}epw"] = (
             lambda epw=epw: presets.with_tcws(
-                presets.augmented_tlb(**_KW), entries_per_warp=epw
+                _preset("augmented", **_KW), entries_per_warp=epw
             )
         )
     results = run_matrix(configs, workloads=names)
@@ -350,14 +356,14 @@ def fig18_tcws_lru(
     typically best, within 1-15 % of TLB-less CCWS."""
     names = _workloads(workloads)
     configs = {
-        "no-tlb": lambda: presets.no_tlb(**_KW),
-        "ccws (no tlb)": lambda: presets.with_ccws(presets.no_tlb(**_KW)),
+        "no-tlb": lambda: _preset("no_tlb", **_KW),
+        "ccws (no tlb)": lambda: presets.with_ccws(_preset("no_tlb", **_KW)),
     }
     for weights in weight_sets:
         label = "tcws LRU" + str(tuple(weights))
         configs[label] = (
             lambda weights=tuple(weights): presets.with_tcws(
-                presets.augmented_tlb(**_KW), lru_hit_weights=weights
+                _preset("augmented", **_KW), lru_hit_weights=weights
             )
         )
     results = run_matrix(configs, workloads=names)
@@ -375,16 +381,16 @@ def fig20_tbc(workloads: Optional[Sequence[str]] = None) -> FigureResult:
     kw = dict(warmup_instructions=0)
     results = run_matrix(
         {
-            "stack-no-tlb": lambda: presets.no_tlb(**kw),
-            "tbc (no tlb)": lambda: presets.with_tbc(presets.no_tlb(**kw), "tbc"),
+            "stack-no-tlb": lambda: _preset("no_tlb", **kw),
+            "tbc (no tlb)": lambda: presets.with_tbc(_preset("no_tlb", **kw), "tbc"),
             "tbc+naive": lambda: presets.with_tbc(
-                presets.naive_tlb(ports=4, **kw), "tbc"
+                _preset("blocking", **kw), "tbc"
             ),
             "tbc+augmented": lambda: presets.with_tbc(
-                presets.augmented_tlb(**kw), "tbc"
+                _preset("augmented", **kw), "tbc"
             ),
-            "naive (no tbc)": lambda: presets.naive_tlb(ports=4, **kw),
-            "augmented (no tbc)": lambda: presets.augmented_tlb(**kw),
+            "naive (no tbc)": lambda: _preset("blocking", **kw),
+            "augmented (no tbc)": lambda: _preset("augmented", **kw),
         },
         workloads=names,
         form="blocks",
@@ -417,16 +423,16 @@ def fig22_tlb_tbc(
     names = _workloads(workloads)
     kw = dict(warmup_instructions=0)
     configs = {
-        "stack-no-tlb": lambda: presets.no_tlb(**kw),
-        "tbc (no tlb)": lambda: presets.with_tbc(presets.no_tlb(**kw), "tbc"),
+        "stack-no-tlb": lambda: _preset("no_tlb", **kw),
+        "tbc (no tlb)": lambda: presets.with_tbc(_preset("no_tlb", **kw), "tbc"),
         "tbc+augmented": lambda: presets.with_tbc(
-            presets.augmented_tlb(**kw), "tbc"
+            _preset("augmented", **kw), "tbc"
         ),
     }
     for bits in counter_bits:
         configs[f"tlb-tbc {bits}b"] = (
             lambda bits=bits: presets.with_tbc(
-                presets.augmented_tlb(**kw), "tlb-tbc", counter_bits=bits
+                _preset("augmented", **kw), "tlb-tbc", counter_bits=bits
             )
         )
     results = run_matrix(configs, workloads=names, form="blocks")
@@ -456,11 +462,11 @@ def sec9_large_pages(workloads: Optional[Sequence[str]] = None) -> FigureResult:
         "tlb miss 2MB %": {},
     }
     for name in names:
-        small = run_config(
-            presets.naive_tlb(ports=4, **_KW), get_workload(name), miss_scale=1.0
+        small = simulate(
+            config=_preset("blocking", **_KW), workload=name, miss_scale=1.0
         )
-        large_cfg = presets.naive_tlb(ports=4, page_shift=21, **_KW)
-        large = run_config(large_cfg, get_workload(name), miss_scale=1.0)
+        large_cfg = _preset("blocking", page_shift=21, **_KW)
+        large = simulate(config=large_cfg, workload=name, miss_scale=1.0)
         series["avg pdiv 4KB"][name] = small.stats.average_page_divergence
         series["avg pdiv 2MB"][name] = large.stats.average_page_divergence
         series["tlb miss 4KB %"][name] = 100 * small.stats.tlb_miss_rate

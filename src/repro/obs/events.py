@@ -42,6 +42,8 @@ INTERVAL_SAMPLE = "interval_sample"
 PAGE_FAULT = "page_fault"
 FAULT_INJECT = "fault_inject"
 HANG_DUMP = "hang_dump"
+SWEEP_CELL = "sweep_cell"
+SWEEP_PROGRESS = "sweep_progress"
 
 #: Every kind the instrumentation emits (sinks accept unknown kinds too,
 #: so downstream tooling can filter without the tracer gatekeeping).
@@ -67,11 +69,13 @@ KINDS = frozenset(
         PAGE_FAULT,
         FAULT_INJECT,
         HANG_DUMP,
+        SWEEP_CELL,
+        SWEEP_PROGRESS,
     }
 )
 
 #: Kinds rendered as Perfetto counter tracks (``ph: "C"``).
-COUNTER_KINDS = frozenset({WALK_QUEUE, INTERVAL_SAMPLE})
+COUNTER_KINDS = frozenset({WALK_QUEUE, INTERVAL_SAMPLE, SWEEP_PROGRESS})
 
 
 class TraceEvent:

@@ -1,0 +1,111 @@
+"""Content-addressed cache of simulation results.
+
+Figures overlap heavily — fig07 and fig10 share their ``no-tlb``,
+``naive`` and ``ideal`` cells, and a rerun of any figure repeats every
+cell — so the sweep engine can skip a simulation whenever an identical
+one already ran.  "Identical" is decided by content, not by figure or
+series label: the cache key hashes the canonical form of the
+:class:`GPUConfig` (field-order independent, fault seed included), the
+workload name, the trace form and miss scale, plus two version salts:
+
+- :data:`SIMULATION_VERSION` — bump when a change makes the simulator
+  produce different numbers for the same config (timing model fixes,
+  workload generator changes).  Stale entries then miss instead of
+  poisoning new sweeps.
+- :data:`repro.core.results.RESULT_SCHEMA_VERSION` — already bumped on
+  incompatible result-layout changes.
+
+Entries are single JSON files named by their key, written atomically
+(temp file + ``os.replace``), so concurrent sweeps sharing a cache
+directory can race harmlessly: the worst case is both simulating and
+one overwrite with identical bytes.  Delete the directory (or bump the
+salt) to invalidate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from typing import Optional
+
+from repro.core.config import canonical_config_json
+from repro.core.results import RESULT_SCHEMA_VERSION, SimulationResult
+from repro.parallel.cells import Cell
+
+#: Code-version salt: bump on any change to simulated timing/semantics.
+SIMULATION_VERSION = "sim-v1"
+
+
+def cache_key(cell: Cell) -> str:
+    """Content hash identifying ``cell``'s simulation outcome."""
+    payload = "\n".join(
+        [
+            SIMULATION_VERSION,
+            f"schema-{RESULT_SCHEMA_VERSION}",
+            canonical_config_json(cell.config),
+            cell.workload,
+            cell.form if cell.form is not None else "-",
+            repr(cell.miss_scale),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` simulation results.
+
+    Tracks ``hits``/``misses``/``stores`` so progress reporting and
+    tests can observe short-circuiting.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> str:
+        # Two-level fan-out keeps directories small on huge campaigns.
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, cell: Cell) -> Optional[SimulationResult]:
+        """The cached result for ``cell``, or None (counted either way)."""
+        path = self._path(cache_key(cell))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            result = SimulationResult.from_json(text)
+        except (OSError, ValueError):
+            # Missing, torn, or corrupt entry: treat as a miss; a fresh
+            # simulation will overwrite it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, cell: Cell, result: SimulationResult) -> None:
+        """Store ``result`` for ``cell`` atomically."""
+        path = self._path(cache_key(cell))
+        parent = os.path.dirname(path)
+        os.makedirs(parent, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(result.canonical_json())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently stored."""
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count

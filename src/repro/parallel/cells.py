@@ -1,0 +1,142 @@
+"""Sweep cells: the picklable unit of work the pool fans out.
+
+A :class:`Cell` is one fully-materialized (config, workload) point of a
+sweep matrix — unlike the zero-argument config *factories* the figure
+drivers pass around (closures do not pickle), a cell carries the frozen
+:class:`GPUConfig` itself, so the parent can ship it to a spawned worker
+unchanged.  Determinism hangs on this: a cell is self-contained (its
+config embeds the fault seed), so its result is a pure function of the
+cell and never of which worker ran it or in what order.
+
+:func:`execute_cell` is the single execution path shared by the serial
+sweep, the in-process fallback, and the worker processes: bounded
+retries with seed perturbation on structured simulator errors (PR 2
+semantics), each attempt under a wall-clock
+:func:`repro.faults.watchdog.wall_clock_guard`.
+"""
+
+from __future__ import annotations
+
+import dataclasses as _dc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.config import GPUConfig
+from repro.core.results import SimulationResult
+from repro.faults import errors as _errors
+from repro.faults.errors import SimulationError
+from repro.faults.watchdog import wall_clock_guard
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (config, workload) sweep point, ready to execute anywhere."""
+
+    label: str
+    workload: str
+    config: GPUConfig
+    form: Optional[str] = None
+    miss_scale: float = 1.0
+
+    def describe(self) -> str:
+        """Short human-readable identity for progress lines and errors."""
+        return f"{self.label}/{self.workload}"
+
+
+def reseeded(config: GPUConfig, attempt: int) -> GPUConfig:
+    """Perturb the fault seed for retry ``attempt`` (0 = as configured).
+
+    Deterministic injection would otherwise replay the identical
+    failure on every retry.
+    """
+    if attempt == 0 or not config.faults.enabled:
+        return config
+    faults = _dc.replace(config.faults, seed=config.faults.seed + attempt)
+    return _dc.replace(config, faults=faults)
+
+
+def simulate_cell(cell: Cell, attempt: int = 0) -> SimulationResult:
+    """Simulate one attempt of ``cell`` (the monkeypatchable seam)."""
+    from repro.api import simulate
+
+    return simulate(
+        config=reseeded(cell.config, attempt),
+        workload=cell.workload,
+        form=cell.form,
+        miss_scale=cell.miss_scale,
+    )
+
+
+def execute_cell(
+    cell: Cell, retries: int = 0, timeout: Optional[float] = None
+) -> SimulationResult:
+    """Run ``cell`` with retries and a per-attempt wall-clock bound.
+
+    Raises the final :class:`SimulationError` — with series/workload/
+    attempt context attached — once every attempt has failed; any
+    non-structured exception propagates immediately.
+    """
+    attempts = retries + 1
+    last_error: Optional[SimulationError] = None
+    for attempt in range(attempts):
+        try:
+            with wall_clock_guard(timeout or 0.0, label=cell.describe()):
+                return simulate_cell(cell, attempt)
+        except SimulationError as exc:
+            last_error = exc
+    assert last_error is not None
+    last_error.add_context(
+        series=cell.label, workload=cell.workload, attempts=attempts
+    )
+    raise last_error
+
+
+# -- worker-process protocol ------------------------------------------
+#
+# Structured errors do not survive pickling intact (their diagnostics
+# ride on an attribute, not on BaseException.args), so workers never let
+# exceptions cross the pool: every outcome is an explicit tuple the
+# parent folds back into results or reconstructed errors.
+
+#: Error classes a worker may report, by name (the pickle-safe channel).
+_ERROR_TYPES = {
+    name: getattr(_errors, name)
+    for name in (
+        "SimulationError",
+        "SimulationHang",
+        "PTWError",
+        "WalkTimeout",
+        "CellTimeout",
+        "InvariantViolation",
+    )
+}
+
+
+def run_cell_in_worker(
+    payload: Tuple[int, Cell, int, Optional[float]]
+) -> Tuple[int, str, Any]:
+    """Pool entry point: execute one cell, report a picklable outcome.
+
+    Returns ``(index, "ok", SimulationResult)`` or
+    ``(index, "error", (type_name, message, diagnostics, attempts))``.
+    """
+    index, cell, retries, timeout = payload
+    try:
+        result = execute_cell(cell, retries=retries, timeout=timeout)
+    except SimulationError as exc:
+        diagnostics: Dict[str, Any] = dict(exc.diagnostics)
+        attempts = int(diagnostics.get("attempts", retries + 1))
+        return (
+            index,
+            "error",
+            (type(exc).__name__, str(exc), diagnostics, attempts),
+        )
+    return index, "ok", result
+
+
+def rebuild_error(
+    type_name: str, message: str, diagnostics: Dict[str, Any]
+) -> SimulationError:
+    """Reconstruct a worker-reported error in the parent process."""
+    error_cls = _ERROR_TYPES.get(type_name, SimulationError)
+    return error_cls(message, diagnostics=diagnostics)

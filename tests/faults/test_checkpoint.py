@@ -10,9 +10,9 @@ from helpers import small_config
 
 from repro.core.results import SimulationResult
 from repro.faults.errors import SimulationHang
-from repro.harness import experiment
 from repro.harness.checkpoint import SweepCheckpoint, cell_key
 from repro.harness.experiment import run_cell, run_matrix, sweep_session
+from repro.parallel import cells
 from repro.stats.counters import CoreStats
 
 WORKLOAD = "bfs"
@@ -30,7 +30,7 @@ def test_resumed_sweep_is_byte_identical_and_skips_simulation(tmp_path, monkeypa
     def _boom(*args, **kwargs):
         raise AssertionError("cell was re-simulated despite checkpoint")
 
-    monkeypatch.setattr(experiment, "run_config", _boom)
+    monkeypatch.setattr(cells, "simulate_cell", _boom)
     with sweep_session(checkpoint_path=path):
         second = run_matrix(_configs(), workloads=[WORKLOAD])
     a = first["tiny"][WORKLOAD]
@@ -49,8 +49,10 @@ def test_checkpoint_survives_a_torn_final_line(tmp_path):
 
 
 def test_distinct_configs_do_not_collide_under_one_label():
-    a = cell_key("naive", "bfs", "TLB 64e/1p", None, 1.0)
-    b = cell_key("naive", "bfs", "TLB 128e/4p", None, 1.0)
+    a = cell_key("naive", "bfs", small_config(), None, 1.0)
+    b = cell_key(
+        "naive", "bfs", small_config(warmup_instructions=7), None, 1.0
+    )
     assert a != b
 
 
@@ -62,7 +64,7 @@ def test_failed_cells_retry_then_record_failure(tmp_path, monkeypatch):
         calls["n"] += 1
         raise SimulationHang("stuck", diagnostics={"cycle": 123})
 
-    monkeypatch.setattr(experiment, "run_config", _always_hangs)
+    monkeypatch.setattr(cells, "simulate_cell", _always_hangs)
     with SweepCheckpoint(path) as checkpoint:
         with pytest.raises(SimulationHang) as excinfo:
             run_cell(
@@ -100,7 +102,7 @@ def test_transient_failures_recover_within_retry_budget(tmp_path, monkeypatch):
             raise SimulationHang("stuck")
         return healthy
 
-    monkeypatch.setattr(experiment, "run_config", _flaky)
+    monkeypatch.setattr(cells, "simulate_cell", _flaky)
     with SweepCheckpoint(str(tmp_path / "sweep.jsonl")) as checkpoint:
         result = run_cell(
             "tiny",
@@ -119,8 +121,8 @@ def test_retries_perturb_the_fault_seed():
     config = small_config(
         faults=FaultConfig(enabled=True, ptw_error_rate=0.1, seed=5)
     )
-    assert experiment._reseeded(config, 0).faults.seed == 5
-    assert experiment._reseeded(config, 1).faults.seed == 6
+    assert cells.reseeded(config, 0).faults.seed == 5
+    assert cells.reseeded(config, 1).faults.seed == 6
     # Fault-free configs are never touched.
     clean = small_config()
-    assert experiment._reseeded(clean, 1) is clean
+    assert cells.reseeded(clean, 1) is clean

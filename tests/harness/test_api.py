@@ -1,0 +1,104 @@
+"""The repro.api facade: resolution rules, keyword-only surface, shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from helpers import small_config
+
+import repro
+from repro.api import figure, simulate, sweep
+from repro.core.config import GPUConfig
+from repro.core.presets import preset_names
+
+
+class TestSimulate:
+    def test_accepts_config_object_name_and_factory(self):
+        by_object = simulate(config=small_config(), workload="bfs")
+        by_factory = simulate(config=lambda: small_config(), workload="bfs")
+        assert by_object.canonical_json() == by_factory.canonical_json()
+        named = simulate(
+            config="no_tlb", workload="kmeans"
+        )
+        assert named.cycles > 0
+
+    def test_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            simulate(small_config(), "bfs")  # positional forbidden
+
+    def test_unknown_preset_names_the_choices(self):
+        with pytest.raises(ValueError, match="augmented"):
+            simulate(config="no-such-machine", workload="bfs")
+
+    def test_factory_must_return_a_config(self):
+        with pytest.raises(TypeError, match="GPUConfig"):
+            simulate(config=lambda: 42, workload="bfs")
+
+    def test_rejects_non_config_values(self):
+        with pytest.raises(TypeError, match="preset name"):
+            simulate(config=3.14, workload="bfs")
+
+
+class TestPresets:
+    def test_paper_design_points_exist(self):
+        names = preset_names()
+        for required in ("no_tlb", "blocking", "augmented", "ideal"):
+            assert required in names
+
+    def test_aliases_resolve(self):
+        assert isinstance(GPUConfig.preset("no-tlb"), GPUConfig)
+        assert isinstance(GPUConfig.preset("baseline"), GPUConfig)
+
+    def test_unknown_preset_raises_with_choices(self):
+        with pytest.raises(ValueError, match="ideal"):
+            GPUConfig.preset("bogus")
+
+
+class TestSweep:
+    def test_returns_one_result_per_label_with_speedups(self):
+        rows = sweep(
+            configs={
+                "base": lambda: small_config(),
+                "warm": lambda: small_config(warmup_instructions=5),
+            },
+            workloads=["bfs"],
+            baseline="base",
+        )
+        assert [r.figure for r in rows] == ["base", "warm"]
+        assert "cycles" in rows[0].series
+        assert "speedup vs base" in rows[1].series
+        assert "speedup vs base" not in rows[0].series
+
+    def test_unknown_baseline_is_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            sweep(
+                configs={"only": lambda: small_config()},
+                workloads=["bfs"],
+                baseline="missing",
+            )
+
+
+class TestFigure:
+    def test_unknown_figure_lists_valid_ids(self):
+        with pytest.raises(ValueError, match="fig07"):
+            figure(name="fig99")
+
+
+class TestPackageSurface:
+    def test_facade_is_reexported_from_the_package_root(self):
+        assert repro.simulate is simulate
+        assert repro.sweep is sweep
+        assert repro.figure is figure
+
+    def test_deprecated_run_config_shim_warns_and_delegates(self):
+        from repro.harness.experiment import run_config
+        from repro.workloads.registry import get_workload
+
+        with pytest.warns(DeprecationWarning):
+            old = run_config(small_config(), get_workload("bfs"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the facade itself is clean
+            new = simulate(config=small_config(), workload="bfs")
+        assert old.canonical_json() == new.canonical_json()

@@ -1,5 +1,7 @@
 """Harness plumbing."""
 
+import pytest
+
 from repro.core import presets
 from repro.harness.experiment import (
     FigureResult,
@@ -23,10 +25,12 @@ class TestFigureResult:
 
 
 class TestRunners:
-    def test_run_config(self):
-        result = run_config(
-            presets.no_tlb(warmup_instructions=20), get_workload("kmeans")
-        )
+    def test_run_config_still_works_but_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.simulate"):
+            result = run_config(
+                presets.no_tlb(warmup_instructions=20),
+                get_workload("kmeans"),
+            )
         assert result.cycles > 0
         assert result.workload == "kmeans"
 

@@ -1,0 +1,34 @@
+"""The determinism contract: parallel figures are byte-identical to serial.
+
+These run real figure drivers end to end (restricted to one workload to
+stay fast), once inline and once across a spawned two-worker pool, and
+compare the canonical JSON of the resulting :class:`FigureResult`s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import small_config
+
+from repro.api import figure, sweep
+
+WORKLOADS = ["kmeans"]
+
+
+@pytest.mark.parametrize("name", ["fig02", "fig11"])
+def test_figure_is_byte_identical_serial_vs_parallel(name):
+    serial = figure(name=name, workloads=WORKLOADS, jobs=1)
+    parallel = figure(name=name, workloads=WORKLOADS, jobs=2)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_sweep_is_byte_identical_serial_vs_parallel():
+    kwargs = dict(
+        configs={"base": "no_tlb", "tiny": lambda: small_config()},
+        workloads=WORKLOADS,
+        baseline="base",
+    )
+    serial = sweep(jobs=1, **kwargs)
+    parallel = sweep(jobs=2, **kwargs)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]

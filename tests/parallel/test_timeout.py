@@ -1,0 +1,72 @@
+"""Wall-clock cell timeouts: the sweep twin of the PR 2 watchdog."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from helpers import small_config
+
+from repro.faults.errors import CellTimeout, SimulationError
+from repro.faults.watchdog import wall_clock_guard
+from repro.parallel import cells
+from repro.parallel.cells import Cell
+
+
+def test_guard_is_a_noop_when_disabled():
+    with wall_clock_guard(0.0):
+        time.sleep(0.01)
+    with wall_clock_guard(-1.0):
+        pass
+
+
+def test_guard_interrupts_a_stuck_body():
+    with pytest.raises(CellTimeout) as excinfo:
+        with wall_clock_guard(0.05, label="stuck-cell"):
+            time.sleep(5.0)
+    assert "stuck-cell" in str(excinfo.value)
+    assert excinfo.value.diagnostics["wall_clock_limit_s"] == 0.05
+
+
+def test_guard_restores_the_previous_alarm_handler():
+    import signal
+
+    before = signal.getsignal(signal.SIGALRM)
+    with wall_clock_guard(1.0):
+        assert signal.getsignal(signal.SIGALRM) is not before
+    assert signal.getsignal(signal.SIGALRM) is before
+
+
+def test_cell_timeout_is_a_structured_simulation_error():
+    # Retry/record plumbing treats CellTimeout exactly like a hang.
+    assert issubclass(CellTimeout, SimulationError)
+
+
+def test_execute_cell_times_out_and_attaches_context(monkeypatch):
+    def _stuck(cell, attempt=0):
+        time.sleep(5.0)
+
+    monkeypatch.setattr(cells, "simulate_cell", _stuck)
+    cell = Cell(label="tiny", workload="bfs", config=small_config())
+    started = time.monotonic()
+    with pytest.raises(CellTimeout) as excinfo:
+        cells.execute_cell(cell, retries=0, timeout=0.05)
+    assert time.monotonic() - started < 2.0
+    assert excinfo.value.diagnostics["series"] == "tiny"
+    assert excinfo.value.diagnostics["attempts"] == 1
+
+
+def test_timeout_applies_per_attempt(monkeypatch):
+    calls = {"n": 0}
+
+    def _stuck(cell, attempt=0):
+        calls["n"] += 1
+        time.sleep(5.0)
+
+    monkeypatch.setattr(cells, "simulate_cell", _stuck)
+    cell = Cell(label="tiny", workload="bfs", config=small_config())
+    with pytest.raises(CellTimeout) as excinfo:
+        cells.execute_cell(cell, retries=2, timeout=0.05)
+    assert calls["n"] == 3
+    assert excinfo.value.diagnostics["attempts"] == 3
