@@ -1,14 +1,21 @@
 """Shared helpers for the figure-reproduction benchmarks.
 
 Each benchmark regenerates one table/figure of the paper via its
-:mod:`repro.harness.figures` driver, times it with pytest-benchmark,
-prints the figure's series, and archives the rendered table under
-``benchmarks/results/`` so the artifacts survive output capture.
+:mod:`repro.harness.figures` driver, times it with pytest-benchmark
+when that plugin is installed, prints the figure's series, and archives
+the rendered table under ``benchmarks/results/`` so the artifacts
+survive output capture.
+
+When pytest-benchmark is absent (minimal CI images, headless runs) a
+fallback ``benchmark`` fixture with the same calling conventions runs
+each figure once and reports its wall time, so ``pytest benchmarks/``
+works everywhere.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
 
 import pytest
 
@@ -17,9 +24,59 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
-    """Directory the rendered figure tables are archived into."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Directory the rendered figure tables are archived into.
+
+    ``parents=True, exist_ok=True`` makes creation race-free when
+    pytest-xdist (or several pytest invocations) start sessions
+    concurrently, and works even when ``benchmarks/`` itself was
+    checked out bare.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+class _FallbackBenchmark:
+    """pytest-benchmark stand-in: same call shapes, single timed run."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.last_seconds: float = 0.0
+
+    def _timed(self, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.last_seconds = time.perf_counter() - start
+        print(f"[bench-fallback] {self.name}: {self.last_seconds:.3f}s")
+        return result
+
+    def __call__(self, fn, *args, **kwargs):
+        return self._timed(fn, *args, **kwargs)
+
+    def pedantic(
+        self, fn, args=(), kwargs=None, iterations=1, rounds=1, **_ignored
+    ):
+        result = None
+        for _ in range(max(1, rounds) * max(1, iterations)):
+            result = self._timed(fn, *args, **(kwargs or {}))
+        return result
+
+
+class _FallbackBenchmarkPlugin:
+    """Provides the ``benchmark`` fixture when the plugin is inactive."""
+
+    @pytest.fixture
+    def benchmark(self, request):
+        """Single-run timing fallback when pytest-benchmark is missing."""
+        return _FallbackBenchmark(request.node.name)
+
+
+def pytest_configure(config):
+    # hasplugin (not an import check) so `-p no:benchmark` and a missing
+    # package both get the fallback fixture.
+    if not config.pluginmanager.hasplugin("benchmark"):
+        config.pluginmanager.register(
+            _FallbackBenchmarkPlugin(), "repro-benchmark-fallback"
+        )
 
 
 @pytest.fixture

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 from repro.core.config import GPUConfig
 from repro.core.results import SimulationResult
 from repro.core.simulator import Simulator
+from repro.prof.registry import record_result
 from repro.workloads.base import TIMING_MISS_SCALE, Workload
 from repro.workloads.registry import get_workload
 
@@ -97,7 +98,11 @@ def simulate(
     machine = _resolve_config(config)
     work_source = _resolve_workload(workload)
     work = work_source.build(machine, form=form, miss_scale=miss_scale)
-    return Simulator(machine, work, work_source.name).run()
+    result = Simulator(machine, work, work_source.name).run()
+    # Observation-only mirror of the run's counters into the unified
+    # metrics registry; never feeds back into results.
+    record_result(result)
+    return result
 
 
 def sweep(

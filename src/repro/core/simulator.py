@@ -23,6 +23,7 @@ from repro.gpu.tbc.blocks import ThreadBlock
 from repro.mem.hierarchy import SharedMemory
 from repro.obs import tracer as obs_tracer
 from repro.obs.interval import IntervalSampler
+from repro.prof import profiler as _prof
 from repro.ptw.multi import WalkerPool
 from repro.stats.counters import CoreStats
 from repro.stats.histograms import histograms_from_events
@@ -179,6 +180,8 @@ class Simulator:
         total_l1_miss_latency = 0
         walk_cycles = 0
         walks = 0
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_SIMULATE)
         try:
             for core in self.cores:
                 try:
@@ -199,6 +202,10 @@ class Simulator:
                 walk_cycles += core_walk_cycles
                 walks += core_walks
         finally:
+            if _prof.ENABLED:
+                # Closes the simulate frame plus any frames an error
+                # left open mid-walk, so attribution stays balanced.
+                _prof.end_through(_prof.PHASE_SIMULATE)
             if tracer is not None:
                 obs_tracer.uninstall()
         if self.faults is not None and self.faults.model is not None:
@@ -229,6 +236,9 @@ class Simulator:
             ptw_l2_hit_rate=ptw_l2_hits / ptw_refs if ptw_refs else 0.0,
             dram_requests=dram_requests,
         )
+        if _prof.ENABLED:
+            _prof.add("cells", 1)
+            _prof.add("sim_cycles", result.cycles)
         if tracer is not None:
             result.interval_series = [
                 row

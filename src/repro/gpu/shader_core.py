@@ -43,6 +43,7 @@ from repro.mem.hierarchy import CoreMemory, SharedMemory
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
 from repro.obs.interval import IntervalSampler
+from repro.prof import profiler as _prof
 from repro.ptw.multi import WalkerPool
 from repro.ptw.scheduler import ScheduledPageTableWalker
 from repro.ptw.walker import PageTableWalker
@@ -354,9 +355,13 @@ class ShaderCore:
                 now = next_event
                 continue
             inflight = any(w.ready_at > now for w in live)
+            if _prof.ENABLED:
+                _prof.begin(_prof.PHASE_WARP_SCHED)
             chosen_id = self.scheduler.select(
                 [c for _, c in candidates], now, inflight
             )
+            if _prof.ENABLED:
+                _prof.end()
             if _trace.ENABLED:
                 _trace.emit(
                     _ev.SCHEDULER_DECISION,
@@ -457,7 +462,11 @@ class ShaderCore:
 
     def _issue_memory(self, warp: Warp, instr: MemoryInstruction, now: int) -> int:
         """Run one warp memory instruction; return its completion cycle."""
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_COALESCE)
         coal = coalesce(instr.addresses, self.line_bytes, self.page_shift)
+        if _prof.ENABLED:
+            _prof.end()
         self.stats.page_divergence_sum += coal.page_divergence
         if coal.page_divergence > self.stats.page_divergence_max:
             self.stats.page_divergence_max = coal.page_divergence

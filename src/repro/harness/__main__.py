@@ -12,6 +12,8 @@ Usage::
     python -m repro.harness trace fig04 --out traces/
     python -m repro.harness trace bfs --tiny
     python -m repro.harness faults --tiny --check-determinism
+    python -m repro.harness bench --quick
+    python -m repro.harness bench --full --strict
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`, run
 through the stable :mod:`repro.api` facade; the rendered table prints
@@ -32,7 +34,9 @@ choices.
 ``trace`` runs one configuration with the :mod:`repro.obs` event tracer
 enabled and writes ``trace.jsonl`` and ``trace.chrome.json`` (see
 :mod:`repro.harness.trace`); ``faults`` is the fault-injection smoke
-run (see :mod:`repro.harness.faults`).
+run (see :mod:`repro.harness.faults`); ``bench`` profiles a calibrated
+figure matrix and records a ``BENCH_<n>.json`` perf-trajectory report
+(see :mod:`repro.harness.bench`).
 """
 
 from __future__ import annotations
@@ -57,6 +61,10 @@ def main(argv=None) -> int:
         from repro.harness.faults import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.harness.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",

@@ -14,6 +14,7 @@ from typing import List
 
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+from repro.prof import profiler as _prof
 
 
 class DRAMChannel:
@@ -62,9 +63,13 @@ class DRAM:
 
     def access(self, line_addr: int, now: int) -> int:
         """Access DRAM for ``line_addr`` at ``now``; return ready cycle."""
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_DRAM)
         channel_index = self.channel_of(line_addr)
         channel = self.channels[channel_index]
         ready = channel.access(now)
+        if _prof.ENABLED:
+            _prof.end()
         if _trace.ENABLED:
             start = ready - channel.access_latency
             _trace.emit(

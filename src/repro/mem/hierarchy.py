@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.dram import DRAM
 from repro.mem.mshr import MSHRFile
+from repro.prof import profiler as _prof
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,8 @@ class SharedMemory:
         translation traffic behind data bursts.  They still consume bank
         bandwidth (the busy window advances).
         """
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_L2)
         channel = self.dram.channel_of(line_addr)
         bank = self.l2_banks[channel]
         arrive = now + self.interconnect_latency
@@ -110,9 +113,13 @@ class SharedMemory:
             self.l2_hits += 1
             if is_ptw:
                 self.ptw_l2_hits += 1
+            if _prof.ENABLED:
+                _prof.end()
             return MemAccessResult(start + self.l2_latency, "l2")
         self.l2_misses += 1
         ready = self.dram.access(line_addr, start + self.l2_latency)
+        if _prof.ENABLED:
+            _prof.end()
         return MemAccessResult(ready + self.interconnect_latency, "dram")
 
     @property
@@ -151,15 +158,21 @@ class CoreMemory:
 
     def access(self, line_addr: int, now: int, warp_id: Optional[int] = None) -> MemAccessResult:
         """Demand access by a warp; models hit, MSHR merge, or fill."""
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_CACHE)
         access = self.l1.access(line_addr, warp_id)
         if access.hit:
             self.l1_hits += 1
+            if _prof.ENABLED:
+                _prof.end()
             return MemAccessResult(now + self.l1_latency, "l1")
         self.l1_misses += 1
         merge_ready = self.mshrs.lookup(line_addr, now)
         if merge_ready is not None:
             ready = merge_ready if merge_ready > now else now + self.l1_latency
             self.total_miss_latency += ready - now
+            if _prof.ENABLED:
+                _prof.end()
             return MemAccessResult(
                 ready, "l1-mshr", access.evicted_line, access.evicted_warp
             )
@@ -173,6 +186,8 @@ class CoreMemory:
         ready = max(shared.ready_time, slot_free + self.l1_latency)
         self.mshrs.allocate(line_addr, ready, slot_free)
         self.total_miss_latency += ready - now
+        if _prof.ENABLED:
+            _prof.end()
         return MemAccessResult(
             ready, shared.level, access.evicted_line, access.evicted_warp
         )

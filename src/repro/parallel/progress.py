@@ -1,14 +1,19 @@
 """Live sweep progress: cells done/total, cache hits, workers, ETA.
 
-Two channels, both optional and both observation-only:
+Three channels, all optional and all observation-only:
 
 - a rate-limited single-line report to a text stream (the CLI passes
-  ``sys.stderr`` for parallel runs), and
+  ``sys.stderr`` for parallel runs),
 - :mod:`repro.obs` trace events when a tracer is installed —
   ``sweep_cell`` instants per completed cell and a ``sweep_progress``
   counter series (done / simulated / cache hits / in-flight workers)
   that renders as Perfetto counter tracks alongside the simulator's own
-  timeline.
+  timeline, and
+- the unified :class:`repro.prof.registry.MetricsRegistry` — the
+  ``sweep_cells_total`` counter (labeled by source), the
+  ``sweep_in_flight`` gauge, and the ``sweep_cell_seconds`` histogram,
+  which the bench harness snapshots into ``BENCH_<n>.json`` and the
+  Prometheus exporter exposes.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Optional, TextIO
 
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+from repro.prof import registry as _registry
 
 #: Where a completed cell's result came from.
 SOURCE_SIMULATED = "simulated"
@@ -35,11 +41,13 @@ class SweepProgress:
         jobs: int = 1,
         stream: Optional[TextIO] = None,
         min_interval_s: float = 0.5,
+        registry: Optional["_registry.MetricsRegistry"] = None,
     ):
         self.total = total
         self.jobs = max(1, jobs)
         self.stream = stream
         self.min_interval_s = min_interval_s
+        self.registry = registry if registry is not None else _registry.REGISTRY
         self.done = 0
         self.simulated = 0
         self.cache_hits = 0
@@ -55,6 +63,9 @@ class SweepProgress:
     def launched(self, count: int = 1) -> None:
         """``count`` cells entered execution (serial or worker)."""
         self.in_flight += count
+        self.registry.gauge(
+            "sweep_in_flight", help="sweep cells currently executing"
+        ).set(self.in_flight)
 
     def cell_done(
         self, source: str, cell_seconds: float = 0.0, label: str = ""
@@ -72,6 +83,19 @@ class SweepProgress:
         if self.in_flight > 0 and source in (SOURCE_SIMULATED, SOURCE_FAILED):
             self.in_flight -= 1
         self._busy_s += cell_seconds
+        registry = self.registry
+        registry.counter(
+            "sweep_cells_total",
+            help="completed sweep cells by result source",
+        ).inc(source=source)
+        registry.gauge(
+            "sweep_in_flight", help="sweep cells currently executing"
+        ).set(self.in_flight)
+        if source == SOURCE_SIMULATED:
+            registry.histogram(
+                "sweep_cell_seconds",
+                help="wall-clock seconds per simulated sweep cell",
+            ).observe(cell_seconds)
         if _trace.ENABLED:
             _trace.emit(
                 _ev.SWEEP_CELL,

@@ -1,0 +1,77 @@
+"""Performance observability: phase profiling, metrics, bench tracking.
+
+Where :mod:`repro.obs` traces *simulated* events (cycles, TLB misses,
+walk spans), this subsystem watches the *host*: where wall-clock time
+goes while the simulator runs, and how that cost moves across commits.
+
+Three pieces:
+
+- :mod:`repro.prof.profiler` — the nestable phase profiler behind the
+  same zero-overhead module-flag fast path as ``repro.obs.tracer``;
+  instrumentation sites live in the TLB, the walkers, the cache
+  hierarchy, DRAM, the coalescer, and the warp scheduler.
+- :mod:`repro.prof.registry` — the unified
+  :class:`~repro.prof.registry.MetricsRegistry`
+  (counters/gauges/histograms with labels) that consolidates the
+  ad-hoc tallies of ``repro.obs``, ``repro.faults`` and
+  ``repro.parallel.progress``; exporters in :mod:`repro.prof.export`
+  (Prometheus text, JSON).
+- :mod:`repro.prof.benchfile` — the schema-versioned ``BENCH_<n>.json``
+  perf-trajectory files written by ``python -m repro.harness bench``
+  and their threshold-based regression comparison.
+
+Quick use::
+
+    from repro import prof
+    from repro.api import simulate
+
+    with prof.profile() as profiler:
+        simulate(config="augmented", workload="bfs")
+    print(profiler.to_dict()["phases"])
+"""
+
+from repro.prof.profiler import (
+    PHASES,
+    PhaseProfiler,
+    PhaseRecord,
+    active,
+    install,
+    phase,
+    profile,
+    profiled,
+    uninstall,
+)
+from repro.prof.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_result,
+)
+from repro.prof.export import (
+    parse_prometheus,
+    registry_to_dict,
+    to_prometheus,
+)
+
+__all__ = [
+    "PHASES",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "active",
+    "install",
+    "phase",
+    "profile",
+    "profiled",
+    "uninstall",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_result",
+    "parse_prometheus",
+    "registry_to_dict",
+    "to_prometheus",
+]

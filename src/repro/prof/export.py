@@ -1,0 +1,149 @@
+"""Exporters for :class:`repro.prof.registry.MetricsRegistry`.
+
+Two formats:
+
+- :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` expansions), suitable for a
+  node-exporter-style textfile collector or a pushgateway.
+- :func:`registry_to_dict` — the JSON layout embedded in the
+  ``metrics`` section of every ``BENCH_<n>.json``.
+
+:func:`parse_prometheus` is the inverse of :func:`to_prometheus` for the
+sample lines (headers are comments); the round trip is pinned by
+``tests/prof/test_export.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.prof.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without a trailing .0 (canonical, diffable).
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in sorted(metric.series().items()):
+                lines.append(
+                    f"{metric.name}{_format_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for labels in sorted(metric.series_keys()):
+                snap = metric.snapshot(**dict(labels))
+                for bucket in snap["buckets"]:
+                    le = bucket["le"]
+                    le_text = "+Inf" if le == "+Inf" else _format_value(le)
+                    bucket_labels = labels + (("le", le_text),)
+                    lines.append(
+                        f"{metric.name}_bucket{_format_labels(bucket_labels)} "
+                        f"{bucket['count']}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(labels)} "
+                    f"{snap['count']}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    )
+
+
+def parse_prometheus(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse exposition-format sample lines back to ``{(name, labels): value}``.
+
+    Comments (``# HELP`` / ``# TYPE``) and blank lines are skipped;
+    malformed sample lines raise ``ValueError``.  Histograms come back
+    as their expanded ``_bucket``/``_sum``/``_count`` series, exactly as
+    a Prometheus scraper would ingest them.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            (m.group("name"), _unescape_label_value(m.group("value")))
+            for m in _LABEL_PAIR_RE.finditer(labels_text)
+        )
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        samples[(match.group("name"), labels)] = value
+    return samples
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON layout of the registry (the BENCH ``metrics`` section).
+
+    ``{name: {"type": ..., "help": ..., "values": [{"labels": {...},
+    ...}]}}`` — counters/gauges carry ``"value"``, histograms carry
+    ``"buckets"``/``"sum"``/``"count"`` per labeled series.
+    """
+    out: Dict[str, Any] = {}
+    for metric in registry.metrics():
+        entry: Dict[str, Any] = {
+            "type": metric.kind,
+            "help": metric.help,
+            "values": [],
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in sorted(metric.series().items()):
+                entry["values"].append(
+                    {"labels": dict(labels), "value": value}
+                )
+        elif isinstance(metric, Histogram):
+            for labels in sorted(metric.series_keys()):
+                snap = metric.snapshot(**dict(labels))
+                entry["values"].append({"labels": dict(labels), **snap})
+        out[metric.name] = entry
+    return out

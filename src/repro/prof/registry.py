@@ -1,0 +1,264 @@
+"""The unified metrics registry: counters, gauges, histograms.
+
+One registry replaces the ad-hoc tallies previously scattered across
+the subsystems: :class:`repro.parallel.progress.SweepProgress` publishes
+its sweep counters here, :func:`record_result` mirrors a finished
+simulation's :class:`repro.stats.counters.CoreStats` (including the
+``repro.faults`` fault counters) into it, and the bench harness
+snapshots it into every ``BENCH_<n>.json``.
+
+Metrics are named families with optional labels::
+
+    from repro.prof.registry import REGISTRY
+
+    REGISTRY.counter("sweep_cells_total").inc(source="simulated")
+    REGISTRY.gauge("sweep_in_flight").set(3)
+    REGISTRY.histogram("cell_seconds", buckets=(0.1, 1, 10)).observe(0.4)
+
+Export with :func:`repro.prof.export.to_prometheus` (Prometheus text
+exposition format) or :func:`repro.prof.export.registry_to_dict`
+(the JSON layout embedded in BENCH files).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: one named family of labeled time series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+
+class Counter(Metric):
+    """A monotonically increasing tally."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labeled series (0 if never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        """All labeled series, keyed by sorted label tuples."""
+        return dict(self._values)
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labeled series to ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (may be negative) to the labeled series."""
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        """Subtract ``amount`` from the labeled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labeled series (0 if never set)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        """All labeled series, keyed by sorted label tuples."""
+        return dict(self._values)
+
+
+#: Default histogram buckets: wall-clock seconds from ms to minutes.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int):
+        self.bucket_counts = [0] * num_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    always exists, so ``observe`` never drops a sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = sorted(float(b) for b in buckets)
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate histogram buckets for {name}")
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one sample into the labeled series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+        index = bisect.bisect_left(self.buckets, value)
+        series.bucket_counts[index] += 1
+        series.sum += value
+        series.count += 1
+
+    def snapshot(self, **labels: str) -> Dict[str, object]:
+        """Cumulative counts per bound, plus sum and count."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.buckets) + 1)
+        cumulative: List[int] = []
+        running = 0
+        for count in series.bucket_counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": [
+                {"le": bound, "count": cumulative[i]}
+                for i, bound in enumerate(self.buckets)
+            ]
+            + [{"le": "+Inf", "count": cumulative[-1]}],
+            "sum": series.sum,
+            "count": series.count,
+        }
+
+    def series_keys(self) -> List[LabelKey]:
+        """Label keys with recorded samples."""
+        return list(self._series)
+
+
+class MetricsRegistry:
+    """Owns every metric family; get-or-create accessors per kind."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {kind.kind}"
+                )
+            return existing
+        metric = kind(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter family ``name``."""
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge family ``name``."""
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram family ``name``."""
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def metrics(self) -> List[Metric]:
+        """Every registered family, in name order."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The named family, or None."""
+        return self._metrics.get(name)
+
+    def clear(self) -> None:
+        """Drop every family (tests and per-bench isolation)."""
+        self._metrics.clear()
+
+
+#: The process-wide default registry.  SweepProgress and the bench
+#: harness publish here unless handed an explicit registry.
+REGISTRY = MetricsRegistry()
+
+
+def record_result(
+    result,
+    registry: Optional[MetricsRegistry] = None,
+    **labels: str,
+) -> None:
+    """Mirror a :class:`SimulationResult`'s counters into ``registry``.
+
+    Every integer field of the result's :class:`CoreStats` (TLB, PTW,
+    TBC, and the ``repro.faults`` fault counters) becomes a
+    ``sim_<field>`` counter; top-level memory-system counters become
+    ``sim_<field>`` as well.  ``labels`` (e.g. ``workload="bfs"``)
+    apply to every series, which is how sweep cells stay separable.
+    """
+    if registry is None:
+        registry = REGISTRY
+    stats = result.stats
+    for name, value in vars(stats).items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        registry.counter(
+            f"sim_{name}", help=f"CoreStats.{name} summed over runs"
+        ).inc(value, **labels)
+    for name in ("l1_hits", "l1_misses", "l2_hits", "l2_misses",
+                 "ptw_refs", "dram_requests"):
+        registry.counter(
+            f"sim_{name}", help=f"SimulationResult.{name} summed over runs"
+        ).inc(getattr(result, name), **labels)

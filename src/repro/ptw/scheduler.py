@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Tuple
 
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+from repro.prof import profiler as _prof
 from repro.ptw.walker import PageTableWalker, WalkBatchResult
 from repro.vm.address import cache_line_of
 from repro.vm.page_table import TranslationFault
@@ -168,6 +169,8 @@ class ScheduledPageTableWalker(PageTableWalker):
         start: int,
     ) -> WalkBatchResult:
         """Schedule and issue one batch whose walks all succeed."""
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_PTW_SCHED)
         plan = plan_batch(
             {
                 vpn: [(step.level, step.load_paddr) for step in steps]
@@ -244,6 +247,8 @@ class ScheduledPageTableWalker(PageTableWalker):
                 refs=plan.scheduled_refs,
                 eliminated=plan.refs_eliminated,
             )
+        if _prof.ENABLED:
+            _prof.end()
         return WalkBatchResult(
             ready_time=clock,
             translations=translations,

@@ -36,6 +36,7 @@ from repro.faults.errors import PTWError, WalkTimeout
 from repro.mem.hierarchy import SharedMemory
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+from repro.prof import profiler as _prof
 from repro.vm.address import cache_line_of
 from repro.vm.page_table import PageTable, TranslationFault, WalkStep
 from repro.vm.pte import PTE_FLAG_LARGE, unpack_pte
@@ -194,6 +195,10 @@ class PageTableWalker:
 
     def walk(self, vpn: int, now: int) -> WalkResult:
         """Walk one page serially starting no earlier than ``now``."""
+        if _prof.ENABLED:
+            # An error raised mid-walk leaves this frame open; the
+            # simulator's end_through unwinds it with the run.
+            _prof.begin(_prof.PHASE_PTW)
         start = now if now >= self.busy_until else self.busy_until
         steps, start = self._resolve_steps(vpn, start)
         tracing = _trace.ENABLED
@@ -259,6 +264,8 @@ class PageTableWalker:
             pfn = leaf_pfn + within
         else:
             pfn = leaf_pfn
+        if _prof.ENABLED:
+            _prof.end()
         return WalkResult(ready_time=clock, pfn=pfn, refs=len(steps))
 
     def walk_many(self, vpns: Iterable[int], now: int) -> WalkBatchResult:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+from repro.prof import profiler as _prof
 from repro.vm.pte import HISTORY_LENGTH
 
 
@@ -102,6 +103,8 @@ class SetAssociativeTLB:
 
     def lookup(self, vpn: int, warp_id: Optional[int] = None) -> TLBLookup:
         """Look up a translation, updating LRU and warp history on a hit."""
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_TLB)
         tlb_set = self._sets.get(self._set_index(vpn))
         if tlb_set is None or vpn not in tlb_set:
             self.misses += 1
@@ -109,6 +112,8 @@ class SetAssociativeTLB:
                 _trace.emit(
                     _ev.TLB_LOOKUP, track="tlb", vpn=vpn, hit=False, warp=warp_id
                 )
+            if _prof.ENABLED:
+                _prof.end()
             return TLBLookup(hit=False)
         self.hits += 1
         depth_from_mru = len(tlb_set) - 1 - list(tlb_set).index(vpn)
@@ -129,6 +134,8 @@ class SetAssociativeTLB:
                 depth=depth_from_mru,
                 warp=warp_id,
             )
+        if _prof.ENABLED:
+            _prof.end()
         return TLBLookup(
             hit=True,
             pfn=entry.pfn,

@@ -1,16 +1,34 @@
-"""Tracing must not perturb simulation: identical results on or off."""
+"""Instrumentation must not perturb simulation: identical results on or
+off — for the :mod:`repro.obs` tracer and the :mod:`repro.prof` phase
+profiler alike.  The profiler tests pin byte-identity against the
+pre-instrumentation golden files in ``tests/faults/golden/``."""
 
+import pathlib
+
+import pytest
+
+from repro.core import presets
 from repro.core.config import TraceConfig
 from repro.core.simulator import Simulator
 from repro.obs import tracer as trace
+from repro.prof import profiler as prof
 
 from helpers import small_config, small_workload
 
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "faults" / "golden"
 
-def run(config):
+GEOM = dict(num_cores=1, warps_per_core=8, warp_width=8)
+
+GOLDEN_CONFIGS = {
+    "blocking": lambda: small_config(),
+    "augmented": lambda: presets.augmented_tlb(**GEOM),
+}
+
+
+def run(config, workload_name=None):
     workload = small_workload()
     work = workload.build(config)
-    return Simulator(config, work, workload.name).run()
+    return Simulator(config, work, workload_name or workload.name).run()
 
 
 class TestObservationOnly:
@@ -55,3 +73,39 @@ class TestObservationOnly:
         run(small_config(trace=TraceConfig(enabled=True)))
         assert trace.ENABLED is False
         assert trace.active() is None
+
+
+class TestProfilerObservationOnly:
+    """The phase profiler is host-side only: zero result perturbation."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+    def test_profiling_disabled_matches_pre_instrumentation_goldens(
+        self, name
+    ):
+        assert prof.ENABLED is False
+        result = run(GOLDEN_CONFIGS[name](), workload_name="tiny")
+        golden = (GOLDEN_DIR / f"{name}.json").read_text()
+        assert result.to_json() + "\n" == golden
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
+    def test_profiling_enabled_matches_pre_instrumentation_goldens(
+        self, name
+    ):
+        with prof.profile() as profiler:
+            result = run(GOLDEN_CONFIGS[name](), workload_name="tiny")
+        golden = (GOLDEN_DIR / f"{name}.json").read_text()
+        assert result.to_json() + "\n" == golden
+        # And the profiler actually observed the run.
+        assert profiler.counts["cells"] == 1
+        assert profiler.records[prof.PHASE_SIMULATE].calls == 1
+
+    def test_profiler_uninstalled_after_profile_block(self):
+        with prof.profile():
+            run(small_config())
+        assert prof.ENABLED is False
+        assert prof.active() is None
+
+    def test_profiler_balanced_after_run(self):
+        with prof.profile() as profiler:
+            run(small_config())
+        assert profiler.depth == 0

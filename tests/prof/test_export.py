@@ -1,0 +1,91 @@
+"""Prometheus text round-trip and JSON export shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.prof.export import (
+    parse_prometheus,
+    registry_to_dict,
+    to_prometheus,
+)
+from repro.prof.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    cells = reg.counter("sweep_cells_total", help="cells by source")
+    cells.inc(3, source="simulated")
+    cells.inc(source="cache")
+    reg.gauge("sweep_in_flight", help="busy workers").set(2)
+    seconds = reg.histogram(
+        "sweep_cell_seconds", help="per-cell wall", buckets=(0.1, 1.0)
+    )
+    seconds.observe(0.05)
+    seconds.observe(0.5)
+    seconds.observe(4.25)
+    return reg
+
+
+class TestPrometheusText:
+    def test_headers_and_samples(self, registry):
+        text = to_prometheus(registry)
+        assert "# HELP sweep_cells_total cells by source" in text
+        assert "# TYPE sweep_cells_total counter" in text
+        assert 'sweep_cells_total{source="simulated"} 3' in text
+        assert 'sweep_cells_total{source="cache"} 1' in text
+        assert "# TYPE sweep_in_flight gauge" in text
+        assert "sweep_in_flight 2" in text
+        assert "# TYPE sweep_cell_seconds histogram" in text
+        assert 'sweep_cell_seconds_bucket{le="+Inf"} 3' in text
+        assert "sweep_cell_seconds_count 3" in text
+
+    def test_round_trip_names_labels_values(self, registry):
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples[("sweep_cells_total", (("source", "simulated"),))] == 3
+        assert samples[("sweep_cells_total", (("source", "cache"),))] == 1
+        assert samples[("sweep_in_flight", ())] == 2
+        assert samples[("sweep_cell_seconds_sum", ())] == pytest.approx(4.8)
+        assert samples[("sweep_cell_seconds_count", ())] == 3
+        assert samples[("sweep_cell_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("sweep_cell_seconds_bucket", (("le", "1"),))] == 2
+        assert samples[("sweep_cell_seconds_bucket", (("le", "+Inf"),))] == 3
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'quote " backslash \\ newline \n end'
+        reg.counter("c").inc(7, label=tricky)
+        samples = parse_prometheus(to_prometheus(reg))
+        assert samples[("c", (("label", tricky),))] == 7
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not exposition format")
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestJsonExport:
+    def test_shape_matches_bench_metrics_section(self, registry):
+        snapshot = registry_to_dict(registry)
+        # JSON-serializable as-is (the BENCH file embeds it verbatim).
+        json.dumps(snapshot)
+        counter = snapshot["sweep_cells_total"]
+        assert counter["type"] == "counter"
+        assert counter["help"] == "cells by source"
+        assert {"labels": {"source": "simulated"}, "value": 3.0} in counter[
+            "values"
+        ]
+        gauge = snapshot["sweep_in_flight"]
+        assert gauge["values"] == [{"labels": {}, "value": 2.0}]
+        histogram = snapshot["sweep_cell_seconds"]
+        (series,) = histogram["values"]
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(4.8)
+        assert series["buckets"][-1]["le"] == "+Inf"
+        assert series["buckets"][-1]["count"] == 3

@@ -1,0 +1,116 @@
+"""MetricsRegistry: counters, gauges, histograms, result mirroring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.prof.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    record_result,
+)
+
+from helpers import small_config, small_workload
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labeled_series_are_independent(self, registry):
+        counter = registry.counter("cells_total")
+        counter.inc(source="simulated")
+        counter.inc(source="simulated")
+        counter.inc(source="cache")
+        assert counter.value(source="simulated") == 2
+        assert counter.value(source="cache") == 1
+        assert counter.value(source="missing") == 0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad-name!")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("in_flight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["sum"] == pytest.approx(6.25)
+        by_bound = {b["le"]: b["count"] for b in snapshot["buckets"]}
+        assert by_bound[0.1] == 1
+        assert by_bound[1.0] == 3  # cumulative
+        assert by_bound["+Inf"] == 4
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        histogram = registry.histogram("seconds", buckets=(1.0,))
+        histogram.observe(1.0)
+        by_bound = {
+            b["le"]: b["count"] for b in histogram.snapshot()["buckets"]
+        }
+        assert by_bound[1.0] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_kind_collision_raises(self, registry):
+        registry.counter("hits")
+        with pytest.raises(ValueError):
+            registry.gauge("hits")
+
+    def test_metrics_sorted_by_name(self, registry):
+        registry.gauge("zeta")
+        registry.counter("alpha")
+        assert [m.name for m in registry.metrics()] == ["alpha", "zeta"]
+
+    def test_clear_drops_families(self, registry):
+        registry.counter("hits").inc()
+        registry.clear()
+        assert registry.metrics() == []
+        assert isinstance(registry.counter("hits"), Counter)
+
+
+class TestRecordResult:
+    def test_mirrors_simulation_counters(self, registry):
+        config = small_config()
+        workload = small_workload()
+        work = workload.build(config)
+        result = Simulator(config, work, workload.name).run()
+        record_result(result, registry, workload="tiny")
+        cycles = registry.get("sim_cycles")
+        assert cycles is not None
+        assert cycles.value(workload="tiny") == result.stats.cycles
+        l1 = registry.get("sim_l1_hits")
+        assert l1.value(workload="tiny") == result.l1_hits
+
+    def test_metric_kinds(self, registry):
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
