@@ -73,6 +73,18 @@ class CellTimeout(SimulationError):
     """
 
 
+class WorkerCrashed(SimulationError):
+    """A supervised sweep worker died and exhausted its restart budget.
+
+    The supervised pool (:mod:`repro.parallel.supervisor`) restarts a
+    killed/OOMed/hung worker from its latest snapshot a bounded number
+    of times; when the budget runs out, the *cell* fails with this
+    error — the sweep itself continues, and the failure is recorded to
+    the checkpoint like any structured simulator error.  ``diagnostics``
+    carries the cell key, spawn count, and the last observed exit code.
+    """
+
+
 class InvariantViolation(SimulationError):
     """A post-run counter invariant does not hold.
 

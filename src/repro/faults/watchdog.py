@@ -92,6 +92,90 @@ class Watchdog:
         )
 
 
+class _GuardTimeout(BaseException):
+    """Async-raised sentinel of the timer-thread guard path.
+
+    Derives from ``BaseException`` so guarded cell code catching
+    ``Exception`` (or :class:`SimulationError`) cannot swallow the
+    timeout before the guard converts it to :class:`CellTimeout`.
+    Raised *as a class* via ``PyThreadState_SetAsyncExc``, which is why
+    it must be constructible with no arguments (unlike CellTimeout).
+    """
+
+
+def _timeout_error(seconds: float, started: float, label: str) -> CellTimeout:
+    elapsed = time.monotonic() - started
+    return CellTimeout(
+        f"{label}: exceeded wall-clock budget of {seconds:g}s "
+        f"(ran {elapsed:.1f}s)",
+        diagnostics={
+            "wall_clock_limit_s": seconds,
+            "elapsed_s": round(elapsed, 3),
+            "label": label,
+        },
+    )
+
+
+@contextlib.contextmanager
+def _sigalrm_guard(seconds: float, label: str) -> Iterator[None]:
+    """Main-thread POSIX path: an ITIMER_REAL alarm interrupts even
+    CPU-bound C extensions, so prefer it where it works."""
+    started = time.monotonic()
+
+    def _fire(signum, frame):
+        raise _timeout_error(seconds, started, label)
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextlib.contextmanager
+def _timer_thread_guard(seconds: float, label: str) -> Iterator[None]:
+    """Portable fallback: a daemon timer thread asynchronously raises
+    :class:`_GuardTimeout` in the guarded thread.
+
+    Works off the main thread and on platforms without ``SIGALRM``
+    (where POSIX timers cannot fire).  The async exception is delivered
+    at the next bytecode boundary — instant for the pure-Python
+    simulator loop, though a wedged C extension could outlive its
+    budget (the SIGALRM path has no such blind spot, which is why it
+    remains the default where available).
+    """
+    import ctypes
+
+    set_async_exc = ctypes.pythonapi.PyThreadState_SetAsyncExc
+    target_id = threading.get_ident()
+    started = time.monotonic()
+    fired = threading.Event()
+
+    def _fire():
+        fired.set()
+        set_async_exc(
+            ctypes.c_ulong(target_id), ctypes.py_object(_GuardTimeout)
+        )
+
+    timer = threading.Timer(seconds, _fire)
+    timer.daemon = True
+    timer.start()
+    try:
+        try:
+            yield
+        finally:
+            timer.cancel()
+            if fired.is_set():
+                # The timer fired but the sentinel may not have been
+                # delivered yet; clear it so it cannot surface later in
+                # unrelated code.
+                set_async_exc(ctypes.c_ulong(target_id), None)
+    except _GuardTimeout:
+        raise _timeout_error(seconds, started, label) from None
+
+
 @contextlib.contextmanager
 def wall_clock_guard(seconds: float, label: str = "sweep cell") -> Iterator[None]:
     """Bound a block of host execution by wall-clock time.
@@ -103,38 +187,23 @@ def wall_clock_guard(seconds: float, label: str = "sweep cell") -> Iterator[None
     time, so one hung cell cannot stall a whole sweep — the same
     contract the watchdog gives per-core, lifted to wall-clock.
 
-    Degrades to a no-op when ``seconds`` is falsy/non-positive, on
-    platforms without ``SIGALRM``, or off the main thread (POSIX timers
-    only fire there); sweeps still complete, just without the bound.
-    Guards do not nest: the inner one wins for its duration.
+    On the main thread of a POSIX host this uses ``SIGALRM``; off the
+    main thread, or on platforms without it, a daemon timer thread
+    asynchronously raises the timeout instead — so embedding a sweep in
+    a GUI/server worker thread (or running on Windows) keeps the bound
+    rather than silently losing it.  A non-positive ``seconds``
+    disables the guard.  Guards do not nest: the inner one wins for its
+    duration.
     """
     if not seconds or seconds <= 0:
         yield
         return
     if (
-        not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
     ):
-        yield
-        return
-    started = time.monotonic()
-
-    def _fire(signum, frame):
-        elapsed = time.monotonic() - started
-        raise CellTimeout(
-            f"{label}: exceeded wall-clock budget of {seconds:g}s "
-            f"(ran {elapsed:.1f}s)",
-            diagnostics={
-                "wall_clock_limit_s": seconds,
-                "elapsed_s": round(elapsed, 3),
-                "label": label,
-            },
-        )
-
-    previous = signal.signal(signal.SIGALRM, _fire)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        with _sigalrm_guard(seconds, label):
+            yield
+    else:
+        with _timer_thread_guard(seconds, label):
+            yield

@@ -14,6 +14,7 @@ Usage::
     python -m repro.harness faults --tiny --check-determinism
     python -m repro.harness bench --quick
     python -m repro.harness bench --full --strict
+    python -m repro.harness chaos --quick --seed 7
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`, run
 through the stable :mod:`repro.api` facade; the rendered table prints
@@ -36,7 +37,10 @@ enabled and writes ``trace.jsonl`` and ``trace.chrome.json`` (see
 :mod:`repro.harness.trace`); ``faults`` is the fault-injection smoke
 run (see :mod:`repro.harness.faults`); ``bench`` profiles a calibrated
 figure matrix and records a ``BENCH_<n>.json`` perf-trajectory report
-(see :mod:`repro.harness.bench`).
+(see :mod:`repro.harness.bench`); ``chaos`` is the seeded recovery
+campaign — SIGKILLed workers, torn checkpoint/snapshot files, injected
+faults — proving recovered sweeps byte-identical to clean serial runs
+(see :mod:`repro.harness.chaos`).
 """
 
 from __future__ import annotations
@@ -65,6 +69,10 @@ def main(argv=None) -> int:
         from repro.harness.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.harness.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",

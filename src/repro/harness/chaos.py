@@ -1,0 +1,349 @@
+"""``python -m repro.harness chaos`` — the recovery-proof campaign.
+
+A seeded chaos campaign that attacks the sweep machinery the way real
+infrastructure does — SIGKILLed workers, files truncated mid-write,
+faults injected mid-sweep — and verifies the recovery guarantees hold:
+
+1. **kill/resume** — a supervised sweep whose chaos hook SIGKILLs the
+   first worker seen with an on-disk snapshot (guaranteeing the resume
+   path runs) plus further seeded kills; the recovered results must be
+   byte-identical to a clean serial run, with no degradation warnings.
+2. **torn checkpoint** — a checkpoint with a truncated trailing line
+   must load with a warning (never raise), keep every complete entry,
+   and resume to byte-identical results.
+3. **truncated snapshot** — a mid-run snapshot cut off halfway must be
+   rejected cleanly and the cell recomputed from scratch,
+   byte-identical.
+4. **mid-sweep faults** — a poisoned cell (every page walk fails) must
+   fail with its structured :class:`~repro.faults.errors.PTWError`
+   while every healthy cell completes byte-identically.
+
+Exit codes: ``0`` — every check passed; ``1`` — a verification failed
+(result mismatch, zero kills landed, unexpected warnings); ``2`` —
+usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import sys
+import tempfile
+import time
+import warnings
+from typing import List, Optional, Sequence
+
+from repro.core.config import GPUConfig
+from repro.faults.config import FaultConfig
+from repro.faults.errors import PTWError, SimulationError
+from repro.harness.checkpoint import SweepCheckpoint
+from repro.parallel.cells import Cell
+from repro.parallel.pool import SweepExecutor
+
+#: Mid-cell snapshot period for chaos runs: small, so even the tiny
+#: campaign cells leave snapshots for the killer to target.
+SNAPSHOT_EVERY = 1_000
+
+#: Restarts per cell during the kill campaign — generous, so seeded
+#: extra kills cannot exhaust a budget and mask the identity check.
+RESTART_BUDGET = 5
+
+
+def _tiny(preset: str, **overrides) -> GPUConfig:
+    return GPUConfig.preset(
+        preset, num_cores=1, warps_per_core=8, warp_width=8, **overrides
+    )
+
+
+def _matrix(quick: bool) -> List[Cell]:
+    cells = [
+        Cell(label="naive", workload="bfs", config=_tiny("naive"), miss_scale=1.0),
+        Cell(label="aug", workload="kmeans", config=_tiny("augmented"), miss_scale=1.0),
+        Cell(label="base", workload="bfs", config=_tiny("no_tlb"), miss_scale=1.0),
+    ]
+    if not quick:
+        cells += [
+            Cell(label="aug", workload="bfs", config=_tiny("augmented"), miss_scale=1.0),
+            Cell(label="naive", workload="kmeans", config=_tiny("naive"), miss_scale=1.0),
+            Cell(
+                label="ideal",
+                workload="memcached",
+                config=_tiny("ideal"),
+                miss_scale=1.0,
+            ),
+        ]
+    return cells
+
+
+def _poisoned_cell() -> Cell:
+    return Cell(
+        label="poisoned",
+        workload="bfs",
+        config=_tiny(
+            "augmented",
+            faults=FaultConfig(
+                enabled=True, ptw_error_rate=1.0, ptw_max_retries=1, seed=3
+            ),
+        ),
+        miss_scale=1.0,
+    )
+
+
+class _Killer:
+    """The seeded chaos hook: SIGKILLs snapshotted workers mid-sweep.
+
+    The *first* worker observed with an on-disk snapshot is always
+    killed (so at least one restart resumes from a snapshot); after
+    that, each supervision tick rolls the seeded RNG per snapshotted
+    worker, up to ``max_kills`` total.  Workers close to their restart
+    budget are spared — the campaign proves recovery, exhaustion has
+    its own test.
+    """
+
+    def __init__(self, seed: int, max_kills: int):
+        self.rng = random.Random(seed)
+        self.max_kills = max_kills
+        self.kills = 0
+
+    def __call__(self, pool) -> None:
+        if self.kills >= self.max_kills:
+            return
+        for index, worker in list(pool.active.items()):
+            if worker.pid is None or worker.spawns > RESTART_BUDGET - 1:
+                continue
+            if not os.path.exists(pool.snapshot_path(index)):
+                continue
+            if self.kills > 0 and self.rng.random() >= 0.10:
+                continue
+            try:
+                os.kill(worker.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                continue
+            self.kills += 1
+            if self.kills >= self.max_kills:
+                return
+
+
+def _canonical(results) -> List[str]:
+    return [result.canonical_json() for result in results]
+
+
+def _step(verbose: bool, name: str, detail: str = "") -> None:
+    suffix = f" — {detail}" if detail else ""
+    print(f"chaos: {name}{suffix}")
+    if verbose:
+        sys.stdout.flush()
+
+
+def run_campaign(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    jobs: int = 2,
+    verbose: bool = False,
+) -> int:
+    """Execute the full campaign; returns the process exit code."""
+    failures: List[str] = []
+    matrix = _matrix(quick)
+    kills_wanted = 1 if quick else 2
+
+    _step(verbose, "baseline", f"{len(matrix)} cells, serial")
+    started = time.monotonic()
+    baseline = _canonical(SweepExecutor(jobs=1).run(matrix))
+    _step(verbose, "baseline done", f"{time.monotonic() - started:.1f}s")
+
+    # -- 1. kill/resume -----------------------------------------------
+    killer = _Killer(seed, max_kills=max(kills_wanted, 1))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        executor = SweepExecutor(
+            jobs=jobs,
+            chaos=killer,
+            snapshot_every=SNAPSHOT_EVERY,
+            restart_budget=RESTART_BUDGET,
+            stale_after=30.0,
+        )
+        recovered = _canonical(executor.run(matrix))
+    if killer.kills < 1:
+        failures.append(
+            "kill/resume: no worker was killed — the campaign never "
+            "exercised the resume path"
+        )
+    if recovered != baseline:
+        failures.append(
+            "kill/resume: recovered results differ from the clean "
+            "serial run"
+        )
+    if caught:
+        rendered = "; ".join(str(w.message) for w in caught)
+        failures.append(
+            f"kill/resume: sweep degraded with warnings ({rendered})"
+        )
+    _step(
+        verbose,
+        "kill/resume",
+        f"{killer.kills} worker(s) SIGKILLed, results "
+        + ("identical" if recovered == baseline else "MISMATCH"),
+    )
+
+    # -- 2. torn checkpoint -------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        checkpoint_path = os.path.join(tmp, "sweep.jsonl")
+        with SweepCheckpoint(checkpoint_path) as checkpoint:
+            SweepExecutor(jobs=1, checkpoint=checkpoint).run(matrix[:1])
+            complete_before = checkpoint.completed
+        with open(checkpoint_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn-mid-appe')  # crash mid-append
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with SweepCheckpoint(checkpoint_path) as checkpoint:
+                kept = checkpoint.completed
+                resumed = _canonical(
+                    SweepExecutor(jobs=1, checkpoint=checkpoint).run(matrix)
+                )
+        torn_warned = any(
+            "truncated" in str(w.message) for w in caught
+        )
+        if not torn_warned:
+            failures.append(
+                "torn checkpoint: the truncated line was dropped "
+                "silently (expected a warning)"
+            )
+        if kept != complete_before:
+            failures.append(
+                f"torn checkpoint: {complete_before} complete entries "
+                f"before the tear, {kept} after reload"
+            )
+        if resumed != baseline:
+            failures.append(
+                "torn checkpoint: resumed results differ from baseline"
+            )
+        _step(
+            verbose,
+            "torn checkpoint",
+            f"warned={torn_warned}, kept={kept}/{complete_before}, "
+            + ("identical" if resumed == baseline else "MISMATCH"),
+        )
+
+        # -- 3. truncated snapshot ------------------------------------
+        from repro.snapshot.runner import (
+            execute_cell_resumable,
+            simulate_cell_resumable,
+        )
+
+        snap_path = os.path.join(tmp, "snap.json")
+        cell = matrix[0]
+        # A bare simulate (unlike execute_cell_resumable) leaves its
+        # last periodic snapshot on disk — a tight period guarantees
+        # one exists even for these tiny cells.  Tear it in half and
+        # prove the resume path recomputes rather than wedges.
+        simulate_cell_resumable(
+            cell, snapshot_path=snap_path, snapshot_every=200
+        )
+        if os.path.exists(snap_path):
+            size = os.path.getsize(snap_path)
+            with open(snap_path, "r+b") as handle:
+                handle.truncate(size // 2)
+            recomputed = execute_cell_resumable(
+                cell, snapshot_path=snap_path
+            ).canonical_json()
+            if recomputed != baseline[0]:
+                failures.append(
+                    "truncated snapshot: recomputed cell differs from "
+                    "baseline"
+                )
+            _step(
+                verbose,
+                "truncated snapshot",
+                f"torn at {size // 2}/{size} bytes, "
+                + ("identical" if recomputed == baseline[0] else "MISMATCH"),
+            )
+        else:
+            failures.append(
+                "truncated snapshot: no snapshot file was produced"
+            )
+
+    # -- 4. mid-sweep faults ------------------------------------------
+    poisoned = _poisoned_cell()
+    chaos_matrix = matrix[:2] + [poisoned] + matrix[2:]
+    poisoned_index = 2
+    error: Optional[SimulationError] = None
+    try:
+        SweepExecutor(
+            jobs=jobs,
+            snapshot_every=SNAPSHOT_EVERY,
+            restart_budget=RESTART_BUDGET,
+        ).run(chaos_matrix)
+        failures.append(
+            "mid-sweep faults: the poisoned cell did not raise"
+        )
+    except PTWError as exc:
+        error = exc
+    except SimulationError as exc:
+        failures.append(
+            f"mid-sweep faults: expected PTWError, got "
+            f"{type(exc).__name__}: {exc}"
+        )
+    if error is not None and error.diagnostics.get("series") != "poisoned":
+        failures.append(
+            "mid-sweep faults: the structured error does not name the "
+            "poisoned series"
+        )
+    _step(
+        verbose,
+        "mid-sweep faults",
+        f"poisoned cell #{poisoned_index} raised "
+        f"{type(error).__name__ if error else 'nothing'}",
+    )
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"chaos FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos: all checks passed (seed {seed}, {killer.kills} kill(s), "
+        f"{len(matrix)} cells)"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness chaos",
+        description="Seeded chaos campaign proving sweep recovery.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="chaos RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix and one guaranteed kill (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="supervised worker slots (default 2)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="flush per-step progress"
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 2:
+        print("chaos needs --jobs >= 2 (supervision only runs in the "
+              "parallel path)", file=sys.stderr)
+        return 2
+    return run_campaign(
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        verbose=args.verbose,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, List, Optional
 
 from repro.core.config import GPUConfig, config_hash
@@ -93,7 +94,7 @@ class SweepCheckpoint:
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -101,7 +102,17 @@ class SweepCheckpoint:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
                     # A crash mid-append leaves at most one torn final
-                    # line; that cell simply reruns.
+                    # line; that cell simply reruns — but say so, a
+                    # torn line anywhere *else* means the file was
+                    # corrupted some other way and silently losing the
+                    # cell would look like a nondeterministic resume.
+                    warnings.warn(
+                        f"checkpoint {self.path}: dropping truncated "
+                        f"line {lineno} (crash mid-append?); the cell "
+                        f"it recorded will re-run",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
                     continue
                 key = entry.get("key")
                 if key is None:
@@ -135,6 +146,10 @@ class SweepCheckpoint:
     def _append(self, entry: Dict[str, Any]) -> None:
         self._file.write(json.dumps(entry, sort_keys=True) + "\n")
         self._file.flush()
+        # The checkpoint commits by append, not rename, so a flush that
+        # only reaches the page cache can still be lost to a power cut;
+        # fsync bounds the loss to the line being written.
+        os.fsync(self._file.fileno())
 
     def record(self, key: str, result: SimulationResult) -> None:
         """Persist a completed cell (idempotent on resume)."""

@@ -82,6 +82,21 @@ class MSHRFile:
         self.stalls += 1
         return min(self._inflight.values())
 
+    def state_dict(self) -> dict:
+        """Snapshot in-flight misses (insertion order) and counters."""
+        return {
+            "inflight": [[line, ready] for line, ready in self._inflight.items()],
+            "merges": self.merges,
+            "allocations": self.allocations,
+            "stalls": self.stalls,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._inflight = {line: ready for line, ready in state["inflight"]}
+        self.merges = state["merges"]
+        self.allocations = state["allocations"]
+        self.stalls = state["stalls"]
+
     def allocate(self, line_addr: int, ready_time: int, now: int) -> None:
         """Record a new outstanding miss filling at ``ready_time``."""
         self._expire(now)

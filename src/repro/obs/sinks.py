@@ -80,6 +80,29 @@ class RingBufferSink:
         """Drop all retained events (the drop/record counters persist)."""
         self._buffer.clear()
 
+    def state_dict(self) -> dict:
+        """Snapshot retained events and the recorded total, so post-hoc
+        histograms over a resumed run see the same event stream."""
+        return {
+            "events": [event.as_dict() for event in self._buffer],
+            "recorded": self.recorded,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._buffer.clear()
+        for entry in state["events"]:
+            self._buffer.append(
+                TraceEvent(
+                    entry["kind"],
+                    entry["cycle"],
+                    core=entry.get("core", -1),
+                    track=entry.get("track", "core"),
+                    dur=entry.get("dur"),
+                    args=entry.get("args"),
+                )
+            )
+        self.recorded = state["recorded"]
+
 
 class JsonlSink:
     """Streams events as JSON Lines to ``path`` (or a file-like object)."""

@@ -108,8 +108,38 @@ _ERROR_TYPES = {
         "WalkTimeout",
         "CellTimeout",
         "InvariantViolation",
+        "WorkerCrashed",
     )
 }
+
+
+def key_of(cell: Cell) -> str:
+    """The cell's checkpoint identity (label, workload, config hash)."""
+    from repro.harness.checkpoint import cell_key
+
+    return cell_key(
+        cell.label, cell.workload, cell.config, cell.form, cell.miss_scale
+    )
+
+
+def error_payload(
+    exc: SimulationError, cell: Cell, retries: int
+) -> Tuple[str, str, Dict[str, Any], int]:
+    """The picklable ``(type, message, diagnostics, attempts)`` form of a
+    structured worker failure.
+
+    The diagnostics gain the original traceback string and the cell's
+    checkpoint key (which embeds the config hash) before crossing the
+    process boundary, so an error rebuilt in the parent still names the
+    worker-side raise site and the exact cell that poisoned the sweep.
+    """
+    import traceback
+
+    diagnostics: Dict[str, Any] = dict(exc.diagnostics)
+    diagnostics.setdefault("worker_traceback", traceback.format_exc())
+    diagnostics.setdefault("cell_key", key_of(cell))
+    attempts = int(diagnostics.get("attempts", retries + 1))
+    return (type(exc).__name__, str(exc), diagnostics, attempts)
 
 
 def run_cell_in_worker(
@@ -124,13 +154,7 @@ def run_cell_in_worker(
     try:
         result = execute_cell(cell, retries=retries, timeout=timeout)
     except SimulationError as exc:
-        diagnostics: Dict[str, Any] = dict(exc.diagnostics)
-        attempts = int(diagnostics.get("attempts", retries + 1))
-        return (
-            index,
-            "error",
-            (type(exc).__name__, str(exc), diagnostics, attempts),
-        )
+        return index, "error", error_payload(exc, cell, retries)
     return index, "ok", result
 
 

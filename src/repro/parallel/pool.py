@@ -32,26 +32,33 @@ the raised error does not depend on worker timing.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import sys
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, TextIO
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+)
 
 from repro.core.results import SimulationResult
 from repro.faults.errors import SimulationError
 from repro.parallel import progress as _progress
 from repro.parallel.cache import ResultCache
-from repro.parallel.cells import (
-    Cell,
-    execute_cell,
-    rebuild_error,
-    run_cell_in_worker,
-)
+from repro.parallel.cells import Cell, execute_cell, rebuild_error
 from repro.parallel.progress import SweepProgress
+from repro.parallel.supervisor import (
+    DEFAULT_RESTART_BUDGET,
+    DEFAULT_SNAPSHOT_CYCLES,
+    DEFAULT_STALE_AFTER,
+    PoolEnvironmentFailure,
+    SupervisedPool,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.checkpoint import SweepCheckpoint
@@ -86,6 +93,10 @@ class SweepExecutor:
         retries: int = 0,
         timeout: Optional[float] = None,
         progress_stream: Optional[TextIO] = None,
+        restart_budget: int = DEFAULT_RESTART_BUDGET,
+        stale_after: float = DEFAULT_STALE_AFTER,
+        snapshot_every: int = DEFAULT_SNAPSHOT_CYCLES,
+        chaos: Optional[Callable[[SupervisedPool], None]] = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else 1)
         self.checkpoint = checkpoint
@@ -93,6 +104,13 @@ class SweepExecutor:
         self.retries = max(0, retries)
         self.timeout = timeout
         self.progress_stream = progress_stream
+        # Supervision knobs (parallel path only): worker restarts per
+        # cell, heartbeat staleness before a kill, mid-cell snapshot
+        # period, and the chaos harness's fault-injection hook.
+        self.restart_budget = restart_budget
+        self.stale_after = stale_after
+        self.snapshot_every = snapshot_every
+        self.chaos = chaos
 
     # -- lookup helpers ------------------------------------------------
 
@@ -233,54 +251,50 @@ class SweepExecutor:
     ) -> None:
         # Spawned (not forked) workers: each starts from a clean
         # interpreter, so no tracer/RNG/file-handle state leaks from the
-        # parent and results cannot depend on inherited globals.
-        context = multiprocessing.get_context("spawn")
+        # parent and results cannot depend on inherited globals.  The
+        # SupervisedPool additionally heartbeats, snapshots, and
+        # restarts killed/hung workers (see repro.parallel.supervisor).
         errors: Dict[int, SimulationError] = {}
-        workers = min(self.jobs, len(pending))
         started_at: Dict[int, float] = {}
+
+        def on_outcome(index: int, status: str, payload) -> None:
+            cell = cells[index]
+            seconds = time.monotonic() - started_at[index]
+            if status == "ok":
+                results[index] = payload
+                self._finish_ok(cell, payload, seconds, progress)
+                return
+            type_name, message, diagnostics, attempts = payload
+            error = rebuild_error(type_name, message, diagnostics)
+            errors[index] = error
+            self._record_failure(cell, error, attempts)
+            progress.cell_done(
+                _progress.SOURCE_FAILED,
+                cell_seconds=seconds,
+                label=cell.describe(),
+            )
+
+        pool = SupervisedPool(
+            min(self.jobs, len(pending)),
+            retries=self.retries,
+            timeout=self.timeout,
+            restart_budget=self.restart_budget,
+            stale_after=self.stale_after,
+            snapshot_every=self.snapshot_every,
+            chaos=self.chaos,
+            on_outcome=on_outcome,
+        )
+        for index in pending:
+            started_at[index] = time.monotonic()
+            progress.launched()
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                futures = {}
-                for index in pending:
-                    payload = (
-                        index, cells[index], self.retries, self.timeout
-                    )
-                    futures[pool.submit(run_cell_in_worker, payload)] = index
-                    started_at[index] = time.monotonic()
-                    progress.launched()
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, status, payload = future.result()
-                        cell = cells[index]
-                        seconds = time.monotonic() - started_at[index]
-                        if status == "ok":
-                            results[index] = payload
-                            self._finish_ok(
-                                cell, payload, seconds, progress
-                            )
-                            continue
-                        type_name, message, diagnostics, attempts = payload
-                        error = rebuild_error(
-                            type_name, message, diagnostics
-                        )
-                        errors[index] = error
-                        self._record_failure(cell, error, attempts)
-                        progress.cell_done(
-                            _progress.SOURCE_FAILED,
-                            cell_seconds=seconds,
-                            label=cell.describe(),
-                        )
-        except BrokenProcessPool:
+            pool.run([(index, cells[index]) for index in pending])
+        except PoolEnvironmentFailure:
             # Spawned workers re-import __main__; scripts fed via stdin
-            # or ``python -c`` have none to import, and a worker can
-            # also be OOM-killed.  Cells are idempotent, so finish the
-            # unresolved ones inline rather than losing the sweep.
+            # or ``python -c`` have none to import, and a host can kill
+            # workers faster than they can heartbeat.  Cells are
+            # idempotent, so finish the unresolved ones inline rather
+            # than losing the sweep.
             warnings.warn(
                 "worker pool died (unimportable __main__ or killed "
                 "worker); finishing remaining cells serially",

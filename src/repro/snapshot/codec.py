@@ -1,0 +1,70 @@
+"""JSON-safe encodings for simulator state that JSON cannot hold natively.
+
+Three conversions recur across ``state_dict`` implementations, and all
+three must preserve information JSON objects would destroy:
+
+* **Insertion-ordered int-keyed dicts** (LRU sets in the TLB, caches,
+  and victim arrays): JSON object keys become strings and carry no
+  ordering contract, so these serialize as lists of ``[key, value]``
+  pairs — :func:`encode_pairs` / :func:`decode_pairs`.
+* **Tuple-keyed dicts** (the TBC common-page matrix's
+  ``(warp, vpn) -> count`` counters): flattened to ``[a, b, value]``
+  triples — :func:`encode_triples` / :func:`decode_triples`.
+* **``random.Random`` streams** (fault model and injector):
+  ``getstate()`` returns nested tuples; :func:`encode_rng` /
+  :func:`decode_rng` round-trip them through lists so the restored
+  stream continues bit-for-bit where the original left off.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = [
+    "decode_pairs",
+    "decode_rng",
+    "decode_triples",
+    "encode_pairs",
+    "encode_rng",
+    "encode_triples",
+]
+
+
+def encode_pairs(mapping: Dict[Any, Any]) -> List[List[Any]]:
+    """Encode a dict as ``[key, value]`` pairs, preserving insertion
+    order and non-string keys."""
+    return [[key, value] for key, value in mapping.items()]
+
+
+def decode_pairs(pairs: Iterable[Iterable[Any]]) -> Dict[Any, Any]:
+    """Rebuild a dict from :func:`encode_pairs` output; insertion order
+    follows the pair order."""
+    return {key: value for key, value in pairs}
+
+
+def encode_triples(mapping: Dict[Tuple[Any, Any], Any]) -> List[List[Any]]:
+    """Encode a 2-tuple-keyed dict as ``[a, b, value]`` triples."""
+    return [[a, b, value] for (a, b), value in mapping.items()]
+
+
+def decode_triples(
+    triples: Iterable[Iterable[Any]],
+) -> Dict[Tuple[Any, Any], Any]:
+    """Rebuild a 2-tuple-keyed dict from :func:`encode_triples` output."""
+    return {(a, b): value for a, b, value in triples}
+
+
+def encode_rng(rng: random.Random) -> List[Any]:
+    """Encode ``rng.getstate()`` as a JSON-safe nested list."""
+    version, internal, gauss = rng.getstate()
+    return [version, list(internal), gauss]
+
+
+def decode_rng(state: Iterable[Any]) -> random.Random:
+    """Rebuild a ``random.Random`` whose stream continues exactly where
+    the encoded one stopped."""
+    version, internal, gauss = state
+    rng = random.Random()
+    rng.setstate((version, tuple(internal), gauss))
+    return rng

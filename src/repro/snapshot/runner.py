@@ -1,0 +1,258 @@
+"""Resumable sweep-cell execution driven by safe-point snapshots.
+
+:class:`SnapshotPolicy` is the bridge between the simulator's safe-point
+``poll`` hook and the on-disk store: every ``every_cycles`` simulated
+cycles it serializes ``Simulator.state_dict()`` into the versioned
+envelope and persists it atomically, and it relays a rate-limited
+heartbeat so a supervising parent can tell a slow worker from a dead
+one.
+
+:func:`simulate_cell_resumable` mirrors :func:`repro.api.simulate` for
+one sweep cell but resumes from a snapshot when a compatible one exists;
+:func:`execute_cell_resumable` mirrors
+:func:`repro.parallel.cells.execute_cell` (bounded retries with seed
+perturbation, per-attempt wall-clock guard) on top of it.  Both preserve
+the determinism contract: a run resumed from any snapshot finishes with
+a result byte-identical to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+from repro.core.config import config_hash
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator
+from repro.faults.errors import SimulationError
+from repro.faults.watchdog import wall_clock_guard
+from repro.parallel.cells import Cell, reseeded
+from repro.prof.registry import record_result
+from repro.snapshot.store import (
+    SnapshotIncompatible,
+    read_snapshot,
+    snapshot_envelope,
+    write_snapshot,
+)
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "SnapshotPolicy",
+    "execute_cell_resumable",
+    "simulate_cell_resumable",
+]
+
+#: Default snapshot period, in simulated cycles of the executing core.
+DEFAULT_SNAPSHOT_CYCLES = 50_000
+
+#: Polls between heartbeat relays (the poll hook fires every issue-loop
+#: iteration; the heartbeat itself is cheap but not free).
+_HEARTBEAT_MASK = 0xFF
+
+
+class SnapshotPolicy:
+    """Writes periodic snapshots (and heartbeats) from the poll hook.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file location (atomically replaced on every write).
+    every_cycles:
+        Simulated cycles of the *currently executing core* between
+        snapshots.  Core clocks restart from zero core to core, so the
+        countdown re-arms when execution moves to the next core.
+    heartbeat:
+        Optional zero-argument callable relayed every ~256 polls (and
+        before every snapshot write) — the supervised pool points this
+        at its heartbeat file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        every_cycles: int = DEFAULT_SNAPSHOT_CYCLES,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ):
+        if every_cycles <= 0:
+            raise ValueError("snapshot interval must be positive cycles")
+        self.path = path
+        self.every_cycles = every_cycles
+        self.heartbeat = heartbeat
+        self.snapshots_written = 0
+        self._sim: Optional[Simulator] = None
+        self._meta: dict = {}
+        self._core_id: Optional[int] = None
+        self._last_cycle = 0
+        self._polls = 0
+
+    def bind(
+        self,
+        simulator: Simulator,
+        *,
+        config_hash: str,
+        workload: str,
+        form: Optional[str],
+        miss_scale: float,
+        attempt: int,
+    ) -> None:
+        """Attach the simulator whose state this policy persists."""
+        self._sim = simulator
+        self._meta = {
+            "config_hash": config_hash,
+            "workload": workload,
+            "form": form,
+            "miss_scale": miss_scale,
+            "attempt": attempt,
+        }
+
+    def __call__(self, core) -> None:
+        """The safe-point hook (see :meth:`ShaderCore.run`)."""
+        self._polls += 1
+        if self.heartbeat is not None and not (self._polls & _HEARTBEAT_MASK):
+            self.heartbeat()
+        if core.core_id != self._core_id:
+            self._core_id = core.core_id
+            self._last_cycle = core._now
+            return
+        if core._now - self._last_cycle < self.every_cycles:
+            return
+        self._last_cycle = core._now
+        self.save(cycle=core._now)
+
+    def save(self, cycle: int) -> None:
+        """Snapshot the bound simulator right now."""
+        if self._sim is None:
+            raise RuntimeError("SnapshotPolicy.save before bind()")
+        if self.heartbeat is not None:
+            self.heartbeat()
+        envelope = snapshot_envelope(cycle=cycle, state=self._sim.state_dict(), **self._meta)
+        write_snapshot(self.path, envelope)
+        self.snapshots_written += 1
+
+
+def simulate_cell_resumable(
+    cell: Cell,
+    attempt: int = 0,
+    *,
+    snapshot_path: Optional[str] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_CYCLES,
+    heartbeat: Optional[Callable[[], None]] = None,
+) -> SimulationResult:
+    """Simulate one attempt of ``cell``, resuming from ``snapshot_path``.
+
+    When the path holds a readable snapshot for exactly this cell and
+    attempt, the simulation restarts from it (skipping the already
+    executed cycles); an unreadable/absent file means a fresh run, and a
+    *valid* snapshot for a different cell or attempt raises
+    :class:`~repro.snapshot.store.SnapshotIncompatible` (use
+    :func:`execute_cell_resumable` for the lenient discard-and-rerun
+    behaviour).  Periodic snapshots are written for the duration.
+    """
+    config = reseeded(cell.config, attempt)
+    chash = config_hash(config)
+    work_source = get_workload(cell.workload)
+    work = work_source.build(config, form=cell.form, miss_scale=cell.miss_scale)
+    sim = Simulator(config, work, work_source.name)
+    poll = None
+    if snapshot_path is not None:
+        envelope = read_snapshot(
+            snapshot_path,
+            config_hash=chash,
+            workload=cell.workload,
+            attempt=attempt,
+        )
+        if envelope is not None:
+            sim.load_state(envelope["state"])
+        policy = SnapshotPolicy(
+            snapshot_path, every_cycles=snapshot_every, heartbeat=heartbeat
+        )
+        policy.bind(
+            sim,
+            config_hash=chash,
+            workload=cell.workload,
+            form=cell.form,
+            miss_scale=cell.miss_scale,
+            attempt=attempt,
+        )
+        poll = policy
+    elif heartbeat is not None:
+        beats = [0]
+
+        def poll(core, _beats=beats, _heartbeat=heartbeat):  # noqa: F811
+            _beats[0] += 1
+            if not (_beats[0] & _HEARTBEAT_MASK):
+                _heartbeat()
+
+    result = sim.run(poll)
+    # Observation-only mirror into the unified metrics registry, exactly
+    # as repro.api.simulate does.
+    record_result(result)
+    return result
+
+
+def _discard_snapshot(snapshot_path: Optional[str]) -> None:
+    if snapshot_path is None:
+        return
+    try:
+        os.remove(snapshot_path)
+    except OSError:
+        pass
+
+
+def execute_cell_resumable(
+    cell: Cell,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    *,
+    snapshot_path: Optional[str] = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_CYCLES,
+    heartbeat: Optional[Callable[[], None]] = None,
+) -> SimulationResult:
+    """Run ``cell`` with retries, wall-clock bounds, and snapshotting.
+
+    The retry semantics match :func:`repro.parallel.cells.execute_cell`;
+    on top of that, each attempt resumes from the on-disk snapshot when
+    one matches (the supervised pool's restart path), a snapshot for a
+    *different* attempt or cell is discarded rather than fatal (a retry
+    reseeds the fault config, so the previous attempt's snapshot cannot
+    be resumed), and the snapshot file is removed once the cell
+    completes.
+    """
+    attempts = retries + 1
+    last_error: Optional[SimulationError] = None
+    for attempt in range(attempts):
+        try:
+            with wall_clock_guard(timeout or 0.0, label=cell.describe()):
+                try:
+                    result = simulate_cell_resumable(
+                        cell,
+                        attempt,
+                        snapshot_path=snapshot_path,
+                        snapshot_every=snapshot_every,
+                        heartbeat=heartbeat,
+                    )
+                except SnapshotIncompatible:
+                    # Stale snapshot (earlier attempt, or an abandoned
+                    # cell that once shared the path): never resume it,
+                    # never wedge on it.
+                    _discard_snapshot(snapshot_path)
+                    result = simulate_cell_resumable(
+                        cell,
+                        attempt,
+                        snapshot_path=snapshot_path,
+                        snapshot_every=snapshot_every,
+                        heartbeat=heartbeat,
+                    )
+            _discard_snapshot(snapshot_path)
+            return result
+        except SimulationError as exc:
+            last_error = exc
+            # The failed attempt's snapshot is useless to the reseeded
+            # retry; drop it so the next attempt starts clean.
+            _discard_snapshot(snapshot_path)
+    assert last_error is not None
+    last_error.add_context(
+        series=cell.label, workload=cell.workload, attempts=attempts
+    )
+    raise last_error

@@ -1,0 +1,147 @@
+"""Atomic, versioned on-disk persistence for simulator snapshots.
+
+Writes are crash-safe: the envelope is serialized to a temporary file
+in the target directory, flushed and fsynced, then moved into place
+with ``os.replace`` — a reader (or a resuming worker) only ever sees
+the previous complete snapshot or the new complete snapshot, never a
+torn one.  Reads are chaos-tolerant: :func:`try_read_snapshot` returns
+``None`` for missing, truncated, or corrupt files (the chaos harness
+truncates snapshots on purpose), so a worker that cannot resume simply
+restarts the cell from scratch.
+
+The envelope binds a snapshot to the exact cell it came from —
+``config_hash``, workload name, trace form, ``miss_scale``, and the
+retry ``attempt`` (retries reseed the fault config, which changes the
+hash) — so a snapshot can never be resumed into a different
+configuration; :func:`read_snapshot` raises
+:class:`SnapshotIncompatible` on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Bump when the envelope layout or any component's state_dict schema
+#: changes incompatibly; old snapshots are then refused (workers fall
+#: back to a fresh run).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+SNAPSHOT_KIND = "repro-simulator-snapshot"
+
+__all__ = [
+    "SNAPSHOT_KIND",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotIncompatible",
+    "read_snapshot",
+    "snapshot_envelope",
+    "try_read_snapshot",
+    "write_snapshot",
+]
+
+
+class SnapshotIncompatible(Exception):
+    """The snapshot on disk does not match the cell being resumed."""
+
+
+def snapshot_envelope(
+    *,
+    config_hash: str,
+    workload: str,
+    form: Optional[str],
+    miss_scale: float,
+    attempt: int,
+    cycle: int,
+    state: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Wrap a ``Simulator.state_dict()`` in the versioned envelope."""
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "config_hash": config_hash,
+        "workload": workload,
+        "form": form,
+        "miss_scale": miss_scale,
+        "attempt": attempt,
+        "cycle": cycle,
+        "state": state,
+    }
+
+
+def write_snapshot(path: str, envelope: Dict[str, Any]) -> None:
+    """Atomically persist ``envelope`` at ``path`` (write + fsync +
+    rename; the temp file lives in the same directory so the rename
+    never crosses filesystems)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    tmp_path = os.path.join(
+        directory, f".{os.path.basename(path)}.tmp.{os.getpid()}"
+    )
+    payload = json.dumps(envelope, sort_keys=True)
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+
+
+def try_read_snapshot(path: str) -> Optional[Dict[str, Any]]:
+    """Read a snapshot envelope, or ``None`` if the file is missing,
+    truncated, corrupt, or from an incompatible schema version.
+
+    This is the resume path's entry point: any unreadable snapshot
+    means "start the cell over", never an exception.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    if envelope.get("kind") != SNAPSHOT_KIND:
+        return None
+    if envelope.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+        return None
+    if not isinstance(envelope.get("state"), dict):
+        return None
+    return envelope
+
+
+def read_snapshot(
+    path: str,
+    *,
+    config_hash: str,
+    workload: str,
+    attempt: int,
+) -> Optional[Dict[str, Any]]:
+    """Read a snapshot and verify it belongs to the given cell attempt.
+
+    Returns ``None`` when the file is absent or unreadable (resume
+    falls back to a fresh run); raises :class:`SnapshotIncompatible`
+    when a *valid* snapshot describes a different cell — resuming it
+    would silently produce results for the wrong configuration.
+    """
+    envelope = try_read_snapshot(path)
+    if envelope is None:
+        return None
+    mismatches = []
+    if envelope.get("config_hash") != config_hash:
+        mismatches.append("config_hash")
+    if envelope.get("workload") != workload:
+        mismatches.append("workload")
+    if envelope.get("attempt") != attempt:
+        mismatches.append("attempt")
+    if mismatches:
+        raise SnapshotIncompatible(
+            f"snapshot {path!r} does not match the resuming cell "
+            f"(mismatched: {', '.join(mismatches)})"
+        )
+    return envelope

@@ -126,3 +126,18 @@ def test_retries_perturb_the_fault_seed():
     # Fault-free configs are never touched.
     clean = small_config()
     assert cells.reseeded(clean, 1) is clean
+
+
+def test_torn_final_line_is_dropped_with_a_warning(tmp_path):
+    path = str(tmp_path / "sweep.jsonl")
+    with sweep_session(checkpoint_path=path):
+        run_matrix(_configs(), workloads=[WORKLOAD])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "half-written')  # crash mid-append
+    with pytest.warns(RuntimeWarning, match="truncated"):
+        checkpoint = SweepCheckpoint(path)
+    try:
+        # The torn line is dropped, not fatal, and costs only itself.
+        assert checkpoint.completed == 1
+    finally:
+        checkpoint.close()

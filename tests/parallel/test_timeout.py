@@ -70,3 +70,55 @@ def test_timeout_applies_per_attempt(monkeypatch):
         cells.execute_cell(cell, retries=2, timeout=0.05)
     assert calls["n"] == 3
     assert excinfo.value.diagnostics["attempts"] == 3
+
+
+# -- the portable (timer-thread) guard path ---------------------------
+
+
+def test_guard_fires_off_the_main_thread():
+    # SIGALRM cannot be armed off the main thread; the guard must fall
+    # back to the timer-thread path and still enforce the bound.
+    import threading
+
+    captured = {}
+
+    def body():
+        try:
+            with wall_clock_guard(0.1, label="threaded-cell"):
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    pass
+            captured["error"] = None
+        except CellTimeout as exc:
+            captured["error"] = exc
+
+    worker = threading.Thread(target=body)
+    worker.start()
+    worker.join(timeout=10.0)
+    assert not worker.is_alive()
+    error = captured.get("error")
+    assert isinstance(error, CellTimeout)
+    assert "threaded-cell" in str(error)
+    assert error.diagnostics["wall_clock_limit_s"] == 0.1
+
+
+def test_timer_thread_guard_fires_on_the_main_thread_too():
+    from repro.faults.watchdog import _timer_thread_guard
+
+    with pytest.raises(CellTimeout) as excinfo:
+        with _timer_thread_guard(0.05, label="forced-thread-path"):
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                pass
+    assert "forced-thread-path" in str(excinfo.value)
+
+
+def test_timer_thread_guard_clean_exit_leaves_no_pending_timeout():
+    from repro.faults.watchdog import _timer_thread_guard
+
+    with _timer_thread_guard(30.0, label="clean"):
+        total = sum(range(1000))
+    # Give any stray async exception bytecode boundaries to surface at.
+    for _ in range(10000):
+        total += 1
+    assert total == 499500 + 10000

@@ -1,0 +1,108 @@
+"""The snapshot store: atomic writes, chaos-tolerant reads."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.snapshot.store import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotIncompatible,
+    read_snapshot,
+    snapshot_envelope,
+    try_read_snapshot,
+    write_snapshot,
+)
+
+
+def _envelope(**overrides):
+    base = dict(
+        config_hash="abc123",
+        workload="bfs",
+        form=None,
+        miss_scale=1.0,
+        attempt=0,
+        cycle=4242,
+        state={"cores": [1, 2], "memory": {"rng": [3, [1, 2], None]}},
+    )
+    base.update(overrides)
+    return snapshot_envelope(**base)
+
+
+def test_write_then_read_roundtrip(tmp_path):
+    path = str(tmp_path / "snap.json")
+    envelope = _envelope()
+    write_snapshot(path, envelope)
+    assert try_read_snapshot(path) == envelope
+    assert (
+        read_snapshot(path, config_hash="abc123", workload="bfs", attempt=0)
+        == envelope
+    )
+
+
+def test_write_leaves_no_temp_files(tmp_path):
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, _envelope())
+    assert os.listdir(tmp_path) == ["snap.json"]
+
+
+def test_missing_file_reads_as_none(tmp_path):
+    path = str(tmp_path / "absent.json")
+    assert try_read_snapshot(path) is None
+    assert (
+        read_snapshot(path, config_hash="abc123", workload="bfs", attempt=0)
+        is None
+    )
+
+
+def test_truncated_file_reads_as_none(tmp_path):
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, _envelope())
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size // 2)
+    assert try_read_snapshot(path) is None
+    # The lenient entry point the resume path uses: unreadable means
+    # "start over", never an exception.
+    assert (
+        read_snapshot(path, config_hash="abc123", workload="bfs", attempt=0)
+        is None
+    )
+
+
+def test_garbage_and_wrong_kind_read_as_none(tmp_path):
+    path = str(tmp_path / "snap.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json at all {{{")
+    assert try_read_snapshot(path) is None
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"kind": "something-else", "state": {}}, handle)
+    assert try_read_snapshot(path) is None
+
+
+def test_future_schema_version_is_refused(tmp_path):
+    path = str(tmp_path / "snap.json")
+    envelope = _envelope()
+    envelope["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+    write_snapshot(path, envelope)
+    assert try_read_snapshot(path) is None
+
+
+@pytest.mark.parametrize(
+    "mismatch",
+    [
+        dict(config_hash="different"),
+        dict(workload="kmeans"),
+        dict(attempt=1),
+    ],
+)
+def test_valid_snapshot_for_a_different_cell_raises(tmp_path, mismatch):
+    path = str(tmp_path / "snap.json")
+    write_snapshot(path, _envelope())
+    expect = dict(config_hash="abc123", workload="bfs", attempt=0)
+    expect.update(mismatch)
+    with pytest.raises(SnapshotIncompatible) as excinfo:
+        read_snapshot(path, **expect)
+    assert list(mismatch)[0] in str(excinfo.value)
