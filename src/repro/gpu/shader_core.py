@@ -41,6 +41,7 @@ from repro.gpu.tbc.cpm import CommonPageMatrix
 from repro.gpu.warp import Warp
 from repro.mem.hierarchy import CoreMemory, SharedMemory
 from repro.obs import events as _ev
+from repro.obs import spans as _spans
 from repro.obs import tracer as _trace
 from repro.obs.interval import IntervalSampler
 from repro.prof import profiler as _prof
@@ -762,6 +763,7 @@ class ShaderCore:
                 )
 
     def _issue_translated(self, warp: Warp, instr: MemoryInstruction, coal, now: int) -> int:
+        shootdown = False
         if self._injector is not None and self._injector.tlb_shootdown(
             self.core_id
         ):
@@ -769,6 +771,7 @@ class ShaderCore:
             # translation on this core is dropped before the lookup.
             self.tlb.flush()
             self._shootdowns += 1
+            shootdown = True
             if _trace.ENABLED:
                 _trace.emit(
                     _ev.FAULT_INJECT,
@@ -847,6 +850,9 @@ class ShaderCore:
         # the translate-then-access dependency.
         completion = tlb_done
         cursor: Dict[int, int] = {"t": now}
+        span_fills: Optional[Dict[int, list]] = (
+            {} if (_spans.ENABLED and misses) else None
+        )
 
         def access_line(line_vaddr: int, available_at: int, tlb_missed: bool) -> None:
             nonlocal completion
@@ -865,7 +871,13 @@ class ShaderCore:
                 result.evicted_warp,
             )
             latency = result.ready_time - start
-            completion = max(completion, max(available_at, start) + latency)
+            fill_start = max(available_at, start)
+            line_end = fill_start + latency
+            completion = max(completion, line_end)
+            if span_fills is not None and tlb_missed:
+                span_fills.setdefault(vpn, []).append(
+                    (result.level, fill_start, line_end)
+                )
 
         if config.cache_overlap:
             missed_set = set(misses)
@@ -880,7 +892,145 @@ class ShaderCore:
 
         if misses:
             self.stats.tlb_miss_stall_cycles += max(0, all_ready - tlb_done)
+            if span_fills is not None:
+                self._record_spans(
+                    warp,
+                    coal,
+                    now,
+                    port_start,
+                    tlb_done,
+                    lookup_cycles,
+                    walk_ready,
+                    span_fills,
+                    completion,
+                    shootdown,
+                )
         return completion
+
+    # ------------------------------------------------------------------
+    # Causal request spans (repro.obs.spans; observation only)
+    # ------------------------------------------------------------------
+
+    def _record_spans(
+        self,
+        warp: Warp,
+        coal,
+        now: int,
+        port_start: int,
+        tlb_done: int,
+        lookup_cycles: int,
+        walk_ready: Dict[int, Tuple[int, int]],
+        span_fills: Dict[int, list],
+        completion: int,
+        shootdown: bool,
+    ) -> None:
+        """Assemble one span tree per missed translation and record it.
+
+        Pure observation: every timestamp was already computed by the
+        timing model above; this method only arranges them into a tree
+        whose root children tile ``[now, completion]`` exactly.
+        """
+        policy = self.config.scheduler.kind
+        for vpn, (_pfn, ready) in walk_ready.items():
+            root = _spans.Span(
+                "translation",
+                now,
+                completion,
+                args={
+                    "vpn": vpn,
+                    "warp": warp.warp_id,
+                    "core": self.core_id,
+                    "pages": coal.page_divergence,
+                    "scheduler": policy,
+                },
+            )
+            probe_args: Dict[str, object] = {
+                "port_wait": port_start - now,
+                "lookup_cycles": lookup_cycles,
+            }
+            if shootdown:
+                probe_args["shootdown"] = True
+            root.add(_spans.Span(_spans.TLB_PROBE, now, tlb_done, probe_args))
+            detail = _spans.pop_walk(vpn << (self.page_shift - 12))
+            if detail is None:
+                # The miss merged into another warp's in-flight walk:
+                # no walker involvement, it completes with that MSHR.
+                root.add(
+                    _spans.Span(
+                        _spans.MSHR_MERGE,
+                        tlb_done,
+                        ready,
+                        {"cause": "merged"},
+                    )
+                )
+            else:
+                self._add_walk_spans(root, detail, tlb_done, ready)
+            fills = span_fills.get(vpn, ())
+            chain_end = ready
+            for _level, _fill_start, fill_end in fills:
+                if fill_end > chain_end:
+                    chain_end = fill_end
+            if chain_end > ready:
+                memory = root.add(
+                    _spans.Span(
+                        _spans.MEMORY, ready, chain_end, {"fills": len(fills)}
+                    )
+                )
+                for level, fill_start, fill_end in fills:
+                    memory.add(
+                        _spans.Span(f"fill_{level}", fill_start, fill_end)
+                    )
+            if completion > chain_end:
+                root.add(_spans.Span(_spans.WAKEUP, chain_end, completion))
+            _spans.record(root)
+
+    @staticmethod
+    def _add_walk_spans(
+        root, detail, tlb_done: int, ready: int
+    ) -> None:
+        """Append the walker-side components of one request tree.
+
+        Chains [tlb_done → ready] from the walk's :class:`WalkDetail`:
+        queue wait (or the OS fault handler for re-batched faulting
+        walks), deferred-start fault handling, the per-level segments,
+        and any stall gaps between/after them (``fault_wait``).
+        """
+        root.args.update(detail.args)
+        edge = tlb_done
+        queue_end = min(max(detail.queue_end, edge), ready)
+        if queue_end > edge:
+            gap_name = (
+                _spans.PAGE_FAULT
+                if detail.args.get("demand_fault")
+                else _spans.PTW_QUEUE
+            )
+            queue_args: Dict[str, object] = {}
+            depth = detail.args.get("queue_depth")
+            if depth is not None:
+                queue_args["depth"] = depth
+            root.add(_spans.Span(gap_name, edge, queue_end, queue_args))
+            edge = queue_end
+        if detail.start > edge:
+            root.add(
+                _spans.Span(
+                    _spans.PAGE_FAULT,
+                    edge,
+                    detail.start,
+                    {"cause": "demand_fault"},
+                )
+            )
+            edge = detail.start
+        for level, seg_start, seg_end in detail.segments:
+            if seg_start > edge:
+                # A stall between loads: a still-running fault handler
+                # or a timed-out walk waiting to retry.
+                root.add(_spans.Span(_spans.FAULT_WAIT, edge, seg_start))
+                edge = seg_start
+            if seg_end > edge:
+                root.add(_spans.Span(f"walk_l{level}", edge, seg_end))
+                edge = seg_end
+        if ready > edge:
+            root.add(_spans.Span(_spans.FAULT_WAIT, edge, ready))
 
     def _handle_misses(
         self,
@@ -931,6 +1081,14 @@ class ShaderCore:
             batch = self.walker.walk_many(
                 [vpn << (self.page_shift - 12) for vpn in to_walk], walk_start
             )
+            if _spans.ENABLED:
+                # Cause annotation: outstanding walks the batch queued
+                # behind (the depth the trace's walk-queue counter sees).
+                depth = len(self._pending_walks) + len(to_walk)
+                for vpn in to_walk:
+                    _spans.annotate_walk(
+                        vpn << (self.page_shift - 12), queue_depth=depth
+                    )
             for vpn in to_walk:
                 walk_vpn = vpn << (self.page_shift - 12)
                 pfn = batch.translations[walk_vpn]

@@ -11,6 +11,8 @@ Usage::
     python -m repro.harness fig07 --json > fig07.json
     python -m repro.harness trace fig04 --out traces/
     python -m repro.harness trace bfs --tiny
+    python -m repro.harness explain fig02 --quick
+    python -m repro.harness explain bfs --out explain/ --json
     python -m repro.harness faults --tiny --check-determinism
     python -m repro.harness bench --quick
     python -m repro.harness bench --full --strict
@@ -34,7 +36,10 @@ choices.
 
 ``trace`` runs one configuration with the :mod:`repro.obs` event tracer
 enabled and writes ``trace.jsonl`` and ``trace.chrome.json`` (see
-:mod:`repro.harness.trace`); ``faults`` is the fault-injection smoke
+:mod:`repro.harness.trace`); ``explain`` runs one configuration with
+causal span recording on and prints the critical-path latency
+attribution — where each missed translation's cycles went (see
+:mod:`repro.harness.explain`); ``faults`` is the fault-injection smoke
 run (see :mod:`repro.harness.faults`); ``bench`` profiles a calibrated
 figure matrix and records a ``BENCH_<n>.json`` perf-trajectory report
 (see :mod:`repro.harness.bench`); ``chaos`` is the seeded recovery
@@ -61,6 +66,10 @@ def main(argv=None) -> int:
         from repro.harness.trace import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "explain":
+        from repro.harness.explain import main as explain_main
+
+        return explain_main(argv[1:])
     if argv and argv[0] == "faults":
         from repro.harness.faults import main as faults_main
 

@@ -66,7 +66,45 @@ def _host() -> Dict[str, Any]:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+    }
+
+
+def _git() -> Optional[Dict[str, Any]]:
+    """The commit this report measured: ``{"commit", "dirty"}``.
+
+    Returns None when the tree is not a git checkout (or git is
+    missing) — the key is optional in the schema so reports stay
+    comparable across packaging contexts.
+    """
+    import subprocess
+
+    here = pathlib.Path(__file__).resolve().parent
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=here,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if commit.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=here,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        "commit": commit.stdout.strip(),
+        "dirty": bool(status.stdout.strip())
+        if status.returncode == 0
+        else None,
     }
 
 
@@ -110,7 +148,7 @@ def run_bench(
                 f"{cycles} cycles\n"
             )
             stream.flush()
-    return {
+    report: Dict[str, Any] = {
         "schema_version": benchfile.BENCH_SCHEMA_VERSION,
         "kind": "repro-bench",
         "mode": mode,
@@ -130,6 +168,10 @@ def run_bench(
         },
         "metrics": registry_to_dict(REGISTRY),
     }
+    git = _git()
+    if git is not None:
+        report["git"] = git
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,23 +1,34 @@
-"""Observability: structured event tracing and interval metrics.
+"""Observability: event tracing, causal spans, interval metrics.
 
-The subsystem has four pieces:
+The subsystem has six pieces:
 
 - :mod:`repro.obs.events` — the typed :class:`TraceEvent` and its kind
   vocabulary (``tlb_lookup``, ``walk_begin``, ``mshr_alloc``, ...).
 - :mod:`repro.obs.tracer` — the module-level fast path (``ENABLED``
   flag + ``emit``) instrumented components call, and the
   :class:`Tracer` that fans events out to sinks.
+- :mod:`repro.obs.switch` — the shared :class:`ModuleSwitch` behind
+  every zero-overhead-when-off module flag (tracer, spans, and the
+  :mod:`repro.prof` profiler all use it).
+- :mod:`repro.obs.spans` — parent-linked causal span trees per
+  TLB-missing translation, in simulated cycles, with cause
+  annotations; :mod:`repro.obs.critpath` decomposes them into additive
+  critical-path components, histograms, and a slowest-translations
+  report (surfaced by ``python -m repro.harness explain``).
 - :mod:`repro.obs.sinks` — :class:`NullSink`, :class:`RingBufferSink`,
   :class:`JsonlSink` and the Perfetto-loadable
-  :class:`ChromeTraceSink`.
+  :class:`ChromeTraceSink` (span flow events included).
 - :mod:`repro.obs.interval` — :class:`IntervalSampler`, periodic
   CoreStats-delta snapshots.
 
-Enable it per run via ``GPUConfig.trace`` (a
+Enable tracing per run via ``GPUConfig.trace`` (a
 :class:`repro.core.config.TraceConfig`) or from the command line with
-``python -m repro.harness trace <figure|workload>``.
+``python -m repro.harness trace <figure|workload>``; enable span
+recording with :func:`repro.obs.spans.record_spans` or
+``python -m repro.harness explain <figure|workload>``.
 """
 
+from repro.obs.critpath import CriticalPathReport
 from repro.obs.events import KINDS, TraceEvent
 from repro.obs.interval import IntervalSampler
 from repro.obs.sinks import (
@@ -26,6 +37,8 @@ from repro.obs.sinks import (
     NullSink,
     RingBufferSink,
 )
+from repro.obs.spans import Span, SpanRecorder, WalkDetail, record_spans
+from repro.obs.switch import ModuleSwitch
 from repro.obs.tracer import Tracer, active, build_tracer, emit, install, uninstall
 
 __all__ = [
@@ -36,6 +49,12 @@ __all__ = [
     "JsonlSink",
     "NullSink",
     "RingBufferSink",
+    "CriticalPathReport",
+    "ModuleSwitch",
+    "Span",
+    "SpanRecorder",
+    "WalkDetail",
+    "record_spans",
     "Tracer",
     "active",
     "build_tracer",

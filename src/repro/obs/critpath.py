@@ -1,0 +1,284 @@
+"""Critical-path latency attribution over recorded request spans.
+
+Consumes a :class:`repro.obs.spans.SpanRecorder` and answers the
+question the paper's own analysis revolves around — *where does
+translation latency go?* — as
+
+- an additive aggregate breakdown (probe, walker-queue wait, per-level
+  walk, fault handling, memory fills, wakeup slack) whose component
+  cycles sum exactly to the summed end-to-end latency (the recorder
+  verifies the identity per request; :meth:`CriticalPathReport.verify`
+  re-asserts it in aggregate),
+- per-component latency histograms (power-of-two buckets, the
+  :mod:`repro.stats.histograms` machinery),
+- the top-K slowest translations with their full span trees, and
+- exports: text table, JSON dict, :class:`MetricsRegistry` counters
+  (``span_*``), and Chrome-trace span slices with parent→child flow
+  events riding the existing :mod:`repro.obs.sinks` infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.events import SPAN, TraceEvent
+from repro.obs.sinks import ChromeTraceSink, JsonlSink
+from repro.obs.spans import Span, SpanRecorder
+
+
+class CriticalPathReport:
+    """The per-run latency attribution built from a span recorder.
+
+    Parameters
+    ----------
+    recorder:
+        The recorder a run populated (its aggregates are snapshotted by
+        reference; build the report after the run completes).
+    label:
+        Free-form run label carried into renders/exports
+        (``"fig02/bfs"``).
+    """
+
+    def __init__(self, recorder: SpanRecorder, label: str = ""):
+        self.recorder = recorder
+        self.label = label
+
+    # -- invariants ----------------------------------------------------
+
+    @property
+    def mismatches(self) -> int:
+        """Requests whose components failed to tile the total (must be 0)."""
+        return self.recorder.mismatches
+
+    def verify(self) -> None:
+        """Assert the additive decomposition held for every request.
+
+        Raises ``AssertionError`` on any per-request tiling violation or
+        if the aggregate component cycles do not sum to the aggregate
+        end-to-end cycles.
+        """
+        if self.recorder.mismatches:
+            raise AssertionError(
+                f"{self.recorder.mismatches} of {self.recorder.requests} "
+                "request span trees did not tile their end-to-end interval"
+            )
+        total = sum(self.recorder.component_cycles.values())
+        if total != self.recorder.total_cycles:
+            raise AssertionError(
+                f"aggregate component cycles {total} != end-to-end "
+                f"cycles {self.recorder.total_cycles}"
+            )
+
+    # -- aggregate breakdown -------------------------------------------
+
+    def breakdown(self) -> List[Dict[str, Any]]:
+        """Component rows in canonical order: cycles, count, share."""
+        recorder = self.recorder
+        total = recorder.total_cycles
+        rows = []
+        for name in recorder.component_names():
+            cycles = recorder.component_cycles[name]
+            rows.append(
+                {
+                    "component": name,
+                    "cycles": cycles,
+                    "count": recorder.component_counts[name],
+                    "share": cycles / total if total else 0.0,
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe report: breakdown, histograms, slowest trees."""
+        recorder = self.recorder
+        return {
+            "label": self.label,
+            "requests": recorder.requests,
+            "total_cycles": recorder.total_cycles,
+            "mean_cycles": (
+                recorder.total_cycles / recorder.requests
+                if recorder.requests
+                else 0.0
+            ),
+            "mismatches": recorder.mismatches,
+            "components": self.breakdown(),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(recorder.histograms.items())
+            },
+            "slowest": [root.as_dict() for root in recorder.slowest],
+        }
+
+    # -- renders -------------------------------------------------------
+
+    def render_text(self, top: Optional[int] = None) -> str:
+        """The human-readable report ``harness explain`` prints."""
+        recorder = self.recorder
+        lines = [f"== critical path: {self.label} =="]
+        if not recorder.requests:
+            lines.append("(no TLB misses recorded)")
+            return "\n".join(lines)
+        mean = recorder.total_cycles / recorder.requests
+        lines.append(
+            f"{recorder.requests} missed translations, "
+            f"{recorder.total_cycles} end-to-end cycles "
+            f"(mean {mean:.1f} cyc/request)"
+        )
+        lines.append("")
+        lines.append(
+            f"{'component':<12s} {'cycles':>12s} {'share':>7s} "
+            f"{'count':>8s} {'mean':>8s}"
+        )
+        for row in self.breakdown():
+            lines.append(
+                f"{row['component']:<12s} {row['cycles']:>12d} "
+                f"{100 * row['share']:>6.1f}% {row['count']:>8d} "
+                f"{row['cycles'] / row['count']:>8.1f}"
+            )
+        checksum = sum(recorder.component_cycles.values())
+        status = "exact" if checksum == recorder.total_cycles else "MISMATCH"
+        lines.append(
+            f"{'total':<12s} {checksum:>12d}  ({status}; "
+            f"{recorder.mismatches} per-request mismatches)"
+        )
+        hist = recorder.histograms.get("end_to_end")
+        if hist is not None:
+            lines.append("")
+            lines.append(hist.render())
+        slowest = recorder.slowest
+        if top is not None:
+            slowest = slowest[:top]
+        if slowest:
+            lines.append("")
+            lines.append(f"-- top {len(slowest)} slowest translations --")
+            for rank, root in enumerate(slowest, 1):
+                lines.append(self._render_tree(rank, root))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render_tree(rank: int, root: Span) -> str:
+        args = root.args
+        head = (
+            f"#{rank}: {root.duration} cyc  vpn={args.get('vpn', '?'):#x} "
+            f"warp={args.get('warp', '?')} core={args.get('core', '?')} "
+            f"[{root.start}..{root.end}]"
+        )
+        body = []
+        for depth, node in root.walk():
+            if depth == 0:
+                continue
+            extra = ""
+            if node.args:
+                keys = ", ".join(
+                    f"{k}={v}" for k, v in sorted(node.args.items())
+                )
+                extra = f"  ({keys})"
+            body.append(
+                f"{'  ' * depth}{node.name:<12s} "
+                f"{node.start:>8d}..{node.end:<8d} "
+                f"{node.duration:>6d} cyc{extra}"
+            )
+        return "\n".join([head] + body)
+
+    # -- MetricsRegistry export ----------------------------------------
+
+    def to_registry(self, registry=None, **labels: str) -> None:
+        """Mirror the aggregate breakdown into a metrics registry.
+
+        Families: ``span_requests_total``, ``span_mismatch_total``,
+        ``span_end_to_end_cycles_total`` and
+        ``span_component_cycles_total{component=...}`` — the shape the
+        bench/serve paths snapshot.
+        """
+        if registry is None:
+            from repro.prof.registry import REGISTRY
+
+            registry = REGISTRY
+        recorder = self.recorder
+        registry.counter(
+            "span_requests_total", help="translation requests span-recorded"
+        ).inc(recorder.requests, **labels)
+        registry.counter(
+            "span_mismatch_total",
+            help="requests whose components failed to tile the total",
+        ).inc(recorder.mismatches, **labels)
+        registry.counter(
+            "span_end_to_end_cycles_total",
+            help="summed end-to-end miss latency over recorded requests",
+        ).inc(recorder.total_cycles, **labels)
+        cycles = registry.counter(
+            "span_component_cycles_total",
+            help="summed cycles attributed to each critical-path component",
+        )
+        counts = registry.counter(
+            "span_component_count_total",
+            help="times each critical-path component occurred",
+        )
+        for name in recorder.component_names():
+            cycles.inc(
+                recorder.component_cycles[name], component=name, **labels
+            )
+            counts.inc(
+                recorder.component_counts[name], component=name, **labels
+            )
+
+    # -- trace-event export --------------------------------------------
+
+    def iter_trace_events(self) -> Iterator[TraceEvent]:
+        """The retained slowest trees as ``span`` trace events.
+
+        One track per request (``slow-1`` … slowest first) on the
+        owning core's process; parent→child causality is carried by
+        ``flow_out``/``flow_in`` ids the Chrome sink turns into
+        ``"s"``/``"f"`` flow events.
+        """
+        flow_seq = 0
+        for rank, root in enumerate(self.recorder.slowest, 1):
+            track = f"slow-{rank}"
+            core = int(root.args.get("core", -1))
+            # Assign one flow id per parent→child edge.
+            flow_in: Dict[int, int] = {}
+            flow_out: Dict[int, List[int]] = {}
+            order: List[Span] = [node for _d, node in root.walk()]
+            for node in order:
+                for child in node.children:
+                    flow_seq += 1
+                    flow_out.setdefault(id(node), []).append(flow_seq)
+                    flow_in[id(child)] = flow_seq
+            for node in order:
+                args: Dict[str, Any] = {"op": node.name}
+                args.update(node.args)
+                if id(node) in flow_in:
+                    args["flow_in"] = flow_in[id(node)]
+                if id(node) in flow_out:
+                    args["flow_out"] = flow_out[id(node)]
+                yield TraceEvent(
+                    SPAN,
+                    node.start,
+                    core=core,
+                    track=track,
+                    dur=node.duration,
+                    args=args,
+                )
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Write the slowest trees as Chrome trace JSON; returns the
+        event count (rides :class:`repro.obs.sinks.ChromeTraceSink`)."""
+        sink = ChromeTraceSink(path)
+        count = 0
+        for event in self.iter_trace_events():
+            sink.record(event)
+            count += 1
+        sink.close()
+        return count
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the slowest trees as JSONL span events; returns the
+        event count (rides :class:`repro.obs.sinks.JsonlSink`)."""
+        sink = JsonlSink(path)
+        count = 0
+        for event in self.iter_trace_events():
+            sink.record(event)
+            count += 1
+        sink.close()
+        return count

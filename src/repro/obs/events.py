@@ -44,6 +44,10 @@ FAULT_INJECT = "fault_inject"
 HANG_DUMP = "hang_dump"
 SWEEP_CELL = "sweep_cell"
 SWEEP_PROGRESS = "sweep_progress"
+#: One node of a :mod:`repro.obs.spans` request tree (``dur`` set; the
+#: ``op`` arg names the component, ``flow_in``/``flow_out`` args carry
+#: parent→child flow-event ids for the Chrome sink).
+SPAN = "span"
 
 #: Every kind the instrumentation emits (sinks accept unknown kinds too,
 #: so downstream tooling can filter without the tracer gatekeeping).
@@ -71,6 +75,7 @@ KINDS = frozenset(
         HANG_DUMP,
         SWEEP_CELL,
         SWEEP_PROGRESS,
+        SPAN,
     }
 )
 

@@ -22,7 +22,7 @@ import json
 from collections import deque
 from typing import Any, Dict, List, Optional, Union
 
-from repro.obs.events import COUNTER_KINDS, TraceEvent
+from repro.obs.events import COUNTER_KINDS, SPAN, TraceEvent
 
 
 class NullSink:
@@ -138,6 +138,11 @@ class ChromeTraceSink:
     - ``<kind>_begin`` / ``<kind>_end`` pairs (matched by their
       ``id``/``vpn`` argument on the same core+track) become one
       complete ``"X"`` span; unmatched halves degrade to instants.
+    - ``span`` events (:mod:`repro.obs.spans` request-tree nodes)
+      become ``"X"`` slices named by their ``op`` arg, plus paired
+      ``"s"``/``"f"`` flow events binding parent to child slices (the
+      arrows Perfetto draws along the request's causal chain); the
+      ``flow_out``/``flow_in`` args carry the shared flow ids.
     - Events with ``dur`` set become ``"X"`` spans directly.
     - Counter kinds become ``"C"`` counter samples.
     - Everything else becomes a thread-scoped instant ``"i"``.
@@ -217,10 +222,48 @@ class ChromeTraceSink:
             out["args"] = dict(args)
         self._events.append(out)
 
+    def _record_span(self, event: TraceEvent, pid: int, tid: int) -> None:
+        """One request-tree node: an ``"X"`` slice plus flow bindings."""
+        args = dict(event.args)
+        name = args.pop("op", "span")
+        flow_in = args.pop("flow_in", None)
+        flow_out = args.pop("flow_out", None)
+        self._emit(name, "X", event.cycle, pid, tid, args, dur=event.dur or 0)
+        # Flow events must share name+cat+id to pair; the start point
+        # sits at the parent slice's begin, the finish at the child's.
+        if flow_in is not None:
+            self._events.append(
+                {
+                    "name": "span_flow",
+                    "cat": "span",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_in,
+                    "ts": event.cycle,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        for fid in flow_out if flow_out is not None else ():
+            self._events.append(
+                {
+                    "name": "span_flow",
+                    "cat": "span",
+                    "ph": "s",
+                    "id": fid,
+                    "ts": event.cycle,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+
     def record(self, event: TraceEvent) -> None:
         pid = event.core
         tid = self._tid(pid, event.track)
         kind = event.kind
+        if kind == SPAN:
+            self._record_span(event, pid, tid)
+            return
         if kind.endswith("_begin"):
             base = kind[: -len("_begin")]
             self._open_spans[(base, pid, event.track, event.span_id)] = event

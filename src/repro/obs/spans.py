@@ -1,0 +1,390 @@
+"""Causal request spans: where each translation's latency went.
+
+The tracer (:mod:`repro.obs.tracer`) emits *flat* events; this layer
+records *parent-linked span trees* in simulated cycles, one tree per
+TLB-missing translation, following the request through
+
+    coalescer → TLB probe → PTW queue wait (or MSHR merge) →
+    per-level walker loads → L1/L2/DRAM line fills → warp wakeup
+
+with cause annotations along the way (walk-queue depth at enqueue,
+MSHR merges, demand faults and injected shootdowns, the active warp
+scheduler policy).  The direct children of each tree's root *tile* the
+root interval exactly — no gaps, no overlap — so the components are an
+additive decomposition of the observed end-to-end latency; the
+recorder verifies the identity per request and counts any violation in
+:attr:`SpanRecorder.mismatches` (the critical-path analyzer and CI
+assert it stays zero).
+
+Hot-path contract (the :mod:`repro.obs.tracer` pattern, via the shared
+:class:`repro.obs.switch.ModuleSwitch`)
+---------------------------------------------------------------------
+Instrumented components guard every touch with the module flag::
+
+    from repro.obs import spans as _spans
+    ...
+    if _spans.ENABLED:
+        _spans.note_walk(vpn, _spans.WalkDetail(...))
+
+With no recorder installed ``ENABLED`` is False, so the disabled cost
+is one module-attribute load and one branch — no span objects, no
+dictionaries.  Recording only *reads* simulated state (all component
+timestamps are already computed synchronously by the timing model), so
+results are byte-identical with spans on or off
+(``tests/obs/test_spans.py`` pins this against golden files).
+
+Because every timestamp is known by the time the owning shader core
+computes a warp's completion cycle, spans are assembled after the
+fact rather than opened/closed around code: the walkers deposit a
+:class:`WalkDetail` keyed by vpn in the recorder's scratch, and the
+core pops it while building the tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.switch import ModuleSwitch
+from repro.stats.histograms import Histogram
+
+# -- component names ---------------------------------------------------
+
+#: [instruction issue, translation available from the TLB] — port
+#: arbitration plus the SRAM lookup itself.
+TLB_PROBE = "tlb_probe"
+#: [TLB miss, walker accepts the walk] — waiting behind earlier walks.
+PTW_QUEUE = "ptw_queue"
+#: This miss merged into another warp's in-flight walk MSHR.
+MSHR_MERGE = "mshr_merge"
+#: OS demand-fault handler running before the hardware walk starts.
+PAGE_FAULT = "page_fault"
+#: One paging level's loads; rendered as ``walk_l0`` ... ``walk_l3``.
+WALK_LEVEL = "walk_l{level}"
+#: Stall inside/after the walk on a still-running fault handler (or a
+#: timed-out walk waiting to retry).
+FAULT_WAIT = "fault_wait"
+#: [translation ready, last line fill] — the actual data accesses.
+MEMORY = "memory"
+#: [own data ready, warp wakeup] — slack waiting on the instruction's
+#: other pages/lines before the warp reschedules.
+WAKEUP = "wakeup"
+
+#: Canonical component ordering for reports (walk levels slot between
+#: page_fault and fault_wait, ordered by level).
+COMPONENT_ORDER = (
+    TLB_PROBE,
+    PTW_QUEUE,
+    MSHR_MERGE,
+    PAGE_FAULT,
+    "walk_l0",
+    "walk_l1",
+    "walk_l2",
+    "walk_l3",
+    FAULT_WAIT,
+    MEMORY,
+    WAKEUP,
+)
+
+
+class Span:
+    """One node of a request tree: a named simulated-cycle interval.
+
+    Deliberately a plain slotted class — spans are built on the memory
+    path whenever recording is enabled, so construction must stay
+    cheap.
+    """
+
+    __slots__ = ("name", "start", "end", "args", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: int,
+        end: int,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.args = args if args is not None else {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def add(self, child: "Span") -> "Span":
+        self.children.append(child)
+        return child
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested form."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.duration,
+        }
+        if self.args:
+            out["args"] = dict(self.args)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    def walk(self) -> Iterator[Tuple[int, "Span"]]:
+        """Depth-first (depth, span) traversal."""
+        stack: List[Tuple[int, Span]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.start}..{self.end}, "
+            f"children={len(self.children)})"
+        )
+
+
+class WalkDetail:
+    """A walker's per-vpn timing handoff to the owning shader core.
+
+    The walkers know the queueing, fault, and per-level timing of a
+    walk; the shader core knows the request's probe/memory/wakeup
+    context.  A ``WalkDetail`` carries the former to the latter through
+    the recorder's scratch (keyed by walker-level vpn).
+
+    Attributes
+    ----------
+    enqueued:
+        Cycle the walk was requested (the TLB miss time, or the fault
+        retry time for re-batched faulting walks).
+    queue_end:
+        Cycle the walker accepted the walk (end of queueing).
+    start:
+        Cycle the hardware walk began (deferred past the OS handler on
+        a demand fault).
+    segments:
+        ``(level, start, end)`` per issued load / per level barrier, in
+        issue order.  Gaps between consecutive segments (fault-handler
+        or timeout-retry stalls) become ``fault_wait`` components.
+    ready:
+        Cycle the translation became architecturally visible (includes
+        any trailing fault-handler wait).
+    args:
+        Cause annotations (queue depth, refs, eliminated refs, fault
+        flags, pool walker index, ...).
+    """
+
+    __slots__ = ("enqueued", "queue_end", "start", "segments", "ready", "args")
+
+    def __init__(
+        self,
+        enqueued: int,
+        queue_end: int,
+        start: int,
+        segments: List[Tuple[int, int, int]],
+        ready: int,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.enqueued = enqueued
+        self.queue_end = queue_end
+        self.start = start
+        self.segments = segments
+        self.ready = ready
+        self.args = args if args is not None else {}
+
+
+class SpanRecorder:
+    """Aggregates request trees: component totals, histograms, top-K.
+
+    Parameters
+    ----------
+    keep_slowest:
+        Full span trees retained for the slowest-translations report
+        (a min-heap keeps memory bounded on long runs).
+    """
+
+    def __init__(self, keep_slowest: int = 10):
+        self.keep_slowest = keep_slowest
+        self.requests = 0
+        self.total_cycles = 0
+        #: Requests whose components did not tile the root exactly —
+        #: must stay 0; any violation is an instrumentation bug.
+        self.mismatches = 0
+        self.component_cycles: Dict[str, int] = {}
+        self.component_counts: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._slowest: List[Tuple[int, int, Span]] = []
+        self._seq = 0
+        # Walker → shader-core handoff scratch, keyed by walker vpn.
+        self._walk_details: Dict[int, WalkDetail] = {}
+
+    # -- walker handoff ------------------------------------------------
+
+    def note_walk(self, vpn: int, detail: WalkDetail) -> None:
+        self._walk_details[vpn] = detail
+
+    def annotate_walk(self, vpn: int, **args: Any) -> None:
+        detail = self._walk_details.get(vpn)
+        if detail is not None:
+            detail.args.update(args)
+
+    def pop_walk(self, vpn: int) -> Optional[WalkDetail]:
+        """Claim the detail for ``vpn`` (None ⇒ the miss merged into an
+        already-in-flight walk and never reached a walker)."""
+        return self._walk_details.pop(vpn, None)
+
+    # -- recording -----------------------------------------------------
+
+    def _hist(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(
+                name, unit="cycles", pow2=True
+            )
+        return hist
+
+    def record(self, root: Span) -> None:
+        """Fold one completed request tree into the aggregates.
+
+        Verifies the additive-decomposition invariant: the root's
+        direct children must tile ``[root.start, root.end]`` exactly.
+        """
+        total = root.duration
+        covered = 0
+        edge = root.start
+        exact = True
+        for child in root.children:
+            if child.start != edge:
+                exact = False
+            covered += child.duration
+            edge = child.end
+        if not exact or covered != total or edge != root.end:
+            self.mismatches += 1
+        self.requests += 1
+        self.total_cycles += total
+        for child in root.children:
+            dur = child.duration
+            self.component_cycles[child.name] = (
+                self.component_cycles.get(child.name, 0) + dur
+            )
+            self.component_counts[child.name] = (
+                self.component_counts.get(child.name, 0) + 1
+            )
+            self._hist(child.name).add(dur)
+        self._hist("end_to_end").add(total)
+        self._seq += 1
+        if self.keep_slowest > 0:
+            entry = (total, self._seq, root)
+            if len(self._slowest) < self.keep_slowest:
+                heapq.heappush(self._slowest, entry)
+            elif entry[0] > self._slowest[0][0]:
+                heapq.heapreplace(self._slowest, entry)
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def slowest(self) -> List[Span]:
+        """Retained request trees, slowest first."""
+        return [
+            root
+            for _total, _seq, root in sorted(
+                self._slowest, key=lambda e: (-e[0], e[1])
+            )
+        ]
+
+    def component_names(self) -> List[str]:
+        """Observed component names in canonical report order."""
+        known = [n for n in COMPONENT_ORDER if n in self.component_cycles]
+        extra = sorted(set(self.component_cycles) - set(known))
+        return known + extra
+
+
+# -- module fast path --------------------------------------------------
+
+#: Fast-path flag: True exactly while a recorder is installed.
+ENABLED = False
+
+_ACTIVE: Optional[SpanRecorder] = None
+
+_SWITCH = ModuleSwitch(__name__)
+
+
+def install(recorder: SpanRecorder) -> None:
+    """Make ``recorder`` active and raise the fast-path flag."""
+    _SWITCH.install(recorder)
+
+
+def uninstall() -> None:
+    """Deactivate span recording; the fast path returns to one branch."""
+    _SWITCH.uninstall()
+
+
+def active() -> Optional[SpanRecorder]:
+    """The installed recorder, or None."""
+    return _ACTIVE
+
+
+# -- module-level forwarding (what instrumentation sites call) ---------
+
+
+def note_walk(vpn: int, detail: WalkDetail) -> None:
+    """Deposit a walk's timing detail on the active recorder."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.note_walk(vpn, detail)
+
+
+def annotate_walk(vpn: int, **args: Any) -> None:
+    """Attach cause annotations to a deposited walk detail."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.annotate_walk(vpn, **args)
+
+
+def pop_walk(vpn: int) -> Optional[WalkDetail]:
+    """Claim a walk detail from the active recorder."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        return recorder.pop_walk(vpn)
+    return None
+
+
+def record(root: Span) -> None:
+    """Record one completed request tree on the active recorder."""
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.record(root)
+
+
+# -- user-facing sugar -------------------------------------------------
+
+
+@contextlib.contextmanager
+def record_spans(
+    recorder: Optional[SpanRecorder] = None, keep_slowest: int = 10
+):
+    """Install a span recorder for the ``with`` body and yield it::
+
+        with repro.obs.spans.record_spans() as rec:
+            simulate(config="augmented", workload="bfs")
+        print(rec.component_cycles)
+
+    Restores the previously installed recorder (if any) on exit, so
+    recorded sections nest safely.
+    """
+    if recorder is None:
+        recorder = SpanRecorder(keep_slowest=keep_slowest)
+    previous = _ACTIVE
+    install(recorder)
+    try:
+        yield recorder
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)

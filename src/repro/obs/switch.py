@@ -1,0 +1,79 @@
+"""The shared zero-overhead instrumentation switch.
+
+Three observability layers follow the same module-flag hot-path
+contract — the simulated-event tracer (:mod:`repro.obs.tracer`), the
+host wall-clock phase profiler (:mod:`repro.prof.profiler`), and the
+causal span recorder (:mod:`repro.obs.spans`)::
+
+    from repro.obs import tracer as _trace
+    ...
+    if _trace.ENABLED:
+        _trace.emit(...)
+
+Each layer used to hand-roll the install/uninstall bookkeeping behind
+that contract (``global _ACTIVE, ENABLED`` dances that had already
+drifted into three copies).  :class:`ModuleSwitch` centralizes it: a
+switch owns one module's ``ENABLED`` flag and ``_ACTIVE`` backend
+global, publishing both with a plain ``setattr`` on the module object
+(module attributes *are* its globals, so instrumentation sites keep
+reading the flag with a single module-attribute load and one branch —
+the disabled cost is unchanged, and the layers can no longer disagree
+about how the flag is managed).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Optional
+
+
+class ModuleSwitch:
+    """Owns the ``ENABLED`` / ``_ACTIVE`` fast-path globals of a module.
+
+    Parameters
+    ----------
+    module_name:
+        The owning module (pass ``__name__``); its ``ENABLED`` and
+        ``_ACTIVE`` globals are managed by this switch.
+    on_uninstall:
+        Optional callback run after deactivation, for modules with
+        extra context to reset (the tracer clears its ``NOW``/``CORE``
+        timestamp context, say).
+    """
+
+    def __init__(
+        self,
+        module_name: str,
+        on_uninstall: Optional[Callable[[], None]] = None,
+    ):
+        self._module_name = module_name
+        self._on_uninstall = on_uninstall
+
+    @property
+    def _module(self):
+        return sys.modules[self._module_name]
+
+    def install(self, backend: Any) -> None:
+        """Publish ``backend`` as the module's active instance and raise
+        its fast-path flag."""
+        module = self._module
+        module._ACTIVE = backend
+        module.ENABLED = True
+
+    def uninstall(self) -> None:
+        """Deactivate the module's instrumentation; its fast path
+        returns to a single branch."""
+        module = self._module
+        module._ACTIVE = None
+        module.ENABLED = False
+        if self._on_uninstall is not None:
+            self._on_uninstall()
+
+    def active(self) -> Any:
+        """The installed backend, or None."""
+        return self._module._ACTIVE
+
+    def enabled(self) -> bool:
+        """The current flag value (sites read the module global
+        directly; this accessor is for tests and tooling)."""
+        return self._module.ENABLED

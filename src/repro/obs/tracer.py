@@ -29,6 +29,7 @@ from typing import List, Optional
 
 from repro.obs.events import TraceEvent
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, NullSink, RingBufferSink
+from repro.obs.switch import ModuleSwitch
 
 #: Fast-path flag: True exactly while a tracer is installed.
 ENABLED = False
@@ -41,6 +42,15 @@ NOW = 0
 CORE = -1
 
 _ACTIVE: Optional["Tracer"] = None
+
+
+def _reset_context() -> None:
+    global NOW, CORE
+    NOW = 0
+    CORE = -1
+
+
+_SWITCH = ModuleSwitch(__name__, on_uninstall=_reset_context)
 
 
 class Tracer:
@@ -67,18 +77,12 @@ class Tracer:
 
 def install(tracer: Tracer) -> None:
     """Make ``tracer`` the active tracer and raise the fast-path flag."""
-    global _ACTIVE, ENABLED
-    _ACTIVE = tracer
-    ENABLED = True
+    _SWITCH.install(tracer)
 
 
 def uninstall() -> None:
     """Deactivate tracing; the fast path returns to a single branch."""
-    global _ACTIVE, ENABLED, NOW, CORE
-    _ACTIVE = None
-    ENABLED = False
-    NOW = 0
-    CORE = -1
+    _SWITCH.uninstall()
 
 
 def active() -> Optional[Tracer]:

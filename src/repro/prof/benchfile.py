@@ -11,7 +11,17 @@ Schema (``BENCH_SCHEMA_VERSION`` = 1)::
       "schema_version": 1,
       "kind": "repro-bench",
       "mode": "quick" | "full" | "custom",
-      "host": {"python": ..., "platform": ..., "cpu_count": ...},
+      "host": {
+        "python": str,      # interpreter version, e.g. "3.11.9"
+        "platform": str,    # platform.platform() of the measuring host
+        "machine": str,     # optional: platform.machine(), e.g. "x86_64"
+        "cpu_count": int
+      },
+      "git": {              # optional: absent outside a git checkout
+        "commit": str,      # HEAD hash the run measured
+        "dirty": bool       # uncommitted changes present? (null if
+                            # `git status` itself failed)
+      },
       "figures": {
         "<figure>": {
           "wall_s": float,        # host wall time for the figure
@@ -26,6 +36,11 @@ Schema (``BENCH_SCHEMA_VERSION`` = 1)::
                  "cycles_per_s", "peak_rss_kb"},
       "metrics": { ... repro.prof.export.registry_to_dict ... }
     }
+
+``host.machine`` and the ``git`` section postdate ``BENCH_1.json``;
+both are optional so earlier reports keep validating, but every new
+report written inside a checkout records the exact commit its numbers
+measured.
 
 Comparison is threshold-based and wall-clock aware: a figure regresses
 when its wall time grows (or its cells/s throughput shrinks) by more

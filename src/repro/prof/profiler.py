@@ -44,6 +44,8 @@ import functools
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.switch import ModuleSwitch
+
 #: Phase names used by the built-in instrumentation sites.
 PHASE_SIMULATE = "simulate"          # one whole Simulator.run()
 PHASE_TLB = "tlb_lookup"             # SetAssociativeTLB.lookup
@@ -72,6 +74,8 @@ PHASES = (
 ENABLED = False
 
 _ACTIVE: Optional["PhaseProfiler"] = None
+
+_SWITCH = ModuleSwitch(__name__)
 
 
 class PhaseRecord:
@@ -174,16 +178,12 @@ class PhaseProfiler:
 
 def install(profiler: PhaseProfiler) -> None:
     """Make ``profiler`` active and raise the fast-path flag."""
-    global _ACTIVE, ENABLED
-    _ACTIVE = profiler
-    ENABLED = True
+    _SWITCH.install(profiler)
 
 
 def uninstall() -> None:
     """Deactivate profiling; the fast path returns to a single branch."""
-    global _ACTIVE, ENABLED
-    _ACTIVE = None
-    ENABLED = False
+    _SWITCH.uninstall()
 
 
 def active() -> Optional[PhaseProfiler]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.mem.hierarchy import SharedMemory
+from repro.obs import spans as _spans
 from repro.ptw.walker import PageTableWalker, WalkBatchResult
 from repro.vm.page_table import PageTable
 
@@ -62,6 +63,10 @@ class WalkerPool:
         for vpn in dict.fromkeys(vpns):
             walker = self._earliest_free(now)
             result = walker.walk(vpn, now)
+            if _spans.ENABLED:
+                _spans.annotate_walk(
+                    vpn, pool_walker=self.walkers.index(walker)
+                )
             translations[vpn] = result.pfn
             ready_times[vpn] = result.ready_time
             refs += result.refs

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.obs import events as _ev
+from repro.obs import spans as _spans
 from repro.obs import tracer as _trace
 from repro.prof import profiler as _prof
 from repro.ptw.walker import PageTableWalker, WalkBatchResult
@@ -150,6 +151,9 @@ class ScheduledPageTableWalker(PageTableWalker):
             return batch
         retry_at = max(handler_ready, self.busy_until)
         retry = self.walk_many(faulted, retry_at)
+        if _spans.ENABLED:
+            for vpn in faulted:
+                _spans.annotate_walk(vpn, demand_fault=True)
         translations = dict(batch.translations)
         translations.update(retry.translations)
         ready_times = dict(batch.ready_times)
@@ -190,26 +194,29 @@ class ScheduledPageTableWalker(PageTableWalker):
                 queued=start - now,
                 naive_refs=plan.naive_refs,
             )
+        spanning = _spans.ENABLED
+        level_end: Dict[int, int] = {}
         load_ready: Dict[int, int] = {}
         clock = start
         for level, level_loads in enumerate(plan.loads_per_level):
-            if not level_loads:
-                continue
-            level_done = clock
-            for offset, paddr in enumerate(level_loads):
-                ready = self._load(paddr, clock + offset)
-                load_ready[paddr] = ready
-                level_done = max(level_done, ready)
-                if tracing:
-                    _trace.emit(
-                        _ev.WALK_STEP,
-                        cycle=clock + offset,
-                        track="walker",
-                        dur=ready - (clock + offset),
-                        level=level,
-                        paddr=paddr,
-                    )
-            clock = level_done
+            if level_loads:
+                level_done = clock
+                for offset, paddr in enumerate(level_loads):
+                    ready = self._load(paddr, clock + offset)
+                    load_ready[paddr] = ready
+                    level_done = max(level_done, ready)
+                    if tracing:
+                        _trace.emit(
+                            _ev.WALK_STEP,
+                            cycle=clock + offset,
+                            track="walker",
+                            dur=ready - (clock + offset),
+                            level=level,
+                            paddr=paddr,
+                        )
+                clock = level_done
+            if spanning:
+                level_end[level] = clock
         translations: Dict[int, int] = {}
         ready_times: Dict[int, int] = {}
         for vpn, steps in walk_steps.items():
@@ -229,6 +236,37 @@ class ScheduledPageTableWalker(PageTableWalker):
                 if pending > ready_times[vpn]:
                     ready_times[vpn] = pending
                     clock = max(clock, pending)
+        if spanning:
+            # Per-vpn level decomposition under the batch's barrier
+            # model: a walk's level-k reference is satisfied when the
+            # batch's level-k loads all return; its leaf completes with
+            # its own load's data.
+            for vpn, steps in walk_steps.items():
+                prev = start
+                segments = []
+                for step in steps[:-1]:
+                    end = level_end.get(step.level, prev)
+                    segments.append((step.level, prev, end))
+                    prev = end
+                leaf = steps[-1]
+                segments.append(
+                    (leaf.level, prev, load_ready[leaf.load_paddr])
+                )
+                _spans.note_walk(
+                    vpn,
+                    _spans.WalkDetail(
+                        enqueued=now,
+                        queue_end=start,
+                        start=start,
+                        segments=segments,
+                        ready=ready_times[vpn],
+                        args={
+                            "batch": len(vpn_list),
+                            "refs": plan.scheduled_refs,
+                            "eliminated": plan.refs_eliminated,
+                        },
+                    ),
+                )
         # Issue-bandwidth occupancy: the walker frees once every
         # reference of this batch has been injected; the in-flight data
         # returns overlap with subsequent batches.

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.faults.errors import PTWError, WalkTimeout
 from repro.mem.hierarchy import SharedMemory
 from repro.obs import events as _ev
+from repro.obs import spans as _spans
 from repro.obs import tracer as _trace
 from repro.prof import profiler as _prof
 from repro.vm.address import cache_line_of
@@ -176,12 +177,24 @@ class PageTableWalker:
             # once it completes.
             return self.page_table.walk(vpn), ready
 
-    def _issue_steps(self, steps: List[WalkStep], start: int, tracing: bool) -> int:
-        """Issue a walk's loads serially from ``start``; return done cycle."""
+    def _issue_steps(
+        self,
+        steps: List[WalkStep],
+        start: int,
+        tracing: bool,
+        segments: Optional[list] = None,
+    ) -> int:
+        """Issue a walk's loads serially from ``start``; return done cycle.
+
+        ``segments``, when given, collects ``(level, issued_at, ready)``
+        per load for the span recorder's per-level decomposition.
+        """
         clock = start
         for step in steps:
             issued_at = clock
             clock = self._load(step.load_paddr, clock)
+            if segments is not None:
+                segments.append((step.level, issued_at, clock))
             if tracing:
                 _trace.emit(
                     _ev.WALK_STEP,
@@ -200,8 +213,10 @@ class PageTableWalker:
             # simulator's end_through unwinds it with the run.
             _prof.begin(_prof.PHASE_PTW)
         start = now if now >= self.busy_until else self.busy_until
+        queue_end = start  # walker accepted the walk (pre-fault-handler)
         steps, start = self._resolve_steps(vpn, start)
         tracing = _trace.ENABLED
+        segments = [] if _spans.ENABLED else None
         if tracing:
             self._walk_seq += 1
             walk_id = self._walk_seq
@@ -213,7 +228,7 @@ class PageTableWalker:
                 vpn=vpn,
                 queued=start - now,
             )
-        clock = self._issue_steps(steps, start, tracing)
+        clock = self._issue_steps(steps, start, tracing, segments)
         if self._fault_model is not None:
             # Another warp's fault on this page may still be in flight;
             # the translation is not architecturally visible before the
@@ -233,7 +248,7 @@ class PageTableWalker:
                     latency=clock - start,
                 )
             retry_start = clock
-            clock = self._issue_steps(steps, retry_start, tracing)
+            clock = self._issue_steps(steps, retry_start, tracing, segments)
             if clock - retry_start > self._timeout:
                 raise WalkTimeout(
                     f"walk for vpn {vpn:#x} exceeded "
@@ -253,6 +268,18 @@ class PageTableWalker:
                 id=walk_id,
                 vpn=vpn,
                 refs=len(steps),
+            )
+        if segments is not None:
+            _spans.note_walk(
+                vpn,
+                _spans.WalkDetail(
+                    enqueued=now,
+                    queue_end=queue_end,
+                    start=start,
+                    segments=segments,
+                    ready=clock,
+                    args={"refs": len(steps)},
+                ),
             )
         self.busy_until = clock
         self.walks += 1

@@ -1,0 +1,62 @@
+"""The ``python -m repro.harness explain`` subcommand."""
+
+import json
+
+from repro.harness.__main__ import main
+
+
+class TestExplainCommand:
+    def run_quick(self, args):
+        return main(["explain", "fig02", "--quick"] + args)
+
+    def test_text_report_decomposes_latency(self, capsys):
+        assert self.run_quick(["--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "== critical path: fig02/bfs (quick) ==" in out
+        assert "(exact; 0 per-request mismatches)" in out
+        assert "ptw_queue" in out and "memory" in out
+        assert "-- top 2 slowest translations --" in out
+
+    def test_out_dir_created_and_artifacts_valid(self, tmp_path, capsys):
+        out = tmp_path / "nested" / "explain"  # parent does not exist
+        assert self.run_quick(["--out", str(out)]) == 0
+        payload = json.loads((out / "explain.json").read_text())
+        assert payload["mismatches"] == 0
+        assert payload["requests"] == payload["run"]["tlb_misses"]
+        comp = sum(r["cycles"] for r in payload["components"])
+        assert comp == payload["total_cycles"]
+        chrome = json.loads((out / "spans.chrome.json").read_text())
+        assert isinstance(chrome, list) and chrome
+        for entry in chrome:
+            assert "name" in entry and "ph" in entry and "ts" in entry
+        assert (out / "spans.jsonl").read_text().splitlines()
+
+    def test_json_output_parses(self, capsys):
+        assert self.run_quick(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"] == "fig02/bfs (quick)"
+        assert payload["mismatches"] == 0
+
+    def test_unknown_target_fails(self, capsys):
+        assert main(["explain", "nope", "--quick"]) == 2
+        assert "unknown trace target" in capsys.readouterr().err
+
+    def test_workload_figure_conflict_fails(self, capsys):
+        assert main(["explain", "bfs", "--workloads", "kmeans"]) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_registry_receives_breakdown(self, capsys):
+        from repro.prof.registry import REGISTRY
+
+        assert self.run_quick([]) == 0
+        counter = REGISTRY.counter("span_requests_total")
+        assert counter.value(target="fig02", workload="tiny") > 0
+
+
+class TestTraceOutDir:
+    def test_out_parent_created_if_missing(self, tmp_path, capsys):
+        out = tmp_path / "deep" / "traces"  # parent does not exist
+        rc = main(["trace", "fig02", "--tiny", "--out", str(out)])
+        assert rc == 0
+        assert (out / "trace.jsonl").exists()
+        assert (out / "trace.chrome.json").exists()

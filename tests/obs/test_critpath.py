@@ -1,0 +1,128 @@
+"""Critical-path reports: invariants, renders, exports."""
+
+import json
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.obs.critpath import CriticalPathReport
+from repro.obs.spans import Span, SpanRecorder, record_spans
+from repro.prof.registry import MetricsRegistry
+
+from helpers import small_config, small_workload
+
+
+def recorded_run():
+    config = small_config()
+    wl = small_workload()
+    with record_spans(keep_slowest=5) as rec:
+        result = Simulator(config, wl.build(config), wl.name).run()
+    return rec, result
+
+
+@pytest.fixture(scope="module")
+def run():
+    return recorded_run()
+
+
+class TestInvariants:
+    def test_verify_passes_on_real_run(self, run):
+        rec, _ = run
+        CriticalPathReport(rec, label="small").verify()
+
+    def test_verify_raises_on_per_request_mismatch(self):
+        rec = SpanRecorder()
+        root = Span("translation", 0, 10)
+        root.add(Span("a", 0, 4))  # hole: 4..10 unattributed
+        rec.record(root)
+        with pytest.raises(AssertionError, match="did not tile"):
+            CriticalPathReport(rec).verify()
+
+    def test_breakdown_sums_to_total(self, run):
+        rec, _ = run
+        report = CriticalPathReport(rec)
+        rows = report.breakdown()
+        assert sum(r["cycles"] for r in rows) == rec.total_cycles
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+
+class TestRenders:
+    def test_to_dict_is_json_safe_and_complete(self, run):
+        rec, result = run
+        report = CriticalPathReport(rec, label="small")
+        d = json.loads(json.dumps(report.to_dict()))
+        assert d["label"] == "small"
+        assert d["requests"] == result.stats.tlb_misses
+        assert d["mismatches"] == 0
+        assert {r["component"] for r in d["components"]} >= {
+            "tlb_probe",
+            "memory",
+        }
+        assert "end_to_end" in d["histograms"]
+        assert len(d["slowest"]) <= 5
+        assert d["slowest"] == sorted(
+            d["slowest"], key=lambda s: -s["dur"]
+        )
+
+    def test_render_text_reports_exact_checksum(self, run):
+        rec, _ = run
+        text = CriticalPathReport(rec, label="small").render_text(top=2)
+        assert "== critical path: small ==" in text
+        assert "(exact; 0 per-request mismatches)" in text
+        assert "-- top 2 slowest translations --" in text
+        assert "#1:" in text and "#3:" not in text
+
+    def test_render_text_handles_empty_recorder(self):
+        text = CriticalPathReport(SpanRecorder(), label="idle").render_text()
+        assert "no TLB misses recorded" in text
+
+
+class TestRegistryExport:
+    def test_counters_mirror_breakdown(self, run):
+        rec, _ = run
+        registry = MetricsRegistry()
+        CriticalPathReport(rec).to_registry(registry, target="t1")
+        assert (
+            registry.counter("span_requests_total").value(target="t1")
+            == rec.requests
+        )
+        assert registry.counter("span_mismatch_total").value(target="t1") == 0
+        assert (
+            registry.counter("span_end_to_end_cycles_total").value(
+                target="t1"
+            )
+            == rec.total_cycles
+        )
+        comp = registry.counter("span_component_cycles_total")
+        total = sum(comp.series().values())
+        assert total == rec.total_cycles
+
+
+class TestTraceExport:
+    def test_chrome_trace_round_trip(self, run, tmp_path):
+        rec, _ = run
+        report = CriticalPathReport(rec)
+        path = tmp_path / "spans.chrome.json"
+        count = report.write_chrome_trace(str(path))
+        nodes = sum(1 for root in rec.slowest for _ in root.walk())
+        assert count == nodes
+        data = json.loads(path.read_text())
+        slices = [e for e in data if e["ph"] == "X"]
+        assert len(slices) == nodes
+        # One flow start/finish pair per parent→child edge.
+        edges = nodes - len(rec.slowest)
+        starts = [e for e in data if e["ph"] == "s"]
+        finishes = [e for e in data if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == edges
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_jsonl_lines_are_span_events(self, run, tmp_path):
+        rec, _ = run
+        path = tmp_path / "spans.jsonl"
+        count = CriticalPathReport(rec).write_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        first = json.loads(lines[0])
+        assert first["kind"] == "span"
+        assert first["args"]["op"] == "translation"
+        assert first["track"] == "slow-1"

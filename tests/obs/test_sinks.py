@@ -5,6 +5,7 @@ import json
 
 from repro.obs.events import (
     INTERVAL_SAMPLE,
+    SPAN,
     TLB_LOOKUP,
     TLB_MISS_BEGIN,
     TLB_MISS_END,
@@ -153,6 +154,39 @@ class TestChromeTraceSink:
         instants = [e for e in data if e["ph"] == "i"]
         assert len(instants) == 1
         assert instants[0]["ts"] == 3
+
+    def test_span_events_become_named_slices(self):
+        data = self.run_sink(
+            [ev(kind=SPAN, cycle=10, dur=30, op="ptw_queue", depth=3)]
+        )
+        slices = [e for e in data if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "ptw_queue"
+        assert slices[0]["ts"] == 10 and slices[0]["dur"] == 30
+        # flow/op bookkeeping args are consumed, causes stay visible
+        assert slices[0]["args"] == {"depth": 3}
+
+    def test_span_flow_events_pair_by_id(self):
+        data = self.run_sink(
+            [
+                ev(kind=SPAN, cycle=0, dur=50, op="translation",
+                   flow_out=[1, 2]),
+                ev(kind=SPAN, cycle=0, dur=10, op="tlb_probe", flow_in=1),
+                ev(kind=SPAN, cycle=10, dur=40, op="memory", flow_in=2),
+            ]
+        )
+        starts = [e for e in data if e["ph"] == "s"]
+        finishes = [e for e in data if e["ph"] == "f"]
+        assert {e["id"] for e in starts} == {1, 2}
+        assert {e["id"] for e in finishes} == {1, 2}
+        for e in starts + finishes:
+            assert e["name"] == "span_flow" and e["cat"] == "span"
+            assert "ts" in e and "pid" in e and "tid" in e
+        # binding points: start at the parent's begin, finish at the
+        # child's begin (bp="e" makes Perfetto attach to the slice).
+        assert all(e["ts"] == 0 for e in starts)
+        assert all(e["bp"] == "e" for e in finishes)
+        assert {e["ts"] for e in finishes} == {0, 10}
 
     def test_close_is_idempotent(self):
         buf = io.StringIO()

@@ -1,0 +1,225 @@
+"""Causal span recording: zero perturbation, exact decomposition.
+
+Pins two invariants the subsystem is built around:
+
+- *observation only* — runs with span recording on are byte-identical
+  to runs with it off, and both match the pre-instrumentation golden
+  files in ``tests/obs/golden/``;
+- *additive decomposition* — every recorded request's components tile
+  its end-to-end interval exactly (``mismatches == 0``), and one tree
+  is recorded per TLB miss.
+
+Plus unit coverage for the shared :class:`ModuleSwitch` all three
+zero-overhead module flags (tracer, spans, profiler) delegate to.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.config import FaultConfig
+from repro.core.simulator import Simulator
+from repro.harness.trace import _FIG_PRESETS, _tiny_workload
+from repro.obs import spans
+from repro.obs import tracer as trace
+from repro.obs.spans import Span, SpanRecorder, WalkDetail, record_spans
+from repro.prof import profiler as prof
+from repro.workloads.base import TIMING_MISS_SCALE
+
+from helpers import small_config, small_workload
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: fig02 = serial-walker naive TLB, fig11 = 8-walker pool.
+GOLDEN_FIGURES = ("fig02", "fig11")
+
+
+def golden_run(fig):
+    config = _FIG_PRESETS[fig]().with_(
+        num_cores=1, warps_per_core=8, warp_width=8, warmup_instructions=0
+    )
+    wl = _tiny_workload()
+    work = wl.build(config, miss_scale=TIMING_MISS_SCALE)
+    return Simulator(config, work, wl.name).run()
+
+
+class TestObservationOnly:
+    @pytest.mark.parametrize("fig", GOLDEN_FIGURES)
+    def test_spans_off_matches_goldens(self, fig):
+        assert spans.ENABLED is False
+        result = golden_run(fig)
+        golden = (GOLDEN_DIR / f"{fig}.json").read_text()
+        assert result.to_json() + "\n" == golden
+
+    @pytest.mark.parametrize("fig", GOLDEN_FIGURES)
+    def test_spans_on_matches_goldens(self, fig):
+        with record_spans() as rec:
+            result = golden_run(fig)
+        golden = (GOLDEN_DIR / f"{fig}.json").read_text()
+        assert result.to_json() + "\n" == golden
+        # ... and the recorder actually observed the run.
+        assert rec.requests > 0
+
+    def test_faulting_run_unperturbed(self):
+        config = small_config(
+            faults=FaultConfig(
+                enabled=True,
+                demand_paging=True,
+                minor_fault_cycles=600,
+                tlb_shootdown_rate=0.001,
+                ptw_error_rate=0.001,
+                seed=3,
+            )
+        )
+        wl = small_workload()
+
+        def run():
+            work = wl.build(config)
+            return Simulator(config, work, wl.name).run()
+
+        off = run()
+        with record_spans() as rec:
+            on = run()
+        assert on.to_json() == off.to_json()
+        assert rec.requests == on.stats.tlb_misses
+        assert rec.mismatches == 0
+        assert "page_fault" in rec.component_names()
+
+    def test_recorder_uninstalled_after_context(self):
+        with record_spans():
+            assert spans.ENABLED is True
+        assert spans.ENABLED is False
+        assert spans.active() is None
+
+
+class TestExactDecomposition:
+    @pytest.mark.parametrize("fig", GOLDEN_FIGURES)
+    def test_one_tree_per_miss_and_components_tile(self, fig):
+        with record_spans() as rec:
+            result = golden_run(fig)
+        assert rec.requests == result.stats.tlb_misses
+        assert rec.mismatches == 0
+        assert sum(rec.component_cycles.values()) == rec.total_cycles
+
+    def test_serial_walker_sees_queue_component(self):
+        with record_spans() as rec:
+            golden_run("fig02")
+        names = rec.component_names()
+        assert "tlb_probe" in names
+        assert "ptw_queue" in names
+        assert "walk_l0" in names and "walk_l3" in names
+        assert "memory" in names
+        # Canonical order: probe before queue before walk before memory.
+        assert names.index("tlb_probe") < names.index("ptw_queue")
+        assert names.index("ptw_queue") < names.index("walk_l0")
+        assert names.index("walk_l3") < names.index("memory")
+
+    def test_histograms_cover_every_component(self):
+        with record_spans() as rec:
+            golden_run("fig11")
+        assert "end_to_end" in rec.histograms
+        for name in rec.component_names():
+            assert name in rec.histograms
+            assert rec.histograms[name].total == rec.component_counts[name]
+
+
+class TestSpanRecorder:
+    def tree(self, start=0, end=100, cuts=(10, 60)):
+        root = Span("translation", start, end)
+        edge = start
+        for i, cut in enumerate(tuple(cuts) + (end,)):
+            root.add(Span(f"c{i}", edge, cut))
+            edge = cut
+        return root
+
+    def test_exact_tiling_accepted(self):
+        rec = SpanRecorder()
+        rec.record(self.tree())
+        assert rec.requests == 1
+        assert rec.mismatches == 0
+        assert rec.total_cycles == 100
+        assert sum(rec.component_cycles.values()) == 100
+
+    def test_gap_counts_as_mismatch(self):
+        rec = SpanRecorder()
+        root = Span("translation", 0, 100)
+        root.add(Span("a", 0, 40))
+        root.add(Span("b", 50, 100))  # 10-cycle hole
+        rec.record(root)
+        assert rec.mismatches == 1
+
+    def test_short_cover_counts_as_mismatch(self):
+        rec = SpanRecorder()
+        root = Span("translation", 0, 100)
+        root.add(Span("a", 0, 90))  # never reaches root.end
+        rec.record(root)
+        assert rec.mismatches == 1
+
+    def test_keeps_k_slowest_in_order(self):
+        rec = SpanRecorder(keep_slowest=3)
+        for dur in (5, 40, 10, 99, 7, 60):
+            rec.record(self.tree(0, dur, cuts=()))
+        assert [r.duration for r in rec.slowest] == [99, 60, 40]
+
+    def test_walk_detail_handoff(self):
+        rec = SpanRecorder()
+        rec.note_walk(7, WalkDetail(1, 2, 3, [(0, 3, 5)], 5))
+        rec.annotate_walk(7, queue_depth=4)
+        detail = rec.pop_walk(7)
+        assert detail.args == {"queue_depth": 4}
+        assert rec.pop_walk(7) is None  # claimed once
+
+    def test_span_walk_is_depth_first(self):
+        root = self.tree()
+        root.children[0].add(Span("leaf", 0, 5))
+        names = [(d, s.name) for d, s in root.walk()]
+        assert names == [
+            (0, "translation"),
+            (1, "c0"),
+            (2, "leaf"),
+            (1, "c1"),
+            (1, "c2"),
+        ]
+
+    def test_as_dict_round_trips_structure(self):
+        root = self.tree()
+        d = root.as_dict()
+        assert d["dur"] == 100
+        assert [c["name"] for c in d["children"]] == ["c0", "c1", "c2"]
+
+
+class TestModuleSwitch:
+    """The shared switch behind tracer, spans, and profiler flags."""
+
+    MODULES = (spans, trace, prof)
+
+    @pytest.mark.parametrize("mod", MODULES, ids=lambda m: m.__name__)
+    def test_install_uninstall_toggles_flag(self, mod):
+        assert mod.ENABLED is False
+        backend = object()
+        mod._SWITCH.install(backend)
+        try:
+            assert mod.ENABLED is True
+            assert mod._ACTIVE is backend
+            assert mod._SWITCH.active() is backend
+            assert mod._SWITCH.enabled() is True
+        finally:
+            mod._SWITCH.uninstall()
+        assert mod.ENABLED is False
+        assert mod._ACTIVE is None
+        assert mod._SWITCH.active() is None
+
+    def test_tracer_uninstall_resets_context(self):
+        trace._SWITCH.install(object())
+        trace.NOW = 123
+        trace.CORE = 5
+        trace._SWITCH.uninstall()
+        assert trace.NOW == 0
+        assert trace.CORE == -1
+
+    def test_nested_record_spans_restores_previous(self):
+        with record_spans() as outer:
+            with record_spans() as inner:
+                assert spans.active() is inner
+            assert spans.active() is outer
+        assert spans.active() is None
