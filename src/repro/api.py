@@ -113,6 +113,7 @@ def sweep(
     checkpoint: Optional[str] = None,
     retries: int = 0,
     cache: Optional[str] = None,
+    cache_max_mb: Optional[float] = None,
     timeout: Optional[float] = None,
     form: Optional[str] = None,
     miss_scale: float = TIMING_MISS_SCALE,
@@ -129,9 +130,10 @@ def sweep(
     ``jobs`` > 1 fans cells out to that many worker processes (series
     stay byte-identical to a serial run); ``checkpoint`` makes the sweep
     resumable; ``cache`` names a content-addressed result-cache
-    directory shared across sweeps and figures; ``timeout`` bounds each
-    cell's wall-clock seconds; ``retries`` re-attempts cells that die
-    with a structured simulator error.
+    directory shared across sweeps and figures (``cache_max_mb`` bounds
+    its size with LRU eviction); ``timeout`` bounds each cell's
+    wall-clock seconds; ``retries`` re-attempts cells that die with a
+    structured simulator error.
     """
     from repro.harness.experiment import (
         FigureResult,
@@ -155,6 +157,7 @@ def sweep(
         cache_dir=cache,
         cell_timeout=timeout,
         progress_stream=_progress_stream(progress),
+        cache_max_mb=cache_max_mb,
     ):
         results = run_matrix(
             factories, workloads=workloads, form=form, miss_scale=miss_scale
@@ -190,6 +193,7 @@ def figure(
     checkpoint: Optional[str] = None,
     retries: int = 0,
     cache: Optional[str] = None,
+    cache_max_mb: Optional[float] = None,
     timeout: Optional[float] = None,
     progress: bool = False,
 ) -> "FigureResult":
@@ -214,5 +218,6 @@ def figure(
         cache_dir=cache,
         cell_timeout=timeout,
         progress_stream=_progress_stream(progress),
+        cache_max_mb=cache_max_mb,
     ):
         return driver(workloads=workloads)

@@ -43,6 +43,54 @@ def config_hash(config: Any) -> str:
     return hashlib.sha256(canonical_config_json(config).encode("utf-8")).hexdigest()
 
 
+def config_from_dict(data: Dict[str, Any]) -> "GPUConfig":
+    """Rebuild a :class:`GPUConfig` from its :meth:`~GPUConfig.canonical_dict`.
+
+    The inverse of ``dataclasses.asdict`` for the config tree: nested
+    section dicts become their dataclasses again, and lists revert to
+    tuples (JSON has no tuples; no config field is a genuine list).
+    The round trip preserves :func:`config_hash`, which is what lets
+    ``repro.serve`` journal a job's exact machine description and
+    re-execute it after a restart with the same cache identity.
+    """
+
+    def _section(cls: type, payload: Any) -> Any:
+        if not isinstance(payload, dict):
+            return payload
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in payload:
+                continue
+            value = payload[f.name]
+            if dataclasses.is_dataclass(f.type) and isinstance(value, dict):
+                value = _section(f.type, value)
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        unknown = set(payload) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(
+                f"{cls.__name__}: unknown config fields {sorted(unknown)}"
+            )
+        return cls(**kwargs)
+
+    sections = {f.name: f for f in dataclasses.fields(GPUConfig)}
+    unknown = set(data) - set(sections)
+    if unknown:
+        raise ValueError(f"GPUConfig: unknown config fields {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        f = sections[name]
+        default = f.default_factory() if f.default_factory is not dataclasses.MISSING else None  # type: ignore[misc]
+        if isinstance(value, dict) and dataclasses.is_dataclass(type(default)):
+            kwargs[name] = _section(type(default), value)
+        elif isinstance(value, list):
+            kwargs[name] = tuple(value)
+        else:
+            kwargs[name] = value
+    return GPUConfig(**kwargs)
+
+
 @dataclass(frozen=True)
 class TLBConfig:
     """Per-shader-core TLB design point (Section 6.1 design space).

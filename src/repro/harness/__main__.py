@@ -17,6 +17,8 @@ Usage::
     python -m repro.harness bench --quick
     python -m repro.harness bench --full --strict
     python -m repro.harness chaos --quick --seed 7
+    python -m repro.harness chaos --server --quick
+    python -m repro.harness serve --journal serve.jsonl --cache ~/.cache/repro
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`, run
 through the stable :mod:`repro.api` facade; the rendered table prints
@@ -45,7 +47,10 @@ figure matrix and records a ``BENCH_<n>.json`` perf-trajectory report
 (see :mod:`repro.harness.bench`); ``chaos`` is the seeded recovery
 campaign — SIGKILLed workers, torn checkpoint/snapshot files, injected
 faults — proving recovered sweeps byte-identical to clean serial runs
-(see :mod:`repro.harness.chaos`).
+(see :mod:`repro.harness.chaos`; ``chaos --server`` attacks the serve
+daemon instead — SIGKILL mid-sweep, torn journal, expired leases,
+admission floods); ``serve`` runs the crash-safe simulation server
+(see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -82,6 +87,10 @@ def main(argv=None) -> int:
         from repro.harness.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.app import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",
@@ -109,6 +118,14 @@ def main(argv=None) -> int:
         help="content-addressed result-cache directory; identical "
         "(config, workload) cells are simulated once across figures "
         "and reruns",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="bound the result cache's size; stores past the bound "
+        "evict least-recently-used entries",
     )
     parser.add_argument(
         "--checkpoint",
@@ -170,6 +187,7 @@ def main(argv=None) -> int:
             checkpoint=args.checkpoint,
             retries=args.retries,
             cache=args.cache,
+            cache_max_mb=args.cache_max_mb,
             timeout=args.timeout,
             progress=jobs > 1,
         )

@@ -18,6 +18,14 @@ faults injected mid-sweep — and verifies the recovery guarantees hold:
    fail with its structured :class:`~repro.faults.errors.PTWError`
    while every healthy cell completes byte-identically.
 
+``--server`` runs the companion campaign against the ``repro.serve``
+daemon instead (see :mod:`repro.harness.chaos_server`): SIGKILL the
+daemon mid-sweep, tear the job journal's final line, expire a lease
+under a wedged executor, and flood admission past its high-water mark
+— asserting byte-identical recovery, exactly-one-terminal-state per
+job, and correct ``429``/``503`` shedding.  ``--workloads`` narrows
+the campaign to a workload subset (unknown names exit ``2``).
+
 Exit codes: ``0`` — every check passed; ``1`` — a verification failed
 (result mismatch, zero kills landed, unexpected warnings); ``2`` —
 usage error.
@@ -57,19 +65,24 @@ def _tiny(preset: str, **overrides) -> GPUConfig:
     )
 
 
-def _matrix(quick: bool) -> List[Cell]:
+def _matrix(quick: bool, workloads: Optional[List[str]] = None) -> List[Cell]:
+    def pick(index: int, default: str) -> str:
+        if workloads is None:
+            return default
+        return workloads[index % len(workloads)]
+
     cells = [
-        Cell(label="naive", workload="bfs", config=_tiny("naive"), miss_scale=1.0),
-        Cell(label="aug", workload="kmeans", config=_tiny("augmented"), miss_scale=1.0),
-        Cell(label="base", workload="bfs", config=_tiny("no_tlb"), miss_scale=1.0),
+        Cell(label="naive", workload=pick(0, "bfs"), config=_tiny("naive"), miss_scale=1.0),
+        Cell(label="aug", workload=pick(1, "kmeans"), config=_tiny("augmented"), miss_scale=1.0),
+        Cell(label="base", workload=pick(2, "bfs"), config=_tiny("no_tlb"), miss_scale=1.0),
     ]
     if not quick:
         cells += [
-            Cell(label="aug", workload="bfs", config=_tiny("augmented"), miss_scale=1.0),
-            Cell(label="naive", workload="kmeans", config=_tiny("naive"), miss_scale=1.0),
+            Cell(label="aug", workload=pick(3, "bfs"), config=_tiny("augmented"), miss_scale=1.0),
+            Cell(label="naive", workload=pick(4, "kmeans"), config=_tiny("naive"), miss_scale=1.0),
             Cell(
                 label="ideal",
-                workload="memcached",
+                workload=pick(5, "memcached"),
                 config=_tiny("ideal"),
                 miss_scale=1.0,
             ),
@@ -142,11 +155,12 @@ def run_campaign(
     seed: int = 0,
     quick: bool = False,
     jobs: int = 2,
+    workloads: Optional[List[str]] = None,
     verbose: bool = False,
 ) -> int:
     """Execute the full campaign; returns the process exit code."""
     failures: List[str] = []
-    matrix = _matrix(quick)
+    matrix = _matrix(quick, workloads)
     kills_wanted = 1 if quick else 2
 
     _step(verbose, "baseline", f"{len(matrix)} cells, serial")
@@ -330,9 +344,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="supervised worker slots (default 2)",
     )
     parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload subset the campaign cells cycle "
+        "through (default: the built-in mix)",
+    )
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help="attack the repro.serve daemon instead of the sweep pool "
+        "(SIGKILL mid-sweep, torn journal, expired leases, admission "
+        "floods)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="flush per-step progress"
     )
     args = parser.parse_args(argv)
+    workloads = args.workloads.split(",") if args.workloads else None
+    if workloads:
+        from repro.workloads.registry import workload_names
+
+        known = set(workload_names())
+        bad = [w for w in workloads if w not in known]
+        if bad:
+            print(
+                f"unknown workload(s) {bad}; choose from {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.server:
+        from repro.harness.chaos_server import run_server_campaign
+
+        return run_server_campaign(
+            seed=args.seed,
+            quick=args.quick,
+            workloads=workloads,
+            verbose=args.verbose,
+        )
     if args.jobs < 2:
         print("chaos needs --jobs >= 2 (supervision only runs in the "
               "parallel path)", file=sys.stderr)
@@ -341,6 +389,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         quick=args.quick,
         jobs=args.jobs,
+        workloads=workloads,
         verbose=args.verbose,
     )
 

@@ -1,0 +1,485 @@
+"""The server half of the chaos campaign: attack ``repro.serve``.
+
+``python -m repro.harness chaos --server`` points the same seeded
+adversary at the daemon instead of the sweep pool:
+
+1. **daemon SIGKILL mid-sweep** — a real ``python -m repro.serve``
+   subprocess is killed (SIGKILL, no cleanup) while a sweep job is
+   running; a restart on the same journal must re-queue the
+   interrupted job, run it to ``done`` exactly once, and serve a
+   result byte-identical to an uninterrupted in-process run.
+2. **torn journal** — the dead server's journal gets a half-written
+   final line appended (a crash mid-``write``); replay must drop
+   exactly that line with a warning and the restarted daemon must
+   still serve every prior job.
+3. **lease expiry** — an executor that wedges past the lease TTL is
+   presumed dead: the job is re-queued with backoff, the retry
+   succeeds, and the wedged executor's late result is fenced off —
+   terminal exactly once.
+4. **admission flood** — submissions past the queue's high-water mark
+   are shed with ``429`` (plus ``Retry-After``) while everything below
+   it completes; during drain, new work gets ``503`` and the daemon
+   exits 0 with a replayable journal.
+
+Exit codes match :mod:`repro.harness.chaos`: 0 pass, 1 verification
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import warnings
+from typing import Any, Dict, List, Optional
+
+from repro.serve.app import ServeApp, ServeConfig, make_server
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.jobs import Job, normalize_request
+from repro.serve.journal import JobJournal
+
+#: Wall-clock budget for subprocess daemon startup / job completion.
+STARTUP_TIMEOUT = 30.0
+JOB_TIMEOUT = 120.0
+
+
+def _step(verbose: bool, name: str, detail: str = "") -> None:
+    suffix = f" — {detail}" if detail else ""
+    print(f"chaos[server]: {name}{suffix}")
+    if verbose:
+        sys.stdout.flush()
+
+
+def _sweep_request(workloads: List[str]) -> Dict[str, Any]:
+    """The campaign's sweep job: tiny machines, a few cells."""
+    tiny = {"num_cores": 1, "warps_per_core": 8, "warp_width": 8}
+    return {
+        "kind": "sweep",
+        "params": {
+            "configs": {
+                "base": {"preset": "no_tlb", "overrides": dict(tiny)},
+                "aug": {"preset": "augmented", "overrides": dict(tiny)},
+            },
+            "workloads": workloads,
+        },
+    }
+
+
+def _baseline_result(request: Dict[str, Any]) -> str:
+    """The uninterrupted answer, canonical-JSON'd for byte comparison.
+
+    Runs the job through the very same :meth:`ServeApp._run_job`
+    mapping the daemon uses — serial, no cache — so any divergence in
+    the served result is a recovery bug, not a harness artifact.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-base-") as tmp:
+        config = ServeConfig(
+            journal=os.path.join(tmp, "unused.jsonl"), cache=None
+        )
+        app = ServeApp(config)
+        job = Job.from_request(normalize_request(request))
+        result = app._run_job(job)
+    return json.dumps(result, sort_keys=True)
+
+
+class _Daemon:
+    """One ``python -m repro.serve`` subprocess, SIGKILL-able."""
+
+    def __init__(self, journal: str, cache: str, tmp: str, tag: str):
+        self.port_file = os.path.join(tmp, f"port-{tag}")
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--journal",
+                journal,
+                "--cache",
+                cache,
+                "--port",
+                "0",
+                "--port-file",
+                self.port_file,
+                "--slots",
+                "2",
+                "--drain-grace",
+                "10",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while not os.path.exists(self.port_file):
+            if self.process.poll() is not None:
+                out = (self.process.stdout.read() or b"").decode(
+                    "utf-8", errors="replace"
+                )
+                raise RuntimeError(
+                    f"serve daemon died during startup "
+                    f"(exit {self.process.returncode}): {out}"
+                )
+            if time.monotonic() > deadline:
+                self.process.kill()
+                raise RuntimeError("serve daemon never wrote its port file")
+            time.sleep(0.02)
+        with open(self.port_file, "r", encoding="utf-8") as handle:
+            bound = handle.read().strip()
+        self.client = ServeClient(f"http://{bound}")
+        # Readiness gate: replay finished, dispatcher running.
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            try:
+                self.client.readyz()
+                break
+            except (ServeHTTPError, OSError):
+                if time.monotonic() > deadline:
+                    self.kill()
+                    raise RuntimeError("serve daemon never became ready")
+                time.sleep(0.05)
+
+    def kill(self) -> None:
+        """SIGKILL — no drain, no cleanup; the crash being tested."""
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=10)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+    def terminate(self) -> int:
+        """SIGTERM — the graceful drain path; returns the exit code."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        code = self.process.wait(timeout=30)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return code
+
+
+def run_server_campaign(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    workloads: Optional[List[str]] = None,
+    verbose: bool = False,
+) -> int:
+    """Execute the server campaign; returns the process exit code."""
+    failures: List[str] = []
+    chosen = workloads or (["bfs"] if quick else ["bfs", "kmeans"])
+    request = _sweep_request(chosen)
+    job_id = Job.from_request(normalize_request(request)).id
+
+    _step(verbose, "baseline", f"sweep over {chosen}, serial, in-process")
+    baseline = _baseline_result(request)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-serve-") as tmp:
+        journal = os.path.join(tmp, "journal.jsonl")
+        cache = os.path.join(tmp, "cache")
+
+        # -- 1. daemon SIGKILL mid-sweep ------------------------------
+        daemon = _Daemon(journal, cache, tmp, tag="a")
+        submitted = daemon.client.submit(
+            request["kind"], request["params"]
+        )
+        if submitted["id"] != job_id:
+            failures.append(
+                "daemon kill: served job id differs from the "
+                "content-derived id computed locally"
+            )
+        # Wait for the lease (journaled before the executor starts),
+        # then SIGKILL with the sweep in flight.
+        deadline = time.monotonic() + JOB_TIMEOUT
+        while True:
+            view = daemon.client.job(job_id)
+            if view["state"] != "queued":
+                break
+            if time.monotonic() > deadline:
+                failures.append("daemon kill: job never left 'queued'")
+                break
+            time.sleep(0.01)
+        killed_state = view["state"]
+        daemon.kill()
+        _step(verbose, "daemon SIGKILLed", f"job was {killed_state!r}")
+
+        # Restart on the same journal: the interrupted job must come
+        # back queued, re-run, and finish exactly once.
+        daemon = _Daemon(journal, cache, tmp, tag="b")
+        final = daemon.client.wait(job_id, timeout_s=JOB_TIMEOUT)
+        recovered = None
+        if final["state"] != "done":
+            failures.append(
+                f"daemon kill: job ended {final['state']!r} after "
+                f"restart (error: {final.get('error')})"
+            )
+        else:
+            recovered = json.dumps(final["result"], sort_keys=True)
+            if recovered != baseline:
+                failures.append(
+                    "daemon kill: recovered result differs from the "
+                    "uninterrupted baseline"
+                )
+        counts = JobJournal.terminal_counts(journal)
+        if counts.get(job_id) != 1:
+            failures.append(
+                f"daemon kill: job reached a terminal state "
+                f"{counts.get(job_id, 0)} times (want exactly 1)"
+            )
+        _step(
+            verbose,
+            "daemon restart",
+            f"state={final['state']}, terminal x{counts.get(job_id, 0)}, "
+            + (
+                "identical"
+                if final.get("state") == "done" and recovered == baseline
+                else "MISMATCH"
+            ),
+        )
+
+        # -- 2. torn journal ------------------------------------------
+        # Drain this daemon cleanly, then emulate a crash mid-append.
+        code = daemon.terminate()
+        if code != 0:
+            failures.append(
+                f"torn journal: graceful drain exited {code} (want 0)"
+            )
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"ev": "submit", "job": {"id": "torn-mid')
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            replay = JobJournal.terminal_counts(journal)
+        torn_warned = any("truncated" in str(w.message) for w in caught)
+        if not torn_warned:
+            failures.append(
+                "torn journal: the truncated line was dropped silently "
+                "(expected a warning)"
+            )
+        if replay.get(job_id) != 1:
+            failures.append(
+                "torn journal: the tear corrupted prior terminal events"
+            )
+        daemon = _Daemon(journal, cache, tmp, tag="c")
+        view = daemon.client.job(job_id)
+        served = json.dumps(view.get("result"), sort_keys=True)
+        if view["state"] != "done" or served != baseline:
+            failures.append(
+                "torn journal: restarted daemon no longer serves the "
+                "job byte-identically"
+            )
+        code = daemon.terminate()
+        if code != 0:
+            failures.append(
+                f"torn journal: post-tear drain exited {code} (want 0)"
+            )
+        _step(
+            verbose,
+            "torn journal",
+            f"warned={torn_warned}, replay intact, drain exit {code}",
+        )
+
+    # -- 3. lease expiry (in-process, injected executor) --------------
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-lease-") as tmp:
+        attempts_seen: List[int] = []
+        first_attempt_blocked = threading.Event()
+
+        def wedging_run_job(job: Job) -> Any:
+            attempts_seen.append(1)
+            if len(attempts_seen) == 1:
+                # Attempt 1 wedges well past the TTL; its eventual
+                # result must be fenced off by the lease table.
+                first_attempt_blocked.wait(timeout=10.0)
+                return {"from": "wedged-attempt"}
+            return {"from": "healthy-retry"}
+
+        app = ServeApp(
+            ServeConfig(
+                journal=os.path.join(tmp, "journal.jsonl"),
+                lease_ttl_s=0.15,
+                tick_s=0.01,
+                max_attempts=3,
+                slots=2,
+            ),
+            run_job=wedging_run_job,
+        )
+        app.start()
+        status, body = app.submit(
+            {"kind": "figure", "params": {"name": "fig02"}}
+        )
+        lease_job = body["id"]
+        deadline = time.monotonic() + 30.0
+        while True:
+            view = app.job_view(lease_job)
+            if view["state"] in ("done", "failed"):
+                break
+            if time.monotonic() > deadline:
+                failures.append("lease expiry: job never reached terminal")
+                break
+            time.sleep(0.01)
+        first_attempt_blocked.set()  # unwedge; late result must be dropped
+        time.sleep(0.1)
+        final_view = app.job_view(lease_job)
+        expirations = app.leases.expired_total
+        if final_view["state"] != "done":
+            failures.append(
+                f"lease expiry: retry ended {final_view['state']!r} "
+                f"(error: {final_view.get('error')})"
+            )
+        elif final_view["result"] != {"from": "healthy-retry"}:
+            failures.append(
+                "lease expiry: the wedged attempt's result leaked "
+                "through the fence"
+            )
+        if final_view["attempts"] < 2:
+            failures.append(
+                "lease expiry: the lease never expired (attempt 1 "
+                "was allowed to finish)"
+            )
+        counts = JobJournal.terminal_counts(app.config.journal)
+        if counts.get(lease_job) != 1:
+            failures.append(
+                f"lease expiry: job terminal {counts.get(lease_job, 0)} "
+                "times (want exactly 1)"
+            )
+        app.drain(grace_s=1.0)
+        _step(
+            verbose,
+            "lease expiry",
+            f"attempts={final_view['attempts']}, "
+            f"expirations={expirations}, result from "
+            f"{(final_view.get('result') or {}).get('from')!r}",
+        )
+
+    # -- 4. admission flood + drain 503 -------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-flood-") as tmp:
+        gate = threading.Event()
+
+        def gated_run_job(job: Job) -> Any:
+            gate.wait(timeout=30.0)
+            return {"ok": True}
+
+        high_water = 3
+        app = ServeApp(
+            ServeConfig(
+                journal=os.path.join(tmp, "journal.jsonl"),
+                high_water=high_water,
+                slots=1,
+                tick_s=0.01,
+            ),
+            run_job=gated_run_job,
+        )
+        app.start()
+        httpd = make_server(app)
+        thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        client = ServeClient(
+            f"http://127.0.0.1:{httpd.server_address[1]}"
+        )
+        statuses: List[int] = []
+        flood = 2 * high_water
+        for index in range(flood):
+            try:
+                client.submit(
+                    "simulate",
+                    {
+                        "config": {
+                            "preset": "naive",
+                            "overrides": {"num_cores": 1 + index},
+                        },
+                        "workload": "bfs",
+                    },
+                )
+                statuses.append(201)
+            except ServeHTTPError as exc:
+                statuses.append(exc.status)
+                if exc.status == 429 and exc.retry_after_s is None:
+                    failures.append(
+                        "admission flood: 429 carried no Retry-After hint"
+                    )
+        admitted = statuses.count(201)
+        shed = statuses.count(429)
+        if admitted != high_water:
+            failures.append(
+                f"admission flood: {admitted} admitted (want exactly "
+                f"{high_water} = high-water)"
+            )
+        if shed != flood - high_water:
+            failures.append(
+                f"admission flood: {shed} shed with 429 (want "
+                f"{flood - high_water})"
+            )
+        if any(code not in (201, 429) for code in statuses):
+            failures.append(
+                f"admission flood: unexpected statuses {sorted(set(statuses))}"
+            )
+        # Open the gate and let every admitted job finish (draining
+        # stops the dispatcher, so still-queued jobs would otherwise
+        # wait for the next incarnation — tested in scenario 1).
+        gate.set()
+        deadline = time.monotonic() + 30.0
+        while True:
+            views = app.jobs_view()
+            if views and all(v["state"] == "done" for v in views):
+                break
+            if time.monotonic() > deadline:
+                failures.append(
+                    "admission flood: admitted jobs never all finished"
+                )
+                break
+            time.sleep(0.02)
+        # Drain: new submissions (even duplicates of known jobs) must
+        # get 503, and the daemon must exit clean.
+        app.begin_drain()
+        try:
+            client.submit(
+                "simulate",
+                {
+                    "config": {"preset": "naive", "overrides": {"num_cores": 1}},
+                    "workload": "bfs",
+                },
+            )
+            failures.append("drain: submission during drain was not 503")
+        except ServeHTTPError as exc:
+            if exc.status != 503:
+                failures.append(
+                    f"drain: submission during drain got {exc.status} "
+                    "(want 503)"
+                )
+        requeued = app.drain(grace_s=10.0)
+        httpd.shutdown()
+        httpd.server_close()
+        if requeued != 0:
+            failures.append(
+                f"drain: {requeued} job(s) re-queued despite the open "
+                "gate (grace period too tight?)"
+            )
+        counts = JobJournal.terminal_counts(app.config.journal)
+        terminal_once = all(count == 1 for count in counts.values())
+        if len(counts) != admitted or not terminal_once:
+            failures.append(
+                f"drain: terminal counts {dict(counts)} do not show "
+                f"every admitted job exactly once"
+            )
+        _step(
+            verbose,
+            "admission flood",
+            f"{admitted} admitted, {shed} x 429, drain requeued "
+            f"{requeued}, terminal-once={terminal_once}",
+        )
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"chaos[server] FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos[server]: all checks passed (seed {seed}, "
+        f"workloads {chosen})"
+    )
+    return 0

@@ -169,6 +169,7 @@ def sweep_session(
     cache_dir: Optional[str] = None,
     cell_timeout: Optional[float] = None,
     progress_stream: Optional[TextIO] = None,
+    cache_max_mb: Optional[float] = None,
 ) -> Iterator[Optional[SweepCheckpoint]]:
     """Make every :func:`run_matrix` call inside resumable/parallel.
 
@@ -191,12 +192,26 @@ def sweep_session(
         Wall-clock seconds allowed per cell attempt (None/0 = unbounded).
     progress_stream:
         Where live sweep progress lines go (None = silent).
+    cache_max_mb:
+        Size bound for the result cache in megabytes; stores past the
+        bound evict the least-recently-used entries.  None = unbounded.
     """
     global _ACTIVE
     checkpoint = (
         SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
     )
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    cache = (
+        ResultCache(
+            cache_dir,
+            max_bytes=(
+                int(cache_max_mb * 1024 * 1024)
+                if cache_max_mb is not None
+                else None
+            ),
+        )
+        if cache_dir is not None
+        else None
+    )
     previous = _ACTIVE
     _ACTIVE = SweepSettings(
         checkpoint=checkpoint,

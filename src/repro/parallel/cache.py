@@ -55,16 +55,26 @@ def cache_key(cell: Cell) -> str:
 class ResultCache:
     """Directory of ``<key>.json`` simulation results.
 
-    Tracks ``hits``/``misses``/``stores`` so progress reporting and
-    tests can observe short-circuiting.
+    Tracks ``hits``/``misses``/``stores``/``evictions`` so progress
+    reporting and tests can observe short-circuiting.
+
+    ``max_bytes`` bounds the cache's total size: once a store pushes the
+    directory past the limit, the least-recently-*used* entries (mtime
+    order; :meth:`get` touches entries on hit) are deleted until it fits
+    again.  The bound is advisory under concurrent writers — each
+    process enforces it against its own view of the directory — which is
+    safe because eviction only ever deletes whole entries, and a deleted
+    entry is indistinguishable from a miss.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, max_bytes: Optional[int] = None):
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def _path(self, key: str) -> str:
         # Two-level fan-out keeps directories small on huge campaigns.
@@ -83,6 +93,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Touch on hit so LRU eviction spares hot entries.
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
     def put(self, cell: Cell, result: SimulationResult) -> None:
@@ -102,6 +117,52 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            self._evict(keep=path)
+
+    def _entries(self):
+        """Every ``(mtime, size, path)`` entry currently on disk."""
+        entries = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # concurrently evicted elsewhere
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored (entry payloads only)."""
+        return sum(size for _mtime, size, _path in self._entries())
+
+    def _evict(self, keep: str) -> None:
+        """Delete oldest entries until the cache fits ``max_bytes``.
+
+        ``keep`` (the entry just stored) is never evicted, even when it
+        alone exceeds the bound — a cache too small for one result
+        degrades to holding exactly the latest, not to thrashing
+        nothing at all.
+        """
+        assert self.max_bytes is not None
+        entries = self._entries()
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= self.max_bytes:
+            return
+        for _mtime, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if os.path.abspath(path) == os.path.abspath(keep):
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue  # lost a race with a concurrent evictor
+            total -= size
+            self.evictions += 1
 
     def __len__(self) -> int:
         """Number of entries currently stored."""

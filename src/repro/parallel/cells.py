@@ -26,6 +26,7 @@ from repro.core.results import SimulationResult
 from repro.faults import errors as _errors
 from repro.faults.errors import SimulationError
 from repro.faults.watchdog import wall_clock_guard
+from repro.parallel.backoff import Backoff, for_cell_retries
 
 
 @dataclass(frozen=True)
@@ -68,15 +69,23 @@ def simulate_cell(cell: Cell, attempt: int = 0) -> SimulationResult:
 
 
 def execute_cell(
-    cell: Cell, retries: int = 0, timeout: Optional[float] = None
+    cell: Cell,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    backoff: Optional[Backoff] = None,
 ) -> SimulationResult:
     """Run ``cell`` with retries and a per-attempt wall-clock bound.
 
-    Raises the final :class:`SimulationError` — with series/workload/
-    attempt context attached — once every attempt has failed; any
-    non-structured exception propagates immediately.
+    Failed attempts back off with decorrelated jitter before retrying
+    (``backoff``; the default :func:`~repro.parallel.backoff.for_cell_retries`
+    policy is seeded from the cell's fault seed so sibling cells
+    de-correlate).  Raises the final :class:`SimulationError` — with
+    series/workload/attempt context attached — once every attempt has
+    failed; any non-structured exception propagates immediately.
     """
     attempts = retries + 1
+    if backoff is None and retries > 0:
+        backoff = for_cell_retries(seed=cell.config.faults.seed)
     last_error: Optional[SimulationError] = None
     for attempt in range(attempts):
         try:
@@ -84,6 +93,8 @@ def execute_cell(
                 return simulate_cell(cell, attempt)
         except SimulationError as exc:
             last_error = exc
+            if attempt + 1 < attempts and backoff is not None:
+                backoff.sleep()
     assert last_error is not None
     last_error.add_context(
         series=cell.label, workload=cell.workload, attempts=attempts

@@ -50,6 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import SimulationResult
 from repro.faults.errors import SimulationError, WorkerCrashed
+from repro.parallel.backoff import Backoff
 from repro.parallel.cells import Cell, error_payload, key_of
 
 #: Parent poll period, seconds (also the chaos hook's tick).
@@ -206,6 +207,9 @@ class _Worker:
         self.process: Any = None
         self.spawns = 0
         self.deadline = 0.0
+        # When set, the worker crashed and its replacement spawns only
+        # once this monotonic timestamp passes (restart backoff).
+        self.respawn_at: Optional[float] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -255,6 +259,7 @@ class SupervisedPool:
         snapshot_every: int = DEFAULT_SNAPSHOT_CYCLES,
         chaos: Optional[Callable[["SupervisedPool"], None]] = None,
         on_outcome: Optional[Callable[[int, str, Any], None]] = None,
+        restart_backoff: Optional[Backoff] = None,
     ):
         self.retries = retries
         self.timeout = timeout
@@ -263,6 +268,15 @@ class SupervisedPool:
         self.snapshot_every = snapshot_every
         self.chaos = chaos
         self.on_outcome = on_outcome
+        # Crashed workers respawn after a decorrelated-jitter delay (a
+        # host that just OOM-killed a worker will kill an instant
+        # replacement too); the same policy serves the lease re-queue
+        # in repro.serve.  Capped at 1s so chaos campaigns stay quick.
+        self.restart_backoff = (
+            restart_backoff
+            if restart_backoff is not None
+            else Backoff(base=0.05, cap=1.0, seed=0)
+        )
         self.health = PoolHealth(jobs)
         self.active: Dict[int, _Worker] = {}
         self.spool: Optional[str] = None
@@ -381,7 +395,9 @@ class SupervisedPool:
             self._resolve(worker, self._crash_outcome(worker, reason))
             return
         self.restarts += 1
-        self._spawn(worker)
+        # Defer the respawn instead of sleeping: other workers stay
+        # supervised while this slot backs off.
+        worker.respawn_at = time.monotonic() + self.restart_backoff.next()
 
     def run(self, cells: Sequence[Tuple[int, Cell]]) -> None:
         """Supervise every ``(index, cell)`` to an outcome.
@@ -404,6 +420,11 @@ class SupervisedPool:
                     self.chaos(self)
                 time.sleep(_TICK_SECONDS)
                 for worker in list(self.active.values()):
+                    if worker.respawn_at is not None:
+                        if time.monotonic() >= worker.respawn_at:
+                            worker.respawn_at = None
+                            self._spawn(worker)
+                        continue
                     outcome = self._collect_outcome(worker)
                     if outcome is not None:
                         self._resolve(worker, outcome)

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — run the crash-safe simulation daemon."""
+
+from repro.serve.app import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

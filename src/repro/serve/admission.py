@@ -1,0 +1,132 @@
+"""Admission control and readiness: bounded queues, honest load-shed.
+
+A daemon that accepts everything dies of everything.  The admission
+controller enforces one rule at ``POST /jobs``: once the queue of
+not-yet-terminal jobs crosses its high-water mark, new *distinct* work
+is refused with ``429 Too Many Requests`` (plus a ``Retry-After`` hint)
+— never buffered without bound, never allowed to OOM the server.  Two
+request classes bypass the depth check:
+
+- duplicates of an already-known job (they cost a table lookup, and
+  refusing them would punish exactly the clients the dedup design
+  serves);
+- nothing else — during drain even duplicates of *queued* jobs get
+  ``503``, because the server can no longer promise to run them.
+
+:class:`Readiness` is the ``GET /readyz`` state machine: ``starting``
+(journal replay not finished) and ``draining`` are not-ready (503);
+``ready`` and ``degraded`` (execution slots shrunk after repeated
+infrastructure failures — the serial-fallback mode) are ready (200),
+with the degradation spelled out in the body so an orchestrator can
+route around a limping replica before it stops answering entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = ["Admission", "AdmissionController", "Readiness"]
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The verdict on one submission."""
+
+    accepted: bool
+    http_status: int
+    reason: str = ""
+    retry_after_s: Optional[float] = None
+
+
+class AdmissionController:
+    """Bounded-queue load shedding for new job submissions."""
+
+    def __init__(self, high_water: int, retry_after_s: float = 2.0):
+        if high_water < 1:
+            raise ValueError("admission high-water mark must be >= 1")
+        self.high_water = high_water
+        self.retry_after_s = retry_after_s
+        self.rejected_busy = 0
+        self.rejected_draining = 0
+
+    def decide(
+        self, queue_depth: int, draining: bool, duplicate: bool
+    ) -> Admission:
+        """Admit or shed one submission.
+
+        ``queue_depth`` counts non-terminal jobs (queued + running);
+        ``duplicate`` means the request's content-derived id already
+        exists, so admitting it adds no work.
+        """
+        if draining:
+            self.rejected_draining += 1
+            return Admission(
+                accepted=False,
+                http_status=503,
+                reason="draining: no longer admitting jobs",
+            )
+        if duplicate:
+            return Admission(accepted=True, http_status=200)
+        if queue_depth >= self.high_water:
+            self.rejected_busy += 1
+            return Admission(
+                accepted=False,
+                http_status=429,
+                reason=(
+                    f"queue full ({queue_depth} jobs >= high-water "
+                    f"{self.high_water}); retry later"
+                ),
+                retry_after_s=self.retry_after_s,
+            )
+        return Admission(accepted=True, http_status=201)
+
+
+class Readiness:
+    """The /readyz state machine: starting → ready ⇄ degraded → draining."""
+
+    STARTING = "starting"
+    READY = "ready"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+
+    def __init__(self, configured_slots: int):
+        self.configured_slots = configured_slots
+        self.started = False
+        self.draining = False
+        self.current_slots = configured_slots
+
+    @property
+    def state(self) -> str:
+        if self.draining:
+            return self.DRAINING
+        if not self.started:
+            return self.STARTING
+        if self.current_slots < self.configured_slots:
+            return self.DEGRADED
+        return self.READY
+
+    @property
+    def is_ready(self) -> bool:
+        """Ready to take traffic — degraded still counts as ready."""
+        return self.state in (self.READY, self.DEGRADED)
+
+    @property
+    def http_status(self) -> int:
+        return 200 if self.is_ready else 503
+
+    def describe(self, **extra: Any) -> Dict[str, Any]:
+        """The /readyz JSON body."""
+        body: Dict[str, Any] = {
+            "state": self.state,
+            "ready": self.is_ready,
+            "slots": self.current_slots,
+            "configured_slots": self.configured_slots,
+        }
+        if self.state == self.DEGRADED:
+            body["note"] = (
+                "execution degraded: slots shrunk after repeated "
+                "infrastructure failures (serial fallback at 1)"
+            )
+        body.update(extra)
+        return body

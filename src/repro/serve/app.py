@@ -1,0 +1,808 @@
+"""The ``repro.serve`` HTTP daemon: journaled jobs, leases, drain.
+
+One process, three moving parts:
+
+- the **HTTP layer** (stdlib ``ThreadingHTTPServer``; no new deps):
+  ``POST /jobs`` submits a simulate/sweep/figure request,
+  ``GET /jobs/<id>`` polls it, ``GET /jobs`` lists, ``GET /healthz`` is
+  process liveness, ``GET /readyz`` is routable readiness (503 while
+  starting or draining; degradation spelled out in the body), and
+  ``GET /metrics`` serves the unified
+  :class:`repro.prof.registry.MetricsRegistry` as Prometheus text;
+- the **dispatcher** (one background thread): leases queued jobs to
+  executor threads while slots are free, re-queues expired leases with
+  backoff, fails jobs that exhaust their attempt budget, and shrinks
+  the slot count (→ serial fallback) when infrastructure failures
+  streak;
+- the **journal** (:mod:`repro.serve.journal`): every transition is
+  fsync'd *before* the server acts on it, which is the entire
+  crash-safety story — kill the daemon anywhere, restart it on the
+  same journal, and every job continues to exactly one terminal state.
+
+Execution reuses the sweep substrate end to end: cells run through
+:class:`repro.parallel.pool.SweepExecutor` (with ``cell_jobs > 1``
+that means the supervised, snapshot-restarting worker pool), identical
+work dedups through the content-addressed
+:class:`repro.parallel.cache.ResultCache`, and per-job wall-clock
+deadlines ride :func:`repro.faults.watchdog.wall_clock_guard`.
+
+Run it::
+
+    python -m repro.serve --journal serve-journal.jsonl \
+        --cache ~/.cache/repro-serve --port 8750
+
+SIGTERM (or SIGINT) drains: admission closes (503), in-flight jobs get
+``drain_grace_s`` to finish, anything still leased is re-queued into
+the journal for the next incarnation, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import config_from_dict
+from repro.faults.errors import SimulationError, WorkerCrashed
+from repro.faults.watchdog import wall_clock_guard
+from repro.parallel.cache import ResultCache
+from repro.parallel.cells import Cell
+from repro.parallel.pool import SweepExecutor
+from repro.parallel.supervisor import PoolHealth
+from repro.prof.export import to_prometheus
+from repro.prof.registry import REGISTRY, MetricsRegistry
+from repro.serve.admission import AdmissionController, Readiness
+from repro.serve.jobs import (
+    Job,
+    RequestError,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    job_id_for,
+    normalize_request,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.leases import Lease, LeaseTable
+
+__all__ = ["ServeApp", "ServeConfig", "main", "make_server"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon is told at startup."""
+
+    journal: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    cache: Optional[str] = None
+    cache_max_mb: Optional[float] = None
+    #: Concurrent jobs (executor threads).  Distinct from ``cell_jobs``:
+    #: a single figure job can itself fan cells out to worker processes.
+    slots: int = 2
+    #: Worker processes per job's sweep; >1 routes cells through the
+    #: supervised (snapshot-restarting) pool.
+    cell_jobs: int = 1
+    #: Queue high-water mark: non-terminal jobs beyond this are shed
+    #: with 429.
+    high_water: int = 64
+    lease_ttl_s: float = 120.0
+    #: Default per-job wall-clock budget (None = unbounded).
+    deadline_s: Optional[float] = 600.0
+    #: Lease grants per job before it fails terminally.
+    max_attempts: int = 3
+    #: Per-cell structured-error retries inside a job.
+    retries: int = 0
+    #: Seconds in-flight jobs get to finish during drain before being
+    #: re-queued for the next incarnation.
+    drain_grace_s: float = 30.0
+    retry_after_s: float = 2.0
+    tick_s: float = 0.02
+
+
+class ServeApp:
+    """The server's state machine, independent of the HTTP layer.
+
+    Tests drive this object directly (fake clock, fake executor); the
+    HTTP handler is a thin translation layer over :meth:`submit`,
+    :meth:`job_view`, :meth:`readyz_view`, and :meth:`metrics_text`.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        run_job: Optional[Callable[[Job], Any]] = None,
+    ):
+        self.config = config
+        self.registry = registry if registry is not None else REGISTRY
+        self.clock = clock
+        self._run_job_fn = run_job if run_job is not None else self._run_job
+        self.lock = threading.RLock()
+        self.jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []  # FIFO of queued job ids
+        self.journal: Optional[JobJournal] = None
+        self.leases = LeaseTable(ttl=config.lease_ttl_s, clock=clock)
+        self.admission = AdmissionController(
+            config.high_water, retry_after_s=config.retry_after_s
+        )
+        self.readiness = Readiness(config.slots)
+        # Same slot-shrink governor the supervised pool uses: streaks of
+        # infrastructure failures (expired leases, crashed workers)
+        # degrade concurrency down to serial instead of thrashing.
+        self.health = PoolHealth(config.slots)
+        self.cache = (
+            ResultCache(
+                config.cache,
+                max_bytes=(
+                    int(config.cache_max_mb * 1024 * 1024)
+                    if config.cache_max_mb is not None
+                    else None
+                ),
+            )
+            if config.cache
+            else None
+        )
+        self._stop = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._executors: List[threading.Thread] = []
+
+    # -- metrics -------------------------------------------------------
+
+    def _observe_gauges(self) -> None:
+        reg = self.registry
+        reg.gauge(
+            "serve_queue_depth", help="jobs queued and awaiting a lease"
+        ).set(len(self._queue))
+        reg.gauge("serve_in_flight", help="jobs currently leased").set(
+            self.leases.live_count
+        )
+        reg.gauge(
+            "serve_slots", help="current executor slots (shrinks when degraded)"
+        ).set(self.health.slots)
+        reg.gauge(
+            "serve_ready", help="1 when /readyz returns 200"
+        ).set(1 if self.readiness.is_ready else 0)
+
+    def _count_request(self, method: str, route: str, code: int) -> None:
+        self.registry.counter(
+            "serve_http_requests_total", help="HTTP requests by route and code"
+        ).inc(method=method, route=route, code=str(code))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Open (and replay) the journal, then start dispatching."""
+        self.journal = JobJournal(self.config.journal)
+        replayed = self.journal.replayed
+        with self.lock:
+            self.jobs = replayed.jobs
+            # Interrupted jobs (leased when the last incarnation died)
+            # re-queue first — their submitters have waited longest —
+            # then the still-queued ones in submission order.
+            for job_id in replayed.interrupted:
+                job = self.jobs[job_id]
+                job.state = STATE_QUEUED
+                self.journal.record_requeue(
+                    job_id, job.attempts, reason="recovered"
+                )
+                self.registry.counter(
+                    "serve_requeues_total", help="lease re-queues by reason"
+                ).inc(reason="recovered")
+            self._queue = [
+                job.id
+                for job in sorted(
+                    self.jobs.values(), key=lambda j: j.submitted_unix
+                )
+                if job.state == STATE_QUEUED
+            ]
+            self.readiness.started = True
+            self._observe_gauges()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; /readyz flips to 503 immediately."""
+        with self.lock:
+            self.readiness.draining = True
+            self._observe_gauges()
+
+    def drain(self, grace_s: Optional[float] = None) -> int:
+        """Graceful shutdown: finish or re-queue in-flight, then stop.
+
+        Returns the number of jobs re-queued for the next incarnation
+        (0 means everything in flight finished inside the grace
+        period).  The journal is durable at return.
+        """
+        grace = self.config.drain_grace_s if grace_s is None else grace_s
+        self.begin_drain()
+        deadline = self.clock() + grace
+        while self.clock() < deadline:
+            with self.lock:
+                if self.leases.live_count == 0:
+                    break
+            time.sleep(self.config.tick_s)
+        requeued = 0
+        with self.lock:
+            # Whatever is still leased will not finish in time: fence
+            # the leases off (late results are discarded) and journal
+            # the re-queue so the next incarnation runs these jobs.
+            for job_id in self.leases.live_job_ids():
+                job = self.jobs.get(job_id)
+                if job is None:
+                    continue
+                self.leases.revoke(job_id)
+                job.state = STATE_QUEUED
+                assert self.journal is not None
+                self.journal.record_requeue(
+                    job_id, job.attempts, reason="drain"
+                )
+                self.registry.counter(
+                    "serve_requeues_total", help="lease re-queues by reason"
+                ).inc(reason="drain")
+                requeued += 1
+            self._observe_gauges()
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        with self.lock:
+            if self.journal is not None:
+                self.journal.close()
+                self.journal = None
+        return requeued
+
+    def close(self) -> None:
+        """Hard stop (tests): no grace, no re-queue of the queue."""
+        self._stop.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+        with self.lock:
+            if self.journal is not None:
+                self.journal.close()
+                self.journal = None
+
+    # -- submission (POST /jobs) ---------------------------------------
+
+    def submit(self, body: Any) -> Tuple[int, Dict[str, Any]]:
+        """Admit one request; returns ``(http_status, response_body)``."""
+        try:
+            normalized = normalize_request(body)
+        except RequestError as exc:
+            return 400, {"error": str(exc)}
+        job_id = job_id_for(normalized)
+        with self.lock:
+            existing = self.jobs.get(job_id)
+            depth = sum(1 for j in self.jobs.values() if not j.terminal)
+            verdict = self.admission.decide(
+                queue_depth=depth,
+                draining=self.readiness.draining,
+                duplicate=existing is not None,
+            )
+            if not verdict.accepted:
+                reason = "draining" if verdict.http_status == 503 else "busy"
+                self.registry.counter(
+                    "serve_admission_rejections_total",
+                    help="submissions shed by admission control",
+                ).inc(reason=reason)
+                body_out: Dict[str, Any] = {"error": verdict.reason}
+                if verdict.retry_after_s is not None:
+                    body_out["retry_after_s"] = verdict.retry_after_s
+                return verdict.http_status, body_out
+            self.registry.counter(
+                "serve_jobs_submitted_total",
+                help="accepted submissions by dedup outcome",
+            ).inc(dedup="hit" if existing is not None else "miss")
+            if existing is not None:
+                return 200, existing.public_dict(include_result=False)
+            job = Job.from_request(
+                normalized, max_attempts=self.config.max_attempts
+            )
+            # Journal first, act second: the submit line is durable
+            # before the client ever sees the 201.
+            assert self.journal is not None
+            self.journal.record_submit(job)
+            self.jobs[job.id] = job
+            self._queue.append(job.id)
+            self._observe_gauges()
+            return 201, job.public_dict(include_result=False)
+
+    # -- queries -------------------------------------------------------
+
+    def job_view(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self.lock:
+            job = self.jobs.get(job_id)
+            return None if job is None else job.public_dict()
+
+    def jobs_view(self) -> List[Dict[str, Any]]:
+        with self.lock:
+            return [
+                job.public_dict(include_result=False)
+                for job in sorted(
+                    self.jobs.values(), key=lambda j: j.submitted_unix
+                )
+            ]
+
+    def readyz_view(self) -> Tuple[int, Dict[str, Any]]:
+        with self.lock:
+            self.readiness.current_slots = self.health.slots
+            body = self.readiness.describe(
+                queue_depth=len(self._queue),
+                in_flight=self.leases.live_count,
+            )
+            return self.readiness.http_status, body
+
+    def metrics_text(self) -> str:
+        with self.lock:
+            self._observe_gauges()
+            return to_prometheus(self.registry)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self._tick()
+            time.sleep(self.config.tick_s)
+
+    def _tick(self) -> None:
+        """One supervision step: expire leases, then fill free slots."""
+        now = self.clock()
+        with self.lock:
+            for lease in self.leases.expired():
+                self._on_lease_expired(lease)
+            if self.readiness.draining:
+                return
+            while self._queue and self.leases.live_count < self.health.slots:
+                job_id = self._next_runnable(now)
+                if job_id is None:
+                    break
+                self._lease_and_launch(job_id)
+            self.readiness.current_slots = self.health.slots
+            self._observe_gauges()
+
+    def _next_runnable(self, now: float) -> Optional[str]:
+        for index, job_id in enumerate(self._queue):
+            job = self.jobs.get(job_id)
+            if job is None or job.state != STATE_QUEUED:
+                self._queue.pop(index)
+                return None  # table/queue drifted; next tick continues
+            if job.not_before <= now:
+                self._queue.pop(index)
+                return job_id
+        return None
+
+    def _lease_and_launch(self, job_id: str) -> None:
+        job = self.jobs[job_id]
+        job.attempts += 1
+        job.state = STATE_RUNNING
+        lease = self.leases.grant(job_id, job.attempts)
+        assert self.journal is not None
+        self.journal.record_lease(
+            job_id,
+            job.attempts,
+            expires_unix=time.time() + self.config.lease_ttl_s,
+        )
+        thread = threading.Thread(
+            target=self._execute,
+            args=(job.copy(), lease),
+            name=f"serve-exec-{job_id}",
+            daemon=True,
+        )
+        self._executors.append(thread)
+        self._executors = [t for t in self._executors if t.is_alive()]
+        thread.start()
+
+    def _on_lease_expired(self, lease: Lease) -> None:
+        """A leaseholder went dark: fence it off and re-queue or fail."""
+        job = self.jobs.get(lease.job_id)
+        self.leases.revoke(lease.job_id)
+        self.registry.counter(
+            "serve_lease_expirations_total",
+            help="leases that expired before their executor committed",
+        ).inc()
+        self.health.on_crash()
+        if job is None or job.terminal:
+            return
+        assert self.journal is not None
+        if job.attempts >= job.max_attempts:
+            message = (
+                f"lease expired on attempt {job.attempts}/"
+                f"{job.max_attempts}; executor presumed dead or wedged"
+            )
+            self.journal.record_fail(
+                job.id, "LeaseExpired", message, job.attempts
+            )
+            job.state = STATE_FAILED
+            job.error = {
+                "type": "LeaseExpired",
+                "message": message,
+                "attempts": job.attempts,
+            }
+            self._count_terminal(STATE_FAILED)
+            return
+        delay = self.leases.requeue_delay(job.id)
+        job.state = STATE_QUEUED
+        job.not_before = self.clock() + delay
+        self.journal.record_requeue(
+            job.id, job.attempts, reason="lease-expired", delay_s=delay
+        )
+        self.registry.counter(
+            "serve_requeues_total", help="lease re-queues by reason"
+        ).inc(reason="lease-expired")
+        self._queue.append(job.id)
+
+    def _count_terminal(self, state: str) -> None:
+        self.registry.counter(
+            "serve_jobs_terminal_total", help="jobs reaching a terminal state"
+        ).inc(state=state)
+
+    # -- execution -----------------------------------------------------
+
+    def _execute(self, job: Job, lease: Lease) -> None:
+        """Executor-thread body: run the job, commit under the lease."""
+        started = self.clock()
+        failure: Optional[Tuple[str, str]] = None
+        infrastructure = False
+        result: Any = None
+        try:
+            result = self._run_job_fn(job)
+        except WorkerCrashed as exc:
+            failure = (type(exc).__name__, str(exc))
+            infrastructure = True
+        except SimulationError as exc:
+            failure = (type(exc).__name__, str(exc))
+        except BaseException as exc:  # noqa: BLE001 — executor boundary
+            failure = (type(exc).__name__, str(exc))
+        elapsed = self.clock() - started
+        with self.lock:
+            if not self.leases.release(lease):
+                # Fenced off: the lease expired (or drain revoked it)
+                # and the job moved on without us.  Exactly-once means
+                # this late outcome must be discarded.
+                self.registry.counter(
+                    "serve_stale_results_total",
+                    help="executor outcomes discarded after lease loss",
+                ).inc()
+                return
+            live = self.jobs[job.id]
+            assert self.journal is not None
+            if failure is None:
+                self.journal.record_done(live.id, result, elapsed_s=elapsed)
+                live.state = STATE_DONE
+                live.result = result
+                live.error = None
+                self.health.on_success()
+                self._count_terminal(STATE_DONE)
+            else:
+                error_type, message = failure
+                self.journal.record_fail(
+                    live.id, error_type, message, live.attempts
+                )
+                live.state = STATE_FAILED
+                live.error = {
+                    "type": error_type,
+                    "message": message,
+                    "attempts": live.attempts,
+                }
+                if infrastructure:
+                    self.health.on_crash()
+                else:
+                    # A structured simulation failure is deterministic;
+                    # it says nothing about the host's health.
+                    self.health.on_success()
+                self._count_terminal(STATE_FAILED)
+            self.registry.histogram(
+                "serve_job_seconds", help="job execution wall time"
+            ).observe(elapsed, kind=job.kind)
+            self._observe_gauges()
+
+    def _run_job(self, job: Job) -> Any:
+        """Default executor: map the job onto the repro.api substrate."""
+        deadline = (
+            job.deadline_s
+            if job.deadline_s is not None
+            else self.config.deadline_s
+        )
+        with wall_clock_guard(deadline or 0.0, label=f"job {job.id}"):
+            if job.kind == "simulate":
+                cell = Cell(
+                    label="serve",
+                    workload=job.params["workload"],
+                    config=config_from_dict(job.params["config"]),
+                    form=job.params.get("form"),
+                    miss_scale=job.params.get("miss_scale", 1.0),
+                )
+                executor = SweepExecutor(
+                    jobs=1,
+                    cache=self.cache,
+                    retries=self.config.retries,
+                )
+                return executor.run([cell])[0].to_dict()
+            if job.kind == "sweep":
+                from repro.api import sweep as api_sweep
+
+                rows = api_sweep(
+                    configs={
+                        label: config_from_dict(spec)
+                        for label, spec in job.params["configs"].items()
+                    },
+                    workloads=job.params.get("workloads"),
+                    jobs=self.config.cell_jobs,
+                    cache=self.config.cache,
+                    cache_max_mb=self.config.cache_max_mb,
+                    retries=self.config.retries,
+                    form=job.params.get("form"),
+                    miss_scale=job.params.get("miss_scale", 1.0),
+                    baseline=job.params.get("baseline"),
+                )
+                return [row.to_dict() for row in rows]
+            from repro.api import figure as api_figure
+
+            row = api_figure(
+                name=job.params["name"],
+                workloads=job.params.get("workloads"),
+                jobs=self.config.cell_jobs,
+                cache=self.config.cache,
+                cache_max_mb=self.config.cache_max_mb,
+                retries=self.config.retries,
+            )
+            return row.to_dict()
+
+
+# -- HTTP layer --------------------------------------------------------
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: ServeApp
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # metrics carry the request log; stderr stays quiet
+
+    def _send_json(
+        self,
+        code: int,
+        payload: Dict[str, Any],
+        route: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(1, int(retry_after_s))))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app._count_request(self.command, route, code)
+
+    def _send_text(self, code: int, text: str, route: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app._count_request(self.command, route, code)
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"status": "alive"}, "/healthz")
+        elif path == "/readyz":
+            code, body = self.app.readyz_view()
+            self._send_json(code, body, "/readyz")
+        elif path == "/metrics":
+            self._send_text(200, self.app.metrics_text(), "/metrics")
+        elif path == "/jobs":
+            self._send_json(200, {"jobs": self.app.jobs_view()}, "/jobs")
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            view = self.app.job_view(job_id)
+            if view is None:
+                self._send_json(
+                    404, {"error": f"no job {job_id!r}"}, "/jobs/<id>"
+                )
+            else:
+                self._send_json(200, view, "/jobs/<id>")
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"}, path)
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_json(404, {"error": f"no route {path!r}"}, path)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            body = json.loads(raw.decode("utf-8")) if raw else None
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(
+                400, {"error": "request body is not valid JSON"}, "/jobs"
+            )
+            return
+        code, payload = self.app.submit(body)
+        self._send_json(
+            code,
+            payload,
+            "/jobs",
+            retry_after_s=payload.get("retry_after_s") if code == 429 else None,
+        )
+
+
+def make_server(app: ServeApp) -> _ServeHTTPServer:
+    """Bind the HTTP server for ``app`` (port 0 picks a free port)."""
+    httpd = _ServeHTTPServer(
+        (app.config.host, app.config.port), _Handler
+    )
+    httpd.app = app
+    return httpd
+
+
+# -- daemon entry point ------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Crash-safe simulation server over repro.api.",
+    )
+    parser.add_argument(
+        "--journal",
+        required=True,
+        metavar="PATH",
+        help="write-ahead job journal (JSONL); restarting on the same "
+        "journal resumes every job exactly once",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8750, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write the bound 'host:port' here once listening "
+        "(for --port 0 orchestration)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache shared by every job",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU size bound for the result cache",
+    )
+    parser.add_argument(
+        "--slots", type=int, default=2, help="concurrent jobs (default 2)"
+    )
+    parser.add_argument(
+        "--cell-jobs",
+        type=int,
+        default=1,
+        help="worker processes per job's sweep; >1 uses the supervised "
+        "pool (default 1)",
+    )
+    parser.add_argument(
+        "--high-water",
+        type=int,
+        default=64,
+        help="queue depth past which POST /jobs returns 429 (default 64)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="lease lifetime; an executor silent past this is presumed "
+        "dead and its job re-queued (default 120)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="default per-job wall-clock budget (default 600; 0 = none)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="lease grants per job before it fails terminally (default 3)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="per-cell structured-error retries inside a job (default 0)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds in-flight jobs get to finish on SIGTERM "
+        "(default 30)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ServeConfig(
+        journal=args.journal,
+        host=args.host,
+        port=args.port,
+        cache=args.cache,
+        cache_max_mb=args.cache_max_mb,
+        slots=max(1, args.slots),
+        cell_jobs=max(1, args.cell_jobs),
+        high_water=max(1, args.high_water),
+        lease_ttl_s=args.lease_ttl,
+        deadline_s=args.deadline if args.deadline > 0 else None,
+        max_attempts=max(1, args.max_attempts),
+        retries=max(0, args.retries),
+        drain_grace_s=args.drain_grace,
+    )
+    app = ServeApp(config)
+    app.start()
+    httpd = make_server(app)
+    bound = f"{httpd.server_address[0]}:{httpd.server_address[1]}"
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(bound)
+    print(f"repro.serve listening on {bound}", flush=True)
+
+    drain_requested = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        drain_requested.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    http_thread = threading.Thread(
+        target=httpd.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        daemon=True,
+    )
+    http_thread.start()
+    while not drain_requested.wait(timeout=0.2):
+        pass
+    print("repro.serve draining (signal received)", flush=True)
+    app.begin_drain()  # stop admitting before the listener goes away
+    requeued = app.drain()
+    httpd.shutdown()
+    httpd.server_close()
+    http_thread.join(timeout=5.0)
+    print(
+        f"repro.serve drained: {requeued} job(s) re-queued for the next "
+        "incarnation",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

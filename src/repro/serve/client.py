@@ -1,0 +1,159 @@
+"""A stdlib client for the ``repro.serve`` daemon.
+
+Thin by design: :class:`ServeClient` speaks the server's JSON dialect
+over :mod:`urllib` (no new dependencies), raises
+:class:`ServeHTTPError` on any non-2xx status so callers can branch on
+``exc.status`` (429 → back off and retry, 503 → the replica is
+starting/draining, find another), and knows how to poll a job to a
+terminal state with :meth:`ServeClient.wait`.
+
+Quickstart::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8750")
+    job = client.submit("figure", {"name": "fig02"})
+    done = client.wait(job["id"], timeout_s=600)
+    print(done["result"])
+
+Submissions are idempotent end to end: the job id is derived from the
+request content, so re-submitting after a lost response (or across a
+server restart on the same journal) returns the existing job instead
+of duplicating work.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["ServeClient", "ServeHTTPError"]
+
+
+class ServeHTTPError(RuntimeError):
+    """A non-2xx response from the server, body attached."""
+
+    def __init__(self, status: int, body: Any, url: str):
+        self.status = status
+        self.body = body
+        self.url = url
+        reason = ""
+        if isinstance(body, dict) and "error" in body:
+            reason = f": {body['error']}"
+        super().__init__(f"HTTP {status} from {url}{reason}")
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        """The server's backoff hint on 429 responses, if any."""
+        if isinstance(self.body, dict):
+            value = self.body.get("retry_after_s")
+            if value is not None:
+                return float(value)
+        return None
+
+
+class ServeClient:
+    """Talks to one ``repro.serve`` daemon."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        url = self.base_url + path
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                body = json.loads(raw.decode("utf-8")) if raw else None
+            except (ValueError, UnicodeDecodeError):
+                body = raw.decode("utf-8", errors="replace")
+            raise ServeHTTPError(exc.code, body, url) from None
+        text = raw.decode("utf-8")
+        # /metrics is Prometheus text, everything else is JSON.
+        if path.startswith("/metrics"):
+            return text
+        return json.loads(text) if text else None
+
+    # -- jobs ----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        params: Dict[str, Any],
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """``POST /jobs``; returns the job view (new or deduplicated).
+
+        Raises :class:`ServeHTTPError` with ``status`` 429 when the
+        server is shedding load and 503 when it is draining — catch and
+        consult :attr:`ServeHTTPError.retry_after_s`.
+        """
+        body: Dict[str, Any] = {"kind": kind, "params": params}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` (404 raises ServeHTTPError)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Any:
+        """``GET /jobs`` — every job the server knows, sans results."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final view.
+
+        Raises :class:`TimeoutError` if the job is still running when
+        ``timeout_s`` elapses (the job itself keeps going server-side).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {view['state']!r} after "
+                    f"{timeout_s:.1f}s"
+                )
+            time.sleep(poll_s)
+
+    # -- operational endpoints -----------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """``GET /readyz`` body; raises ServeHTTPError(503) if not ready."""
+        return self._request("GET", "/readyz")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition text from ``GET /metrics``."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,229 @@
+"""The write-ahead job journal: the server's only source of truth.
+
+Every job state transition is one JSON line appended to the journal —
+``flush`` + ``fsync`` before the server acts on it, exactly the
+:class:`repro.harness.checkpoint.SweepCheckpoint` discipline — so the
+durable record always *leads* the in-memory state.  A SIGKILL at any
+instant leaves a journal whose replay reconstructs the server exactly:
+
+- jobs journaled as submitted but never leased come back ``queued``;
+- jobs leased but not terminal were running when the process died —
+  replay re-queues them (their lease died with the leaseholder), so no
+  work is lost;
+- jobs with a terminal event stay terminal, result attached, so no
+  work is repeated;
+- a crash mid-append tears at most the final line, which replay drops
+  with a :class:`RuntimeWarning` (the transition it recorded simply
+  re-happens);
+- a duplicate ``submit`` for an id already seen (a client retrying a
+  lost response across a restart) replays to the one existing job.
+
+Event vocabulary (the ``ev`` field): ``submit``, ``lease``,
+``requeue``, ``done``, ``fail``.  The journal is append-only and never
+compacted in place; :meth:`JobJournal.terminal_counts` exists so the
+chaos campaign can assert every job reached a terminal state exactly
+once across any number of crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.serve.jobs import (
+    Job,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+)
+
+__all__ = ["JobJournal", "ReplayState"]
+
+
+@dataclass
+class ReplayState:
+    """What a journal replay reconstructs."""
+
+    jobs: Dict[str, Job] = field(default_factory=dict)
+    #: id → number of terminal (done/fail) events seen.  Exactly-once
+    #: means every value here is 1.
+    terminal_counts: Dict[str, int] = field(default_factory=dict)
+    #: ids that were mid-lease when the journal ended (crashed while
+    #: running); the server re-queues these on startup.
+    interrupted: List[str] = field(default_factory=list)
+    dropped_lines: int = 0
+    duplicate_submits: int = 0
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL record of every job transition."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.replayed = self._load()
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        # A crash mid-append can leave the file without a trailing
+        # newline.  Terminate that torn line before appending, or the
+        # first new event would concatenate onto the garbage and be
+        # lost with it on the next replay.
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            with open(path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                ends_clean = probe.read(1) == b"\n"
+            if not ends_clean:
+                with open(path, "ab") as repair:
+                    repair.write(b"\n")
+                    repair.flush()
+                    os.fsync(repair.fileno())
+        self._file = open(path, "a", encoding="utf-8")
+
+    # -- replay --------------------------------------------------------
+
+    def _load(self) -> ReplayState:
+        state = ReplayState()
+        if not os.path.exists(self.path):
+            return state
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    state.dropped_lines += 1
+                    warnings.warn(
+                        f"job journal {self.path}: dropping truncated "
+                        f"line {lineno} (crash mid-append?); the "
+                        f"transition it recorded will re-happen",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    continue
+                self._apply(state, event)
+        for job in state.jobs.values():
+            if job.state == STATE_RUNNING:
+                state.interrupted.append(job.id)
+        return state
+
+    @staticmethod
+    def _apply(state: ReplayState, event: Dict[str, Any]) -> None:
+        kind = event.get("ev")
+        if kind == "submit":
+            payload = event.get("job") or {}
+            job_id = payload.get("id")
+            if job_id is None:
+                return
+            if job_id in state.jobs:
+                # A client re-submitting across a lost response: the
+                # id is content-derived, so this is the same job.
+                state.duplicate_submits += 1
+                return
+            state.jobs[job_id] = Job.from_journal_dict(payload)
+            return
+        job = state.jobs.get(event.get("id"))
+        if job is None:
+            return  # terminal/lease event orphaned by a torn submit
+        if kind == "lease":
+            job.state = STATE_RUNNING
+            job.attempts = int(event.get("attempt", job.attempts + 1))
+        elif kind == "requeue":
+            job.state = STATE_QUEUED
+        elif kind == "done":
+            job.state = STATE_DONE
+            job.result = event.get("result")
+            job.error = None
+            state.terminal_counts[job.id] = (
+                state.terminal_counts.get(job.id, 0) + 1
+            )
+        elif kind == "fail":
+            job.state = STATE_FAILED
+            job.error = {
+                "type": event.get("error_type", "Error"),
+                "message": event.get("error", ""),
+                "attempts": event.get("attempts", job.attempts),
+            }
+            state.terminal_counts[job.id] = (
+                state.terminal_counts.get(job.id, 0) + 1
+            )
+
+    @classmethod
+    def terminal_counts(cls, path: str) -> Dict[str, int]:
+        """Terminal events per job id in the journal at ``path``.
+
+        Read-only (no append handle is opened); the chaos campaign
+        calls this on a dead server's journal.
+        """
+        probe = cls.__new__(cls)
+        probe.path = path
+        return probe._load().terminal_counts
+
+    # -- appends (each one durable before it returns) ------------------
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        self._append({"ev": "submit", "job": job.journal_dict()})
+
+    def record_lease(
+        self, job_id: str, attempt: int, expires_unix: float
+    ) -> None:
+        self._append(
+            {
+                "ev": "lease",
+                "id": job_id,
+                "attempt": attempt,
+                "expires_unix": expires_unix,
+            }
+        )
+
+    def record_requeue(
+        self, job_id: str, attempt: int, reason: str, delay_s: float = 0.0
+    ) -> None:
+        self._append(
+            {
+                "ev": "requeue",
+                "id": job_id,
+                "attempt": attempt,
+                "reason": reason,
+                "delay_s": round(delay_s, 6),
+            }
+        )
+
+    def record_done(
+        self, job_id: str, result: Any, elapsed_s: Optional[float] = None
+    ) -> None:
+        event: Dict[str, Any] = {"ev": "done", "id": job_id, "result": result}
+        if elapsed_s is not None:
+            event["elapsed_s"] = round(elapsed_s, 6)
+        self._append(event)
+
+    def record_fail(
+        self, job_id: str, error_type: str, message: str, attempts: int
+    ) -> None:
+        self._append(
+            {
+                "ev": "fail",
+                "id": job_id,
+                "error_type": error_type,
+                "error": message,
+                "attempts": attempts,
+            }
+        )
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -26,6 +26,7 @@ from repro.core.results import SimulationResult
 from repro.core.simulator import Simulator
 from repro.faults.errors import SimulationError
 from repro.faults.watchdog import wall_clock_guard
+from repro.parallel.backoff import Backoff, for_cell_retries
 from repro.parallel.cells import Cell, reseeded
 from repro.prof.registry import record_result
 from repro.snapshot.store import (
@@ -208,11 +209,13 @@ def execute_cell_resumable(
     snapshot_path: Optional[str] = None,
     snapshot_every: int = DEFAULT_SNAPSHOT_CYCLES,
     heartbeat: Optional[Callable[[], None]] = None,
+    backoff: Optional[Backoff] = None,
 ) -> SimulationResult:
     """Run ``cell`` with retries, wall-clock bounds, and snapshotting.
 
-    The retry semantics match :func:`repro.parallel.cells.execute_cell`;
-    on top of that, each attempt resumes from the on-disk snapshot when
+    The retry semantics match :func:`repro.parallel.cells.execute_cell`
+    (including the decorrelated-jitter delay between attempts); on top
+    of that, each attempt resumes from the on-disk snapshot when
     one matches (the supervised pool's restart path), a snapshot for a
     *different* attempt or cell is discarded rather than fatal (a retry
     reseeds the fault config, so the previous attempt's snapshot cannot
@@ -220,6 +223,8 @@ def execute_cell_resumable(
     completes.
     """
     attempts = retries + 1
+    if backoff is None and retries > 0:
+        backoff = for_cell_retries(seed=cell.config.faults.seed)
     last_error: Optional[SimulationError] = None
     for attempt in range(attempts):
         try:
@@ -251,6 +256,8 @@ def execute_cell_resumable(
             # The failed attempt's snapshot is useless to the reseeded
             # retry; drop it so the next attempt starts clean.
             _discard_snapshot(snapshot_path)
+            if attempt + 1 < attempts and backoff is not None:
+                backoff.sleep()
     assert last_error is not None
     last_error.add_context(
         series=cell.label, workload=cell.workload, attempts=attempts

@@ -1,0 +1,49 @@
+"""Unknown figure/workload names exit 2 uniformly across subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        pytest.param(["fig99"], id="figures-unknown-figure"),
+        pytest.param(
+            ["fig04", "--workloads", "nosuchthing"],
+            id="figures-unknown-workload",
+        ),
+        pytest.param(["trace", "fig99"], id="trace-unknown-target"),
+        pytest.param(["trace", "nosuchthing"], id="trace-unknown-workload"),
+        pytest.param(["explain", "fig99"], id="explain-unknown-target"),
+        pytest.param(["faults", "nosuchthing"], id="faults-unknown-workload"),
+        pytest.param(
+            ["bench", "--figures", "fig99"], id="bench-unknown-figure"
+        ),
+        pytest.param(
+            ["bench", "--workloads", "nosuchthing"],
+            id="bench-unknown-workload",
+        ),
+        pytest.param(
+            ["chaos", "--workloads", "nosuchthing"],
+            id="chaos-unknown-workload",
+        ),
+        pytest.param(
+            ["chaos", "--server", "--workloads", "nosuchthing"],
+            id="chaos-server-unknown-workload",
+        ),
+    ],
+)
+def test_unknown_names_exit_2(argv, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    # The message names the offending input, not just a usage dump.
+    needle = "fig99" if "fig99" in " ".join(argv) else "nosuchthing"
+    assert needle in err
+
+
+def test_chaos_rejects_serial_jobs(capsys):
+    assert main(["chaos", "--jobs", "1"]) == 2
+    assert "jobs" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""Admission decisions and the /readyz state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, Readiness
+
+
+class TestAdmission:
+    def test_admits_below_high_water(self):
+        controller = AdmissionController(high_water=3)
+        verdict = controller.decide(
+            queue_depth=2, draining=False, duplicate=False
+        )
+        assert verdict.accepted and verdict.http_status == 201
+
+    def test_sheds_at_high_water_with_retry_hint(self):
+        controller = AdmissionController(high_water=3, retry_after_s=5.0)
+        verdict = controller.decide(
+            queue_depth=3, draining=False, duplicate=False
+        )
+        assert not verdict.accepted
+        assert verdict.http_status == 429
+        assert verdict.retry_after_s == 5.0
+        assert controller.rejected_busy == 1
+
+    def test_duplicates_bypass_the_depth_check(self):
+        # Refusing a dedup hit would punish exactly the clients the
+        # content-derived ids serve.
+        controller = AdmissionController(high_water=1)
+        verdict = controller.decide(
+            queue_depth=10, draining=False, duplicate=True
+        )
+        assert verdict.accepted and verdict.http_status == 200
+
+    def test_draining_refuses_everything(self):
+        controller = AdmissionController(high_water=100)
+        for duplicate in (False, True):
+            verdict = controller.decide(
+                queue_depth=0, draining=True, duplicate=duplicate
+            )
+            assert not verdict.accepted
+            assert verdict.http_status == 503
+        assert controller.rejected_draining == 2
+
+    def test_high_water_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(high_water=0)
+
+
+class TestReadiness:
+    def test_starting_until_started(self):
+        readiness = Readiness(configured_slots=4)
+        assert readiness.state == Readiness.STARTING
+        assert readiness.http_status == 503
+        readiness.started = True
+        assert readiness.state == Readiness.READY
+        assert readiness.http_status == 200
+
+    def test_slot_shrink_flips_to_degraded_but_stays_ready(self):
+        # Serial fallback is a limp, not an outage: /readyz keeps
+        # returning 200 so the replica stays routable, with the
+        # degradation spelled out in the body.
+        readiness = Readiness(configured_slots=4)
+        readiness.started = True
+        readiness.current_slots = 1
+        assert readiness.state == Readiness.DEGRADED
+        assert readiness.http_status == 200
+        assert "degraded" in readiness.describe()["note"]
+
+    def test_slot_recovery_flips_back_to_ready(self):
+        readiness = Readiness(configured_slots=4)
+        readiness.started = True
+        readiness.current_slots = 1
+        assert readiness.state == Readiness.DEGRADED
+        readiness.current_slots = 4
+        assert readiness.state == Readiness.READY
+        assert "note" not in readiness.describe()
+
+    def test_draining_wins_over_everything(self):
+        readiness = Readiness(configured_slots=4)
+        readiness.started = True
+        readiness.current_slots = 1
+        readiness.draining = True
+        assert readiness.state == Readiness.DRAINING
+        assert readiness.http_status == 503
+
+    def test_describe_carries_extras(self):
+        readiness = Readiness(configured_slots=2)
+        readiness.started = True
+        body = readiness.describe(queue_depth=7)
+        assert body["queue_depth"] == 7
+        assert body["ready"] is True

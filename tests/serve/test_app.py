@@ -1,0 +1,360 @@
+"""ServeApp end to end: submit, dedup, drain, restart, degrade.
+
+Most tests drive the app object directly with an injected executor (no
+sockets, no real simulations) so they run in milliseconds; one test
+goes through the real HTTP stack with a real tiny simulation to pin
+the full path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.prof.registry import MetricsRegistry
+from repro.serve.app import ServeApp, ServeConfig, make_server
+from repro.serve.client import ServeClient, ServeHTTPError
+from repro.serve.journal import JobJournal
+
+FIG_REQUEST = {"kind": "figure", "params": {"name": "fig02"}}
+
+
+def _request(num_cores=1):
+    return {
+        "kind": "simulate",
+        "params": {
+            "config": {
+                "preset": "naive",
+                "overrides": {
+                    "num_cores": num_cores,
+                    "warps_per_core": 8,
+                    "warp_width": 8,
+                },
+            },
+            "workload": "bfs",
+        },
+    }
+
+
+def _app(tmp_path, run_job, **overrides):
+    defaults = dict(
+        journal=str(tmp_path / "journal.jsonl"),
+        tick_s=0.005,
+        slots=2,
+    )
+    defaults.update(overrides)
+    return ServeApp(
+        ServeConfig(**defaults),
+        registry=MetricsRegistry(),
+        run_job=run_job,
+    )
+
+
+def _wait_terminal(app, job_id, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = app.job_view(job_id)
+        if view["state"] in ("done", "failed"):
+            return view
+        time.sleep(0.005)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+class TestSubmit:
+    def test_submit_runs_to_done(self, tmp_path):
+        app = _app(tmp_path, lambda job: {"answer": 42})
+        app.start()
+        try:
+            status, body = app.submit(_request())
+            assert status == 201
+            view = _wait_terminal(app, body["id"])
+            assert view["state"] == "done"
+            assert view["result"] == {"answer": 42}
+            assert view["attempts"] == 1
+        finally:
+            app.close()
+
+    def test_duplicate_submit_returns_the_existing_job(self, tmp_path):
+        calls = []
+
+        def run(job):
+            calls.append(job.id)
+            return {"ok": True}
+
+        app = _app(tmp_path, run)
+        app.start()
+        try:
+            status1, body1 = app.submit(_request())
+            _wait_terminal(app, body1["id"])
+            status2, body2 = app.submit(_request())
+            assert (status1, status2) == (201, 200)
+            assert body1["id"] == body2["id"]
+            assert calls == [body1["id"]]  # executed exactly once
+        finally:
+            app.close()
+
+    def test_invalid_request_is_400_and_never_journaled(self, tmp_path):
+        app = _app(tmp_path, lambda job: None)
+        app.start()
+        try:
+            status, body = app.submit({"kind": "simulate", "params": {}})
+            assert status == 400 and "error" in body
+        finally:
+            app.close()
+        assert JobJournal(app.config.journal).replayed.jobs == {}
+
+    def test_high_water_sheds_with_429(self, tmp_path):
+        gate = threading.Event()
+        app = _app(
+            tmp_path, lambda job: gate.wait(10) and {}, high_water=2, slots=1
+        )
+        app.start()
+        try:
+            statuses = [app.submit(_request(n))[0] for n in range(1, 5)]
+            assert statuses == [201, 201, 429, 429]
+        finally:
+            gate.set()
+            app.close()
+
+
+class TestFailure:
+    def test_structured_error_fails_terminally(self, tmp_path):
+        def run(job):
+            raise ValueError("the machine caught fire")
+
+        app = _app(tmp_path, run)
+        app.start()
+        try:
+            _status, body = app.submit(_request())
+            view = _wait_terminal(app, body["id"])
+            assert view["state"] == "failed"
+            assert view["error"]["type"] == "ValueError"
+            assert "fire" in view["error"]["message"]
+        finally:
+            app.close()
+        counts = JobJournal.terminal_counts(app.config.journal)
+        assert counts == {body["id"]: 1}
+
+
+class TestLeaseExpiry:
+    def test_wedged_executor_exhausts_attempts_and_fails(self, tmp_path):
+        release = threading.Event()
+        app = _app(
+            tmp_path,
+            lambda job: release.wait(30),
+            lease_ttl_s=0.03,
+            max_attempts=2,
+        )
+        app.start()
+        try:
+            _status, body = app.submit(_request())
+            view = _wait_terminal(app, body["id"])
+            assert view["state"] == "failed"
+            assert view["error"]["type"] == "LeaseExpired"
+            assert view["attempts"] == 2
+        finally:
+            release.set()
+            app.close()
+        assert JobJournal.terminal_counts(app.config.journal) == {
+            body["id"]: 1
+        }
+
+    def test_expiry_requeues_and_the_retry_wins(self, tmp_path):
+        release = threading.Event()
+        attempts = []
+
+        def run(job):
+            attempts.append(len(attempts) + 1)
+            if len(attempts) == 1:
+                release.wait(30)  # wedge attempt 1 past the TTL
+                return {"from": "wedged"}
+            return {"from": "retry"}
+
+        app = _app(tmp_path, run, lease_ttl_s=0.03, max_attempts=3)
+        app.start()
+        try:
+            _status, body = app.submit(_request())
+            view = _wait_terminal(app, body["id"])
+            release.set()  # the late wedged result must be fenced off
+            time.sleep(0.05)
+            final = app.job_view(body["id"])
+            assert view["state"] == "done"
+            assert final["result"] == {"from": "retry"}
+        finally:
+            release.set()
+            app.close()
+        assert JobJournal.terminal_counts(app.config.journal) == {
+            body["id"]: 1
+        }
+
+
+class TestDrain:
+    def test_drain_requeues_in_flight_and_restart_finishes(self, tmp_path):
+        # Lease held past the drain grace: the job must be re-queued
+        # into the journal and the next incarnation must finish it —
+        # terminal exactly once across both lifetimes.
+        wedge = threading.Event()
+        app = _app(tmp_path, lambda job: wedge.wait(30) and {}, slots=1)
+        app.start()
+        _status, body = app.submit(_request())
+        deadline = time.monotonic() + 10
+        while app.job_view(body["id"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        requeued = app.drain(grace_s=0.05)
+        wedge.set()
+        assert requeued == 1
+        replayed = JobJournal(app.config.journal).replayed
+        assert replayed.jobs[body["id"]].state == "queued"
+
+        app2 = _app(tmp_path, lambda job: {"finished": "second-life"})
+        app2.start()
+        try:
+            view = _wait_terminal(app2, body["id"])
+            assert view["state"] == "done"
+            assert view["result"] == {"finished": "second-life"}
+        finally:
+            app2.close()
+        assert JobJournal.terminal_counts(app2.config.journal) == {
+            body["id"]: 1
+        }
+
+    def test_drain_refuses_new_submissions(self, tmp_path):
+        app = _app(tmp_path, lambda job: {})
+        app.start()
+        app.begin_drain()
+        status, body = app.submit(_request())
+        assert status == 503
+        app.drain(grace_s=0.01)
+
+    def test_drain_with_idle_queue_requeues_nothing(self, tmp_path):
+        app = _app(tmp_path, lambda job: {"ok": 1})
+        app.start()
+        _status, body = app.submit(_request())
+        _wait_terminal(app, body["id"])
+        assert app.drain(grace_s=0.5) == 0
+
+
+class TestRestartReplay:
+    def test_done_jobs_are_served_without_re_execution(self, tmp_path):
+        app = _app(tmp_path, lambda job: {"cycles": 1234})
+        app.start()
+        _status, body = app.submit(_request())
+        done = _wait_terminal(app, body["id"])
+        app.drain(grace_s=1.0)
+
+        def boom(job):
+            raise AssertionError("terminal job was re-executed on replay")
+
+        app2 = _app(tmp_path, boom)
+        app2.start()
+        try:
+            view = app2.job_view(body["id"])
+            assert view["state"] == "done"
+            assert json.dumps(view["result"], sort_keys=True) == json.dumps(
+                done["result"], sort_keys=True
+            )
+            # Dedup also holds across the restart.
+            status, dup = app2.submit(_request())
+            assert status == 200 and dup["id"] == body["id"]
+            time.sleep(0.05)  # give a buggy dispatcher time to misfire
+        finally:
+            app2.close()
+
+    def test_interrupted_job_is_recovered_on_restart(self, tmp_path):
+        # Simulate a SIGKILL mid-lease: journal a submit + lease with
+        # no terminal event, then boot an app on that journal.
+        journal_path = str(tmp_path / "journal.jsonl")
+        from repro.serve.jobs import Job, normalize_request
+
+        job = Job.from_request(normalize_request(_request()))
+        with JobJournal(journal_path) as journal:
+            journal.record_submit(job)
+            journal.record_lease(job.id, 1, expires_unix=0.0)
+        app = _app(tmp_path, lambda j: {"recovered": True})
+        app.start()
+        try:
+            view = _wait_terminal(app, job.id)
+            assert view["state"] == "done"
+            assert view["result"] == {"recovered": True}
+        finally:
+            app.close()
+        assert JobJournal.terminal_counts(journal_path) == {job.id: 1}
+
+
+class TestReadyz:
+    def test_flips_to_degraded_under_slot_shrink(self, tmp_path):
+        app = _app(tmp_path, lambda job: {}, slots=3)
+        app.start()
+        try:
+            code, body = app.readyz_view()
+            assert (code, body["state"]) == (200, "ready")
+            # Two consecutive infrastructure failures shrink one slot.
+            app.health.on_crash()
+            app.health.on_crash()
+            code, body = app.readyz_view()
+            assert code == 200  # degraded is still routable
+            assert body["state"] == "degraded"
+            assert body["slots"] == 2
+            # A success resets the streak; shrink floor is 1 slot.
+            for _ in range(10):
+                app.health.on_crash()
+            code, body = app.readyz_view()
+            assert body["slots"] == 1
+            assert body["state"] == "degraded"
+        finally:
+            app.close()
+
+    def test_draining_is_not_ready(self, tmp_path):
+        app = _app(tmp_path, lambda job: {})
+        app.start()
+        app.begin_drain()
+        code, body = app.readyz_view()
+        assert code == 503 and body["state"] == "draining"
+        app.drain(grace_s=0.01)
+
+
+class TestHTTP:
+    def test_full_stack_with_a_real_simulation(self, tmp_path):
+        app = ServeApp(
+            ServeConfig(
+                journal=str(tmp_path / "journal.jsonl"),
+                cache=str(tmp_path / "cache"),
+                tick_s=0.005,
+            ),
+            registry=MetricsRegistry(),
+        )
+        app.start()
+        httpd = make_server(app)
+        thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        client = ServeClient(
+            f"http://127.0.0.1:{httpd.server_address[1]}"
+        )
+        try:
+            assert client.healthz() == {"status": "alive"}
+            assert client.readyz()["ready"] is True
+            request = _request()
+            job = client.submit(request["kind"], request["params"])
+            done = client.wait(job["id"], timeout_s=60)
+            assert done["state"] == "done"
+            assert done["result"]["workload"] == "bfs"
+            assert done["result"]["cycles"] > 0
+            with pytest.raises(ServeHTTPError) as excinfo:
+                client.job("jdoesnotexist")
+            assert excinfo.value.status == 404
+            metrics = client.metrics_text()
+            assert 'serve_jobs_terminal_total{state="done"} 1' in metrics
+            assert "serve_http_requests_total" in metrics
+            assert [j["id"] for j in client.jobs()] == [job["id"]]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            app.drain(grace_s=1.0)

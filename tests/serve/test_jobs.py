@@ -1,0 +1,142 @@
+"""Request normalization: validation, canonical form, content ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import (
+    Job,
+    RequestError,
+    job_id_for,
+    normalize_request,
+)
+
+
+def _simulate(config="naive", workload="bfs", **extra):
+    params = {"config": config, "workload": workload}
+    params.update(extra)
+    return {"kind": "simulate", "params": params}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            None,
+            [],
+            {},
+            {"kind": "simulate"},
+            {"kind": "teleport", "params": {}},
+            {"kind": "simulate", "params": {}, "bogus": 1},
+            {"kind": "simulate", "params": {}, "deadline_s": -1},
+        ],
+    )
+    def test_malformed_envelope_is_a_request_error(self, body):
+        with pytest.raises(RequestError):
+            normalize_request(body)
+
+    def test_unknown_workload(self):
+        with pytest.raises(RequestError, match="nosuchthing"):
+            normalize_request(_simulate(workload="nosuchthing"))
+
+    def test_unknown_preset(self):
+        with pytest.raises(RequestError, match="warp9"):
+            normalize_request(_simulate(config="warp9"))
+
+    def test_unknown_override_field(self):
+        with pytest.raises(RequestError, match="override"):
+            normalize_request(
+                _simulate(
+                    config={"preset": "naive", "overrides": {"nope": 1}}
+                )
+            )
+
+    def test_nested_override_rejected(self):
+        with pytest.raises(RequestError, match="scalar"):
+            normalize_request(
+                _simulate(
+                    config={"preset": "naive", "overrides": {"tlb": {}}}
+                )
+            )
+
+    def test_unknown_figure(self):
+        with pytest.raises(RequestError, match="fig99"):
+            normalize_request(
+                {"kind": "figure", "params": {"name": "fig99"}}
+            )
+
+    def test_sweep_baseline_must_name_a_label(self):
+        with pytest.raises(RequestError, match="baseline"):
+            normalize_request(
+                {
+                    "kind": "sweep",
+                    "params": {
+                        "configs": {"a": "naive"},
+                        "baseline": "b",
+                    },
+                }
+            )
+
+    def test_bad_miss_scale(self):
+        with pytest.raises(RequestError, match="miss_scale"):
+            normalize_request(_simulate(miss_scale=0))
+
+    def test_bad_form(self):
+        with pytest.raises(RequestError, match="form"):
+            normalize_request(_simulate(form="spiral"))
+
+
+class TestContentIds:
+    def test_spelling_differences_collapse_to_one_job(self):
+        # Alias name, explicit default override, key order — same id.
+        a = normalize_request(_simulate(config="no_tlb"))
+        b = normalize_request(_simulate(config="baseline"))
+        c = normalize_request(
+            _simulate(config={"preset": "no_tlb", "overrides": {}})
+        )
+        assert job_id_for(a) == job_id_for(b) == job_id_for(c)
+
+    def test_different_machines_are_different_jobs(self):
+        a = normalize_request(_simulate(config="naive"))
+        b = normalize_request(
+            _simulate(config={"preset": "naive", "overrides": {"num_cores": 2}})
+        )
+        assert job_id_for(a) != job_id_for(b)
+
+    def test_sweep_config_order_is_canonical(self):
+        # The journal stores events with sorted keys; normalization must
+        # produce the same label order a replay will, or recovered runs
+        # would reorder their rows.
+        ab = normalize_request(
+            {"kind": "sweep", "params": {"configs": {"a": "naive", "b": "ideal"}}}
+        )
+        ba = normalize_request(
+            {"kind": "sweep", "params": {"configs": {"b": "ideal", "a": "naive"}}}
+        )
+        assert list(ab["params"]["configs"]) == ["a", "b"]
+        assert list(ba["params"]["configs"]) == ["a", "b"]
+        assert job_id_for(ab) == job_id_for(ba)
+
+    def test_config_is_embedded_canonically(self):
+        normalized = normalize_request(_simulate(config="naive"))
+        config = normalized["params"]["config"]
+        assert isinstance(config, dict) and "tlb" in config
+
+
+class TestJobRoundTrip:
+    def test_journal_dict_round_trips(self):
+        job = Job.from_request(
+            normalize_request(_simulate()), max_attempts=5
+        )
+        restored = Job.from_journal_dict(job.journal_dict())
+        assert restored.id == job.id
+        assert restored.kind == job.kind
+        assert restored.params == job.params
+        assert restored.max_attempts == 5
+        assert restored.state == "queued"
+
+    def test_not_before_is_never_persisted(self):
+        job = Job.from_request(normalize_request(_simulate()))
+        job.not_before = 123.0
+        assert "not_before" not in job.journal_dict()
+        assert Job.from_journal_dict(job.journal_dict()).not_before == 0.0

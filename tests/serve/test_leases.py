@@ -1,0 +1,102 @@
+"""Lease table semantics: expiry, fencing, re-queue backoff."""
+
+from __future__ import annotations
+
+from repro.serve.leases import LeaseTable
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _table(ttl=10.0):
+    clock = FakeClock()
+    return LeaseTable(ttl=ttl, clock=clock), clock
+
+
+def test_grant_release_round_trip():
+    table, _clock = _table()
+    lease = table.grant("j1", attempt=1)
+    assert table.is_current(lease)
+    assert table.live_count == 1
+    assert table.release(lease) is True
+    assert table.live_count == 0
+
+
+def test_lease_expires_after_ttl():
+    table, clock = _table(ttl=10.0)
+    lease = table.grant("j1", attempt=1)
+    assert table.expired() == []
+    clock.advance(10.0)
+    assert table.expired() == [lease]
+
+
+def test_renew_extends_a_current_lease():
+    table, clock = _table(ttl=10.0)
+    lease = table.grant("j1", attempt=1)
+    clock.advance(9.0)
+    renewed = table.renew(lease)
+    assert renewed is not None
+    clock.advance(9.0)  # 18s after grant, 9s after renew
+    assert table.expired() == []
+
+
+def test_stale_lease_is_fenced_off():
+    # The exactly-once mechanism: an executor whose lease expired and
+    # whose job was re-granted must not be able to commit.
+    table, _clock = _table()
+    stale = table.grant("j1", attempt=1)
+    table.revoke("j1")
+    fresh = table.grant("j1", attempt=2)
+    assert not table.is_current(stale)
+    assert table.release(stale) is False
+    assert table.renew(stale) is None
+    assert table.is_current(fresh)
+    assert table.release(fresh) is True
+
+
+def test_requeue_delay_grows_per_job():
+    table, _clock = _table()
+    first = table.requeue_delay("j1")
+    second = table.requeue_delay("j1")
+    third = table.requeue_delay("j1")
+    assert 0 < first <= 2.0
+    # Decorrelated jitter is random but monotone in expectation from a
+    # small base; the implementation caps every delay.
+    assert all(0 < d <= 2.0 for d in (second, third))
+    assert table.expired_total == 3
+
+
+def test_requeue_delay_is_deterministic_across_tables():
+    # Seeded per job id (not via process-salted hash()): two tables —
+    # two server incarnations — see the same sequence.
+    a, _ = _table()
+    b, _ = _table()
+    assert [a.requeue_delay("j1") for _ in range(3)] == [
+        b.requeue_delay("j1") for _ in range(3)
+    ]
+
+
+def test_requeue_delays_differ_between_jobs():
+    table, _clock = _table()
+    assert table.requeue_delay("j1") != table.requeue_delay("j2")
+
+
+def test_revoke_keeps_backoff_growing_but_release_resets_it():
+    # The dispatcher revokes before asking for the next delay, so the
+    # streak must survive revocation; a successful commit ends it.
+    table, _clock = _table()
+    first = table.requeue_delay("j1")
+    table.revoke("j1")
+    second = table.requeue_delay("j1")
+    assert second != first  # the sequence advanced across the revoke
+    lease = table.grant("j1", attempt=3)
+    assert table.release(lease) is True
+    assert table.requeue_delay("j1") == first  # streak reset on commit
