@@ -70,12 +70,35 @@ def _progress_stream(progress: bool):
     return sys.stderr if progress else None
 
 
+def _available_engines():
+    from repro.engines import available_engines
+
+    return available_engines()
+
+
+def _apply_engine(machine: GPUConfig, engine: Optional[str]) -> GPUConfig:
+    """Return ``machine`` running on ``engine`` (validated); None keeps
+    the config's own choice."""
+    if engine is None:
+        return machine
+    from dataclasses import replace
+
+    if engine not in _available_engines():
+        raise ValueError(
+            f"unknown engine {engine!r}; one of {sorted(_available_engines())}"
+        )
+    if machine.engine == engine:
+        return machine
+    return replace(machine, engine=engine)
+
+
 def simulate(
     *,
     config: ConfigLike,
     workload: Union[Workload, str],
     form: Optional[str] = None,
     miss_scale: float = TIMING_MISS_SCALE,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Run one workload on one machine configuration.
 
@@ -94,11 +117,17 @@ def simulate(
     miss_scale:
         Address-stream timing scale; figures use the default, workload
         characterization passes 1.0.
+    engine:
+        Simulator core (see :func:`repro.engines.available_engines`):
+        ``"event"`` (the default) or ``"cycle"`` (the reference
+        oracle).  ``None`` keeps the config's own ``engine`` field.
+        Both produce byte-identical results; the engine still
+        participates in config hashes and result-cache keys.
     """
-    machine = _resolve_config(config)
+    machine = _apply_engine(_resolve_config(config), engine)
     work_source = _resolve_workload(workload)
     work = work_source.build(machine, form=form, miss_scale=miss_scale)
-    result = Simulator(machine, work, work_source.name).run()
+    result = Simulator._build(machine, work, work_source.name).run()
     # Observation-only mirror of the run's counters into the unified
     # metrics registry; never feeds back into results.
     record_result(result)
@@ -119,6 +148,7 @@ def sweep(
     miss_scale: float = TIMING_MISS_SCALE,
     baseline: Optional[str] = None,
     progress: bool = False,
+    engine: Optional[str] = None,
 ) -> List["FigureResult"]:
     """Run every (config, workload) cell, optionally in parallel.
 
@@ -133,7 +163,10 @@ def sweep(
     directory shared across sweeps and figures (``cache_max_mb`` bounds
     its size with LRU eviction); ``timeout`` bounds each cell's
     wall-clock seconds; ``retries`` re-attempts cells that die with a
-    structured simulator error.
+    structured simulator error; ``engine`` runs every cell on the named
+    simulator core (``"event"``/``"cycle"``), overriding each config's
+    own choice (the engine is part of cache keys, so the two engines
+    never collide in the result cache).
     """
     from repro.harness.experiment import (
         FigureResult,
@@ -141,13 +174,17 @@ def sweep(
         sweep_session,
     )
 
+    if engine is not None and engine not in _available_engines():
+        raise ValueError(
+            f"unknown engine {engine!r}; one of {sorted(_available_engines())}"
+        )
     if baseline is not None and baseline not in configs:
         raise ValueError(
             f"baseline {baseline!r} is not a config label; "
             f"have {sorted(configs)}"
         )
     factories = {
-        label: (lambda spec=spec: _resolve_config(spec))
+        label: (lambda spec=spec: _apply_engine(_resolve_config(spec), engine))
         for label, spec in configs.items()
     }
     with sweep_session(
@@ -196,12 +233,15 @@ def figure(
     cache_max_mb: Optional[float] = None,
     timeout: Optional[float] = None,
     progress: bool = False,
+    engine: Optional[str] = None,
 ) -> "FigureResult":
     """Regenerate one paper figure (``"fig02"`` ... ``"sec9"``).
 
     The figure's sweep inherits ``jobs``/``checkpoint``/``cache``/
-    ``retries``/``timeout`` exactly as :func:`sweep` does.  Unknown
-    names raise ``ValueError`` listing the valid figure ids.
+    ``retries``/``timeout`` exactly as :func:`sweep` does, and
+    ``engine`` runs every cell of the figure on the named simulator
+    core (``"event"``/``"cycle"``; None keeps each config's own).
+    Unknown names raise ``ValueError`` listing the valid figure ids.
     """
     from repro.harness.experiment import sweep_session
     from repro.harness.figures import ALL_FIGURES
@@ -219,5 +259,6 @@ def figure(
         cell_timeout=timeout,
         progress_stream=_progress_stream(progress),
         cache_max_mb=cache_max_mb,
+        engine=engine,
     ):
         return driver(workloads=workloads)

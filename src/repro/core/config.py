@@ -373,6 +373,14 @@ class GPUConfig:
     tbc: TBCConfig = field(default_factory=TBCConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Issue-loop strategy (:mod:`repro.engines`): ``"event"`` (default,
+    #: fast path) or ``"cycle"`` (the reference loop).  Both produce
+    #: byte-identical results; the field still participates in the
+    #: config hash so cached sweep cells record which core produced
+    #: them.  ``describe()`` omits it deliberately — descriptions label
+    #: *machine* design points and both engines simulate the same
+    #: machine.
+    engine: str = "event"
 
     def __post_init__(self):
         if self.num_cores <= 0:
@@ -389,6 +397,13 @@ class GPUConfig:
             )
         if self.page_shift not in (PAGE_SHIFT_4K, PAGE_SHIFT_2M):
             raise ValueError("page_shift must be 12 (4 KB) or 21 (2 MB)")
+        from repro.engines import available_engines
+
+        if self.engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"one of {sorted(available_engines())}"
+            )
 
     def with_(self, **kwargs) -> "GPUConfig":
         """Return a copy with top-level fields replaced."""

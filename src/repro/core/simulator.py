@@ -11,8 +11,9 @@ cross-check counter invariants afterwards.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import GPUConfig
 from repro.core.results import SimulationResult
@@ -50,6 +51,33 @@ def _addresses_of(work: CoreWork) -> Iterable[int]:
                             yield addr
 
 
+#: page_shift -> {id(work item): (item, first-touch-ordered vpns)}.
+#: Workload builds are memoized, so the same trace / thread-block
+#: objects recur across a sweep's cells; extracting their page-touch
+#: order once amortizes pre-mapping.  Values hold the item itself, so
+#: an id() can never alias a collected object.
+_VPN_ORDER_CACHES: Dict[int, Dict[int, tuple]] = {}
+
+#: Entry cap across all page sizes; eviction is a full clear.
+_VPN_ORDER_CACHE_LIMIT = 100_000
+
+
+def _vpns_of(item, page_shift: int) -> tuple:
+    """First-touch-ordered unique VPNs of one trace / thread block."""
+    cache = _VPN_ORDER_CACHES.setdefault(page_shift, {})
+    cached = cache.get(id(item))
+    if cached is not None and cached[0] is item:
+        return cached[1]
+    if len(cache) > _VPN_ORDER_CACHE_LIMIT:
+        cache.clear()
+    seen: Dict[int, None] = {}
+    for addr in _addresses_of((item,)):
+        seen[addr >> page_shift] = None
+    vpns = tuple(seen)
+    cache[id(item)] = (item, vpns)
+    return vpns
+
+
 class Simulator:
     """Run a workload on a machine configuration.
 
@@ -65,12 +93,40 @@ class Simulator:
         Label carried into the result.
     """
 
+    #: Direct construction is deprecated in favor of the
+    #: :mod:`repro.api` facade; internal callers go through
+    #: :meth:`_build`, which suppresses the warning.
+    _warn_on_init = True
+
+    @classmethod
+    def _build(
+        cls,
+        config: GPUConfig,
+        per_core_work: Sequence[CoreWork],
+        workload_name: str = "custom",
+    ) -> "Simulator":
+        """Internal constructor: no deprecation warning."""
+        cls._warn_on_init = False
+        try:
+            return cls(config, per_core_work, workload_name)
+        finally:
+            cls._warn_on_init = True
+
     def __init__(
         self,
         config: GPUConfig,
         per_core_work: Sequence[CoreWork],
         workload_name: str = "custom",
     ):
+        if Simulator._warn_on_init:
+            warnings.warn(
+                "direct Simulator(...) construction is deprecated; use "
+                "repro.api.simulate(config=..., workload=...) (or "
+                "repro.api.sweep/figure), which resolves presets, "
+                "builds workloads, and honors engine selection",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if len(per_core_work) != config.num_cores:
             raise ValueError(
                 f"workload provides {len(per_core_work)} cores of work; "
@@ -162,16 +218,21 @@ class Simulator:
         self.frame_map = {}
         if self.faults is not None and self.faults.model is not None:
             return
+        shift = PAGE_SHIFT_2M if large else PAGE_SHIFT_4K
+        ensure = (
+            self.page_table.ensure_mapped_large
+            if large
+            else self.page_table.ensure_mapped
+        )
+        frame_map = self.frame_map
+        # Per-item VPN first-touch order is cached (_vpns_of); walking
+        # items in work order preserves the global first-touch order —
+        # and with it the frame-assignment order — exactly.
         for work in per_core_work:
-            for addr in _addresses_of(work):
-                if large:
-                    vpn = addr >> PAGE_SHIFT_2M
-                    if vpn not in self.frame_map:
-                        self.frame_map[vpn] = self.page_table.ensure_mapped_large(vpn)
-                else:
-                    vpn = addr >> PAGE_SHIFT_4K
-                    if vpn not in self.frame_map:
-                        self.frame_map[vpn] = self.page_table.ensure_mapped(vpn)
+            for item in work:
+                for vpn in _vpns_of(item, shift):
+                    if vpn not in frame_map:
+                        frame_map[vpn] = ensure(vpn)
 
     def run(self, poll=None) -> SimulationResult:
         """Execute every core and aggregate the statistics.

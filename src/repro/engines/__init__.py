@@ -1,0 +1,77 @@
+"""Pluggable simulator cores (`SimEngine` implementations).
+
+The shader core's issue loop is a strategy: the **cycle** engine is the
+faithful reference loop (the oracle every other engine is differenced
+against), the **event** engine replays the identical decision sequence
+with event-driven mechanics — skipping dead time via a next-event scan
+and running the per-warp address math over precomputed arrays — and is
+byte-identical to the cycle engine on every simulated quantity.
+
+This module is deliberately import-light: :mod:`repro.core.config`
+imports it to validate the ``engine`` field, so pulling in the engine
+implementations here (which import gpu/mem/tlb modules) would create an
+import cycle.  Engine classes load lazily on first use.
+
+Future cores (e.g. vectorized variants) register here and become
+selectable through ``GPUConfig(engine=...)``, ``repro.api``'s
+``engine=`` keyword, and ``--engine`` on every harness subcommand
+without touching ``api.py``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple, Type
+
+#: Engine name -> "module:ClassName"; resolved lazily.
+_REGISTRY: Dict[str, str] = {
+    "cycle": "repro.engines.cycle:CycleEngine",
+    "event": "repro.engines.event:EventEngine",
+}
+
+#: The engine new configs get when none is requested.
+DEFAULT_ENGINE = "event"
+
+_loaded: Dict[str, type] = {}
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of every registered engine, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_engine(name: str) -> Type:
+    """Resolve an engine name to its class.
+
+    Raises ``ValueError`` for unknown names (the same error surface as
+    config validation, so CLI and API callers report unknown engines
+    uniformly).
+    """
+    cls = _loaded.get(name)
+    if cls is not None:
+        return cls
+    target = _REGISTRY.get(name)
+    if target is None:
+        raise ValueError(
+            f"unknown engine {name!r}; one of {sorted(_REGISTRY)}"
+        )
+    module_name, _, class_name = target.partition(":")
+    cls = getattr(importlib.import_module(module_name), class_name)
+    _loaded[name] = cls
+    return cls
+
+
+def register_engine(name: str, target: str) -> None:
+    """Register an engine as ``"module:ClassName"`` (plug-in point)."""
+    if not name or ":" not in target:
+        raise ValueError("register_engine needs a name and 'module:Class'")
+    _REGISTRY[name] = target
+    _loaded.pop(name, None)
+
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]

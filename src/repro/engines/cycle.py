@@ -1,0 +1,209 @@
+"""The cycle-driven reference engine.
+
+This is the shader core's original issue loop, verbatim: one warp
+instruction per cycle when any warp is ready, clock jumps to the next
+warp-ready event otherwise, full per-iteration instrumentation
+(tracing, spans, interval sampling, profiling).  It is the oracle the
+event engine is differenced against — ``tests/engines`` asserts the
+two produce byte-identical results — and the engine every run falls
+back to when observation hooks need per-iteration fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.gpu.instruction import ComputeInstruction, MemoryInstruction
+from repro.gpu.scheduler.base import Candidate
+from repro.gpu.warp import Warp
+from repro.obs import events as _ev
+from repro.obs import tracer as _trace
+from repro.prof import profiler as _prof
+
+from repro.engines.base import SimEngine
+
+
+class CycleEngine(SimEngine):
+    """Faithful cycle-driven issue loop (the reference oracle)."""
+
+    name = "cycle"
+
+    def run(self, poll=None):
+        """Execute the core's work to completion; return its counters.
+
+        ``poll``, when given, is called with the core at the top of
+        every issue-loop iteration — a *safe point* where the hot locals
+        (clock, finish horizon, warmup progress) have been synced back
+        to the core, so ``state_dict()`` taken inside the callback
+        captures a resumable core.
+
+        Raises :class:`repro.faults.errors.SimulationHang` when the
+        forward-progress watchdog detects no instruction retired for
+        the configured window.
+        """
+        core = self.core
+        if not core._run_begun:
+            core.begin_run()
+        self._loop(poll, None)
+        return core._finalize_run()
+
+    def step_to(self, cycle: int, poll=None) -> int:
+        """Advance to the first safe point at or past ``cycle``."""
+        core = self.core
+        if not core._run_begun:
+            core.begin_run()
+        self._loop(poll, cycle)
+        return core._now
+
+    def _loop(self, poll, stop_at) -> bool:
+        """The issue loop; returns True when the core ran out of work.
+
+        With ``stop_at`` set, returns (False) at the first safe point
+        whose clock is at or past it, locals synced back to the core.
+        """
+        core = self.core
+        watchdog = core._watchdog
+        blocking = core.config.tlb.enabled and core.config.tlb.blocking
+        warmup_budget = core._warmup_budget
+        now = core._now
+        finish = core._finish
+        issued_total = core._issued_total
+        measuring = core._measuring
+        events = self._events
+        while True:
+            if stop_at is not None and now >= stop_at:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                return False
+            if events and events[0][0] <= now:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                self._dispatch_events(now)
+            if poll is not None:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                poll(core)
+            if _trace.ENABLED:
+                _trace.CORE = core.core_id
+                _trace.NOW = now
+            if core.sampler is not None:
+                core.sampler.maybe_sample(now, core.stats)
+            live = [w for w in core.warps if not w.done]
+            if not live:
+                break
+            candidates: List[Tuple[Warp, Candidate]] = []
+            blocked_only = True
+            for warp in live:
+                if warp.ready_at > now:
+                    continue
+                instr = warp.current_instruction()
+                is_mem = isinstance(instr, MemoryInstruction)
+                if is_mem and blocking and now < core.tlb_blocked_until:
+                    continue  # blocking TLB: memory warps cannot proceed
+                blocked_only = False
+                candidates.append((warp, Candidate(warp.warp_id, is_mem)))
+            if not candidates:
+                if watchdog is not None:
+                    watchdog.check(now, core._hang_diagnostics)
+                waits = [w.ready_at for w in live if w.ready_at > now]
+                if blocking and core.tlb_blocked_until > now:
+                    waits.append(core.tlb_blocked_until)
+                next_event = min(waits) if waits else now + 1
+                tlb_blocked = (
+                    blocking and blocked_only and core.tlb_blocked_until > now
+                )
+                if tlb_blocked:
+                    core.stats.tlb_blocked_wait_cycles += (
+                        min(next_event, core.tlb_blocked_until) - now
+                    )
+                core.stats.idle_cycles += next_event - now
+                if _trace.ENABLED:
+                    core._stall_seq += 1
+                    _trace.emit(
+                        _ev.WARP_STALL_BEGIN,
+                        cycle=now,
+                        id=core._stall_seq,
+                        reason="tlb_blocked" if tlb_blocked else "memory",
+                        live=len(live),
+                    )
+                    _trace.emit(
+                        _ev.WARP_STALL_END, cycle=next_event, id=core._stall_seq
+                    )
+                now = next_event
+                continue
+            inflight = any(w.ready_at > now for w in live)
+            if _prof.ENABLED:
+                _prof.begin(_prof.PHASE_WARP_SCHED)
+            chosen_id = core.scheduler.select(
+                [c for _, c in candidates], now, inflight
+            )
+            if _prof.ENABLED:
+                _prof.end()
+            if _trace.ENABLED:
+                _trace.emit(
+                    _ev.SCHEDULER_DECISION,
+                    cycle=now,
+                    track="sched",
+                    policy=core.config.scheduler.kind,
+                    chosen=chosen_id,
+                    candidates=len(candidates),
+                )
+            if chosen_id is None:
+                if watchdog is not None:
+                    watchdog.check(now, core._hang_diagnostics)
+                waits = [w.ready_at for w in live if w.ready_at > now]
+                next_event = min(waits) if waits else now + 1
+                core.stats.idle_cycles += next_event - now
+                if _trace.ENABLED:
+                    core._stall_seq += 1
+                    _trace.emit(
+                        _ev.WARP_STALL_BEGIN,
+                        cycle=now,
+                        id=core._stall_seq,
+                        reason="throttled",
+                        live=len(live),
+                    )
+                    _trace.emit(
+                        _ev.WARP_STALL_END, cycle=next_event, id=core._stall_seq
+                    )
+                now = next_event
+                continue
+            warp = next(w for w, c in candidates if c.warp_id == chosen_id)
+            instr = warp.current_instruction()
+            if isinstance(instr, ComputeInstruction):
+                # A compute template folds `latency` scalar instructions;
+                # they occupy the single issue port back to back, so the
+                # clock advances by the full latency (issue bandwidth is
+                # the compute-phase bottleneck with 48 resident warps).
+                warp.ready_at = now + instr.latency
+                core.stats.scalar_instructions += instr.latency
+                advance = instr.latency
+            else:
+                warp.ready_at = core._issue_memory(warp, instr, now)
+                core.stats.memory_instructions += 1
+                core.stats.scalar_instructions += 1
+                advance = 1
+            core.stats.instructions += 1
+            if watchdog is not None:
+                watchdog.last_progress = now
+            warp.issued += 1
+            warp.pc += 1
+            finish = max(finish, warp.ready_at)
+            if warp.done:
+                core._warp_retired(warp, now)
+            now += advance
+            issued_total += 1
+            if not measuring and issued_total >= warmup_budget:
+                measuring = True
+                core._begin_measurement(now)
+        core._now = now
+        core._finish = finish
+        core._issued_total = issued_total
+        core._measuring = measuring
+        return True

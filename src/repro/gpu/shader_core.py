@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import GPUConfig
+from repro.engines import DEFAULT_ENGINE, get_engine
 from repro.faults.context import FaultContext
 from repro.faults.watchdog import Watchdog
 from repro.gpu.coalescer import coalesce
@@ -232,6 +233,11 @@ class ShaderCore:
         # has installed samplers; applied (and cleared) in Simulator.run.
         self._pending_sampler_state: Optional[dict] = None
 
+        #: The issue-loop strategy (see :mod:`repro.engines`).  Engines
+        #: keep no simulated state — swapping one mid-run at a safe
+        #: point is legal — so the core remains the snapshot unit.
+        self.engine = get_engine(getattr(config, "engine", DEFAULT_ENGINE))(self)
+
     # ------------------------------------------------------------------
     # TBC region management
     # ------------------------------------------------------------------
@@ -348,154 +354,29 @@ class ShaderCore:
     def run(self, poll=None) -> CoreStats:
         """Execute the core's work to completion; return its counters.
 
-        ``poll``, when given, is called with this core at the top of
-        every issue-loop iteration — a *safe point* where the hot locals
-        (clock, finish horizon, warmup progress) have been synced back
-        to the instance, so ``state_dict()`` taken inside the callback
-        captures a resumable core.  Normal runs pass None and pay one
-        branch per iteration.
+        The issue loop itself lives in the configured engine
+        (``config.engine``; see :mod:`repro.engines`) — the cycle engine
+        is the faithful per-iteration reference loop, the event engine
+        the byte-identical fast path.  ``poll``, when given, is called
+        with this core at the top of every issue-loop iteration — a
+        *safe point* where the hot locals (clock, finish horizon, warmup
+        progress) have been synced back to the instance, so
+        ``state_dict()`` taken inside the callback captures a resumable
+        core.  Normal runs pass None and pay one branch per iteration.
 
         Raises :class:`repro.faults.errors.SimulationHang` when the
         forward-progress watchdog (``config.faults.watchdog_cycles``)
         detects a deadlock/livelock — no instruction retired for the
         configured window.
         """
-        if not self._run_begun:
-            self.begin_run()
-        watchdog = self._watchdog
-        blocking = self.config.tlb.enabled and self.config.tlb.blocking
-        warmup_budget = self._warmup_budget
-        now = self._now
-        finish = self._finish
-        issued_total = self._issued_total
-        measuring = self._measuring
-        while True:
-            if poll is not None:
-                self._now = now
-                self._finish = finish
-                self._issued_total = issued_total
-                self._measuring = measuring
-                poll(self)
-            if _trace.ENABLED:
-                _trace.CORE = self.core_id
-                _trace.NOW = now
-            if self.sampler is not None:
-                self.sampler.maybe_sample(now, self.stats)
-            live = [w for w in self.warps if not w.done]
-            if not live:
-                break
-            candidates: List[Tuple[Warp, Candidate]] = []
-            blocked_only = True
-            for warp in live:
-                if warp.ready_at > now:
-                    continue
-                instr = warp.current_instruction()
-                is_mem = isinstance(instr, MemoryInstruction)
-                if is_mem and blocking and now < self.tlb_blocked_until:
-                    continue  # blocking TLB: memory warps cannot proceed
-                blocked_only = False
-                candidates.append((warp, Candidate(warp.warp_id, is_mem)))
-            if not candidates:
-                if watchdog is not None:
-                    watchdog.check(now, self._hang_diagnostics)
-                waits = [w.ready_at for w in live if w.ready_at > now]
-                if blocking and self.tlb_blocked_until > now:
-                    waits.append(self.tlb_blocked_until)
-                next_event = min(waits) if waits else now + 1
-                tlb_blocked = (
-                    blocking and blocked_only and self.tlb_blocked_until > now
-                )
-                if tlb_blocked:
-                    self.stats.tlb_blocked_wait_cycles += (
-                        min(next_event, self.tlb_blocked_until) - now
-                    )
-                self.stats.idle_cycles += next_event - now
-                if _trace.ENABLED:
-                    self._stall_seq += 1
-                    _trace.emit(
-                        _ev.WARP_STALL_BEGIN,
-                        cycle=now,
-                        id=self._stall_seq,
-                        reason="tlb_blocked" if tlb_blocked else "memory",
-                        live=len(live),
-                    )
-                    _trace.emit(
-                        _ev.WARP_STALL_END, cycle=next_event, id=self._stall_seq
-                    )
-                now = next_event
-                continue
-            inflight = any(w.ready_at > now for w in live)
-            if _prof.ENABLED:
-                _prof.begin(_prof.PHASE_WARP_SCHED)
-            chosen_id = self.scheduler.select(
-                [c for _, c in candidates], now, inflight
-            )
-            if _prof.ENABLED:
-                _prof.end()
-            if _trace.ENABLED:
-                _trace.emit(
-                    _ev.SCHEDULER_DECISION,
-                    cycle=now,
-                    track="sched",
-                    policy=self.config.scheduler.kind,
-                    chosen=chosen_id,
-                    candidates=len(candidates),
-                )
-            if chosen_id is None:
-                if watchdog is not None:
-                    watchdog.check(now, self._hang_diagnostics)
-                waits = [w.ready_at for w in live if w.ready_at > now]
-                next_event = min(waits) if waits else now + 1
-                self.stats.idle_cycles += next_event - now
-                if _trace.ENABLED:
-                    self._stall_seq += 1
-                    _trace.emit(
-                        _ev.WARP_STALL_BEGIN,
-                        cycle=now,
-                        id=self._stall_seq,
-                        reason="throttled",
-                        live=len(live),
-                    )
-                    _trace.emit(
-                        _ev.WARP_STALL_END, cycle=next_event, id=self._stall_seq
-                    )
-                now = next_event
-                continue
-            warp = next(w for w, c in candidates if c.warp_id == chosen_id)
-            instr = warp.current_instruction()
-            if isinstance(instr, ComputeInstruction):
-                # A compute template folds `latency` scalar instructions;
-                # they occupy the single issue port back to back, so the
-                # clock advances by the full latency (issue bandwidth is
-                # the compute-phase bottleneck with 48 resident warps).
-                warp.ready_at = now + instr.latency
-                self.stats.scalar_instructions += instr.latency
-                advance = instr.latency
-            else:
-                warp.ready_at = self._issue_memory(warp, instr, now)
-                self.stats.memory_instructions += 1
-                self.stats.scalar_instructions += 1
-                advance = 1
-            self.stats.instructions += 1
-            if watchdog is not None:
-                watchdog.last_progress = now
-            warp.issued += 1
-            warp.pc += 1
-            finish = max(finish, warp.ready_at)
-            if warp.done:
-                self._warp_retired(warp, now)
-            now += advance
-            issued_total += 1
-            if not measuring and issued_total >= warmup_budget:
-                measuring = True
-                self._begin_measurement(now)
-        self._now = now
-        self._finish = finish
-        self._issued_total = issued_total
-        self._measuring = measuring
+        return self.engine.run(poll)
+
+    def _finalize_run(self) -> CoreStats:
+        """Close out a completed run (engines call this exactly once)."""
+        end = max(self._now, self._finish)
         if self.sampler is not None:
-            self.sampler.finalize(max(now, finish), self.stats)
-        self.stats.cycles = max(now, finish) - self._measure_from
+            self.sampler.finalize(end, self.stats)
+        self.stats.cycles = end - self._measure_from
         self._record_fault_counters()
         return self.stats
 

@@ -83,6 +83,18 @@ def compact_region(
     return groups
 
 
+#: Memoized _group_trace results.  A formed trace is a pure function of
+#: the (immutable) block, region, group shape, and slot assignment, and
+#: is never written through once built, so identical groups — the same
+#: region compacted the same way in a later run, or by a different TBC
+#: mode — can share one WarpTrace.  Values keep the block and region so
+#: a recycled id() can never alias.  Sharing also keeps instruction
+#: identity stable across runs, which downstream per-instruction
+#: coalescing caches key on.
+_TRACE_CACHE: Dict[tuple, tuple] = {}
+_TRACE_CACHE_LIMIT = 100_000
+
+
 def _group_trace(
     block: ThreadBlock,
     region: Region,
@@ -91,6 +103,10 @@ def _group_trace(
     slot_base: int,
 ) -> WarpTrace:
     """Materialize the warp instructions one execution group runs."""
+    key = (id(block), id(region), group.path, group.threads, warp_id, slot_base)
+    cached = _TRACE_CACHE.get(key)
+    if cached is not None and cached[0] is block and cached[1] is region:
+        return cached[2]
     program = region.path_programs[group.path]
     lanes: Dict[int, int] = {block.lane(tid): tid for tid in group.threads}
     if len(lanes) != len(group.threads):
@@ -110,9 +126,13 @@ def _group_trace(
         instructions.append(
             MemoryInstruction(addresses=tuple(addresses), origins=tuple(origins))
         )
-    return WarpTrace(
+    trace = WarpTrace(
         warp_id=warp_id, instructions=instructions, block_id=block.block_id
     )
+    if len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
+        _TRACE_CACHE.clear()
+    _TRACE_CACHE[key] = (block, region, trace)
+    return trace
 
 
 def form_region_warps(

@@ -6,6 +6,7 @@ Usage::
     python -m repro.harness fig10
     python -m repro.harness fig13 --workloads bfs,kmeans
     python -m repro.harness fig07 --jobs 4
+    python -m repro.harness fig10 --engine cycle
     python -m repro.harness all --checkpoint sweep.jsonl --retries 2 \
         --jobs 8 --cache ~/.cache/repro-sweeps
     python -m repro.harness fig07 --json > fig07.json
@@ -59,6 +60,7 @@ import argparse
 import sys
 
 from repro.api import figure as api_figure
+from repro.engines import available_engines
 from repro.harness.figures import ALL_FIGURES
 from repro.parallel.pool import default_jobs
 from repro.workloads.registry import workload_names
@@ -148,6 +150,14 @@ def main(argv=None) -> int:
         help="wall-clock budget per sweep cell attempt (default: none)",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core for every cell (default: each config's "
+        "own, normally 'event'; 'cycle' is the reference oracle — "
+        "both produce byte-identical figures)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print each figure as canonical JSON instead of a table",
@@ -190,6 +200,7 @@ def main(argv=None) -> int:
             cache_max_mb=args.cache_max_mb,
             timeout=args.timeout,
             progress=jobs > 1,
+            engine=args.engine,
         )
         if args.json:
             print(result.to_json(indent=2))

@@ -34,6 +34,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import figure as api_figure
+from repro.engines import available_engines
 from repro.harness.figures import ALL_FIGURES
 from repro.prof import benchfile
 from repro.prof.export import registry_to_dict
@@ -113,6 +114,7 @@ def run_bench(
     workloads: Optional[Sequence[str]],
     mode: str,
     stream=None,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the matrix and build the report dict (not yet written)."""
     REGISTRY.clear()
@@ -127,7 +129,12 @@ def run_bench(
         profiler = PhaseProfiler()
         start = time.perf_counter()
         with profile(profiler):
-            api_figure(name=name, workloads=list(workloads) if workloads else None, jobs=1)
+            api_figure(
+                name=name,
+                workloads=list(workloads) if workloads else None,
+                jobs=1,
+                engine=engine,
+            )
         wall = time.perf_counter() - start
         cells = profiler.counts.get("cells", 0)
         cycles = profiler.counts.get("sim_cycles", 0)
@@ -168,6 +175,8 @@ def run_bench(
         },
         "metrics": registry_to_dict(REGISTRY),
     }
+    if engine is not None:
+        report["engine"] = engine
     git = _git()
     if git is not None:
         report["git"] = git
@@ -231,6 +240,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=benchfile.DEFAULT_THRESHOLD,
         help="regression threshold as a fraction "
         f"(default {benchfile.DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core to benchmark (default: each config's own, "
+        "normally 'event'; recorded in the report when set)",
     )
     parser.add_argument(
         "--strict",
@@ -300,7 +316,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         else benchfile.next_bench_path(root)
     )
 
-    report = run_bench(figures, workloads, mode, stream=sys.stderr)
+    report = run_bench(
+        figures, workloads, mode, stream=sys.stderr, engine=args.engine
+    )
     benchfile.save(report, out)
     totals = report["totals"]
     print(

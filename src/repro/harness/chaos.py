@@ -41,9 +41,11 @@ import sys
 import tempfile
 import time
 import warnings
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.core.config import GPUConfig
+from repro.engines import available_engines
 from repro.faults.config import FaultConfig
 from repro.faults.errors import PTWError, SimulationError
 from repro.harness.checkpoint import SweepCheckpoint
@@ -88,6 +90,13 @@ def _matrix(quick: bool, workloads: Optional[List[str]] = None) -> List[Cell]:
             ),
         ]
     return cells
+
+
+def _on_engine(cell: Cell, engine: Optional[str]) -> Cell:
+    """The cell running on ``engine`` (None keeps the config's own)."""
+    if engine is None or cell.config.engine == engine:
+        return cell
+    return replace(cell, config=cell.config.with_(engine=engine))
 
 
 def _poisoned_cell() -> Cell:
@@ -157,10 +166,11 @@ def run_campaign(
     jobs: int = 2,
     workloads: Optional[List[str]] = None,
     verbose: bool = False,
+    engine: Optional[str] = None,
 ) -> int:
     """Execute the full campaign; returns the process exit code."""
     failures: List[str] = []
-    matrix = _matrix(quick, workloads)
+    matrix = [_on_engine(cell, engine) for cell in _matrix(quick, workloads)]
     kills_wanted = 1 if quick else 2
 
     _step(verbose, "baseline", f"{len(matrix)} cells, serial")
@@ -280,7 +290,7 @@ def run_campaign(
             )
 
     # -- 4. mid-sweep faults ------------------------------------------
-    poisoned = _poisoned_cell()
+    poisoned = _on_engine(_poisoned_cell(), engine)
     chaos_matrix = matrix[:2] + [poisoned] + matrix[2:]
     poisoned_index = 2
     error: Optional[SimulationError] = None
@@ -357,6 +367,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "floods)",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core for every campaign cell (default: each "
+        "config's own, normally 'event')",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="flush per-step progress"
     )
     args = parser.parse_args(argv)
@@ -380,6 +397,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             quick=args.quick,
             workloads=workloads,
             verbose=args.verbose,
+            engine=args.engine,
         )
     if args.jobs < 2:
         print("chaos needs --jobs >= 2 (supervision only runs in the "
@@ -391,6 +409,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=args.jobs,
         workloads=workloads,
         verbose=args.verbose,
+        engine=args.engine,
     )
 
 

@@ -55,10 +55,12 @@ def _step(verbose: bool, name: str, detail: str = "") -> None:
         sys.stdout.flush()
 
 
-def _sweep_request(workloads: List[str]) -> Dict[str, Any]:
+def _sweep_request(
+    workloads: List[str], engine: Optional[str] = None
+) -> Dict[str, Any]:
     """The campaign's sweep job: tiny machines, a few cells."""
     tiny = {"num_cores": 1, "warps_per_core": 8, "warp_width": 8}
-    return {
+    request: Dict[str, Any] = {
         "kind": "sweep",
         "params": {
             "configs": {
@@ -68,6 +70,9 @@ def _sweep_request(workloads: List[str]) -> Dict[str, Any]:
             "workloads": workloads,
         },
     }
+    if engine is not None:
+        request["engine"] = engine
+    return request
 
 
 def _baseline_result(request: Dict[str, Any]) -> str:
@@ -166,11 +171,12 @@ def run_server_campaign(
     quick: bool = False,
     workloads: Optional[List[str]] = None,
     verbose: bool = False,
+    engine: Optional[str] = None,
 ) -> int:
     """Execute the server campaign; returns the process exit code."""
     failures: List[str] = []
     chosen = workloads or (["bfs"] if quick else ["bfs", "kmeans"])
-    request = _sweep_request(chosen)
+    request = _sweep_request(chosen, engine)
     job_id = Job.from_request(normalize_request(request)).id
 
     _step(verbose, "baseline", f"sweep over {chosen}, serial, in-process")

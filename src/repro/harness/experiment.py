@@ -24,7 +24,7 @@ from __future__ import annotations
 import contextlib
 import json
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -143,6 +143,13 @@ def _reseeded(config: GPUConfig, attempt: int) -> GPUConfig:
     return reseeded(config, attempt)
 
 
+def _on_engine(config: GPUConfig, engine: Optional[str]) -> GPUConfig:
+    """The cell's config on the session's engine (None = unchanged)."""
+    if engine is None or config.engine == engine:
+        return config
+    return replace(config, engine=engine)
+
+
 @dataclass
 class SweepSettings:
     """Ambient execution settings installed by :func:`sweep_session`."""
@@ -153,6 +160,8 @@ class SweepSettings:
     cache: Optional[ResultCache] = None
     cell_timeout: Optional[float] = None
     progress_stream: Optional[TextIO] = None
+    #: Simulator core every cell runs on (None = each config's own).
+    engine: Optional[str] = None
 
 
 # Ambient sweep state, installed by sweep_session().  run_matrix() picks
@@ -170,6 +179,7 @@ def sweep_session(
     cell_timeout: Optional[float] = None,
     progress_stream: Optional[TextIO] = None,
     cache_max_mb: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> Iterator[Optional[SweepCheckpoint]]:
     """Make every :func:`run_matrix` call inside resumable/parallel.
 
@@ -195,7 +205,20 @@ def sweep_session(
     cache_max_mb:
         Size bound for the result cache in megabytes; stores past the
         bound evict the least-recently-used entries.  None = unbounded.
+    engine:
+        Simulator core (:func:`repro.engines.available_engines`) every
+        cell inside the session runs on; None keeps each config's own
+        ``engine`` field.  Validated here so CLI/API callers fail
+        before any cell runs.
     """
+    if engine is not None:
+        from repro.engines import available_engines
+
+        if engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {engine!r}; "
+                f"one of {sorted(available_engines())}"
+            )
     global _ACTIVE
     checkpoint = (
         SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
@@ -220,6 +243,7 @@ def sweep_session(
         cache=cache,
         cell_timeout=cell_timeout,
         progress_stream=progress_stream,
+        engine=engine,
     )
     try:
         yield checkpoint
@@ -248,7 +272,7 @@ def run_cell(
     cell = Cell(
         label=label,
         workload=workload_name,
-        config=factory(),
+        config=_on_engine(factory(), _ACTIVE.engine),
         form=form,
         miss_scale=miss_scale,
     )
@@ -304,7 +328,7 @@ def run_matrix(
                 Cell(
                     label=label,
                     workload=name,
-                    config=factory(),
+                    config=_on_engine(factory(), settings.engine),
                     form=form,
                     miss_scale=miss_scale,
                 )

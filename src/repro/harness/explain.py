@@ -34,6 +34,7 @@ import sys
 from typing import Optional
 
 from repro.core.simulator import Simulator
+from repro.engines import available_engines
 from repro.harness.trace import _tiny_workload, resolve_target
 from repro.obs.critpath import CriticalPathReport
 from repro.obs.spans import SpanRecorder, record_spans
@@ -46,9 +47,12 @@ def run_explain(
     workload: Optional[str] = None,
     top: int = 10,
     quick: bool = False,
+    engine: Optional[str] = None,
 ) -> dict:
     """Run one span-recorded simulation; return report and context."""
     config, wl, label = resolve_target(target, workload)
+    if engine is not None:
+        config = config.with_(engine=engine)
     kwargs = {}
     if quick:
         config = config.with_(
@@ -60,7 +64,7 @@ def run_explain(
     work = wl.build(config, **kwargs)
     recorder = SpanRecorder(keep_slowest=top)
     with record_spans(recorder):
-        result = Simulator(config, work, wl.name).run()
+        result = Simulator._build(config, work, wl.name).run()
     report = CriticalPathReport(recorder, label=label)
     report.to_registry(REGISTRY, target=target, workload=wl.name)
     return {
@@ -125,6 +129,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="smoke mode: 8-warp core and a tiny workload (CI uses this)",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core (default: the config's own, normally "
+        "'event'; span-recorded runs fall back to the reference loop "
+        "either way, so both explain identically)",
+    )
     args = parser.parse_args(argv)
     workload = args.workloads.split(",")[0] if args.workloads else None
     try:
@@ -133,6 +145,7 @@ def main(argv=None) -> int:
             workload=workload,
             top=args.top,
             quick=args.quick,
+            engine=args.engine,
         )
     except (KeyError, ValueError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)

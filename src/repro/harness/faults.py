@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.core import presets
 from repro.core.simulator import Simulator
+from repro.engines import available_engines
 from repro.faults.config import FaultConfig
 from repro.harness.experiment import DEFAULT_WARMUP
 from repro.harness.trace import _tiny_workload
@@ -48,10 +49,13 @@ def run_faulty(
     invalidate_rate: float = 0.01,
     seed: int = 1,
     watchdog_cycles: int = 2_000_000,
+    engine: Optional[str] = None,
 ):
     """Run the augmented design with faults enabled; return the result."""
     wl = _resolve_workload(workload, tiny)
     config = presets.augmented_tlb(warmup_instructions=DEFAULT_WARMUP)
+    if engine is not None:
+        config = config.with_(engine=engine)
     if tiny:
         config = config.with_(
             num_cores=1, warps_per_core=8, warp_width=8, warmup_instructions=0
@@ -69,7 +73,7 @@ def run_faulty(
         )
     )
     work = wl.build(config, miss_scale=TIMING_MISS_SCALE)
-    return Simulator(config, work, wl.name).run(), config
+    return Simulator._build(config, work, wl.name).run(), config
 
 
 def render_report(result, config) -> str:
@@ -128,6 +132,13 @@ def main(argv=None) -> int:
         "--seed", type=int, default=1, help="fault seed (default 1)"
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core (default: the config's own, normally "
+        "'event'; both engines produce byte-identical fault runs)",
+    )
+    parser.add_argument(
         "--check-determinism",
         action="store_true",
         help="run twice; fail unless both runs serialize identically",
@@ -142,6 +153,7 @@ def main(argv=None) -> int:
             shootdown_rate=args.shootdown_rate,
             invalidate_rate=args.invalidate_rate,
             seed=args.seed,
+            engine=args.engine,
         )
     except KeyError as exc:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
@@ -156,6 +168,7 @@ def main(argv=None) -> int:
             shootdown_rate=args.shootdown_rate,
             invalidate_rate=args.invalidate_rate,
             seed=args.seed,
+            engine=args.engine,
         )
         if rerun.to_json() != result.to_json():
             print("DETERMINISM VIOLATION: reruns differ", file=sys.stderr)

@@ -25,6 +25,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core import presets
 from repro.core.config import GPUConfig, TraceConfig
+from repro.engines import available_engines
 from repro.core.simulator import Simulator
 from repro.harness.experiment import DEFAULT_WARMUP
 from repro.harness.figures import ALL_FIGURES
@@ -101,9 +102,12 @@ def run_trace(
     interval: int = 1000,
     ring_capacity: int = 1 << 18,
     tiny: bool = False,
+    engine: Optional[str] = None,
 ) -> dict:
     """Run one traced simulation; return paths and the result."""
     config, wl, label = resolve_target(target, workload)
+    if engine is not None:
+        config = config.with_(engine=engine)
     if tiny:
         config = config.with_(
             num_cores=1, warps_per_core=8, warp_width=8, warmup_instructions=0
@@ -123,7 +127,7 @@ def run_trace(
         )
     )
     work = wl.build(config, miss_scale=TIMING_MISS_SCALE)
-    result = Simulator(config, work, wl.name).run()
+    result = Simulator._build(config, work, wl.name).run()
     return {
         "label": label,
         "config": config,
@@ -198,6 +202,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="smoke mode: 8-warp core and a tiny workload (CI uses this)",
     )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(available_engines()),
+        help="simulator core (default: the config's own, normally "
+        "'event'; traced runs fall back to the reference loop either "
+        "way, so both trace identically)",
+    )
     args = parser.parse_args(argv)
     workload = args.workloads.split(",")[0] if args.workloads else None
     try:
@@ -208,6 +220,7 @@ def main(argv=None) -> int:
             interval=args.interval,
             ring_capacity=args.ring,
             tiny=args.tiny,
+            engine=args.engine,
         )
     except (KeyError, ValueError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)

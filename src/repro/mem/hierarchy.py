@@ -11,7 +11,6 @@ scheduler's cache-hit-rate improvements are measurable (Figure 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.mem.cache import SetAssociativeCache
@@ -20,9 +19,12 @@ from repro.mem.mshr import MSHRFile
 from repro.prof import profiler as _prof
 
 
-@dataclass(frozen=True)
 class MemAccessResult:
     """Outcome of a demand access through the hierarchy.
+
+    A plain ``__slots__`` value object: one is built per access on the
+    hottest simulator path, where slotted construction beats a frozen
+    dataclass by a wide margin.
 
     Attributes
     ----------
@@ -35,10 +37,35 @@ class MemAccessResult:
         L1 victim information for CCWS (None when nothing was evicted).
     """
 
-    ready_time: int
-    level: str
-    evicted_line: Optional[int] = None
-    evicted_warp: Optional[int] = None
+    __slots__ = ("ready_time", "level", "evicted_line", "evicted_warp")
+
+    def __init__(
+        self,
+        ready_time: int,
+        level: str,
+        evicted_line: Optional[int] = None,
+        evicted_warp: Optional[int] = None,
+    ):
+        self.ready_time = ready_time
+        self.level = level
+        self.evicted_line = evicted_line
+        self.evicted_warp = evicted_warp
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, MemAccessResult)
+            and self.ready_time == other.ready_time
+            and self.level == other.level
+            and self.evicted_line == other.evicted_line
+            and self.evicted_warp == other.evicted_warp
+        )
+
+    def __repr__(self):
+        return (
+            f"MemAccessResult(ready_time={self.ready_time}, "
+            f"level={self.level!r}, evicted_line={self.evicted_line}, "
+            f"evicted_warp={self.evicted_warp})"
+        )
 
 
 class SharedMemory:

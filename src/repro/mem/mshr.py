@@ -9,10 +9,14 @@ so callers can model structural stalls.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs import events as _ev
 from repro.obs import tracer as _trace
+
+#: Sentinel fill time meaning "no entry can expire" (empty file).
+_NEVER = float("inf")
 
 
 class MSHRFile:
@@ -29,25 +33,47 @@ class MSHRFile:
             raise ValueError("MSHR capacity must be positive")
         self.capacity = capacity
         self._inflight: Dict[int, int] = {}  # line -> fill (ready) time
+        # Earliest fill time among in-flight entries; lets _expire skip
+        # the retirement work entirely while no entry can have retired.
+        self._min_ready = _NEVER
+        # (ready, line) min-heap mirroring _inflight, with lazy deletion:
+        # an entry is live iff _inflight[line] == ready.  A retired
+        # line's later re-allocation always carries a strictly larger
+        # fill time, so a stale heap entry can never alias a live one.
+        self._heap: List[Tuple[int, int]] = []
         self.merges = 0
         self.allocations = 0
         self.stalls = 0
 
     def _expire(self, now: int) -> None:
-        if not self._inflight:
+        if now < self._min_ready:
             return
-        expired = [line for line, ready in self._inflight.items() if ready <= now]
-        for line in expired:
-            if _trace.ENABLED:
+        inflight = self._inflight
+        if _trace.ENABLED:
+            # Traced path: retire in file (insertion) order so the
+            # MSHR_RETIRE event sequence matches the pre-heap behaviour
+            # byte for byte; stale heap entries fall out lazily later.
+            expired = [line for line, ready in inflight.items() if ready <= now]
+            for line in expired:
                 # Stamped with the entry's fill time, not the (later)
                 # cycle the lazy expiry happened to run at.
                 _trace.emit(
                     _ev.MSHR_RETIRE,
-                    cycle=self._inflight[line],
+                    cycle=inflight[line],
                     track="mshr",
                     line=line,
                 )
-            del self._inflight[line]
+                del inflight[line]
+            self._min_ready = min(inflight.values()) if inflight else _NEVER
+            return
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            ready, line = heapq.heappop(heap)
+            if inflight.get(line) == ready:
+                del inflight[line]
+        # The heap top is a lower bound on the live minimum (stale
+        # entries may linger); a too-small gate only costs a re-check.
+        self._min_ready = heap[0][0] if heap else _NEVER
 
     def outstanding(self, now: int) -> int:
         """Number of misses still in flight at cycle ``now``."""
@@ -80,7 +106,15 @@ class MSHRFile:
         if len(self._inflight) < self.capacity:
             return now
         self.stalls += 1
-        return min(self._inflight.values())
+        # Exact earliest fill among live entries: the heap top, after
+        # discarding stale (lazily deleted) entries.  The file is full,
+        # so a live entry — and therefore a live heap top — exists.
+        heap = self._heap
+        while True:
+            ready, line = heap[0]
+            if self._inflight.get(line) == ready:
+                return ready
+            heapq.heappop(heap)
 
     def state_dict(self) -> dict:
         """Snapshot in-flight misses (insertion order) and counters."""
@@ -93,6 +127,11 @@ class MSHRFile:
 
     def load_state(self, state: dict) -> None:
         self._inflight = {line: ready for line, ready in state["inflight"]}
+        self._min_ready = (
+            min(self._inflight.values()) if self._inflight else _NEVER
+        )
+        self._heap = [(ready, line) for line, ready in self._inflight.items()]
+        heapq.heapify(self._heap)
         self.merges = state["merges"]
         self.allocations = state["allocations"]
         self.stalls = state["stalls"]
@@ -105,6 +144,9 @@ class MSHRFile:
         if line_addr in self._inflight:
             raise RuntimeError(f"line {line_addr:#x} already has an MSHR")
         self._inflight[line_addr] = ready_time
+        heapq.heappush(self._heap, (ready_time, line_addr))
+        if ready_time < self._min_ready:
+            self._min_ready = ready_time
         self.allocations += 1
         if _trace.ENABLED:
             _trace.emit(

@@ -56,6 +56,7 @@ PHASE_L2 = "cache_l2"                # SharedMemory.access_line
 PHASE_DRAM = "dram"                  # DRAM.access
 PHASE_COALESCE = "coalescer"         # intra-warp address coalescing
 PHASE_WARP_SCHED = "warp_scheduler"  # scheduler.select
+PHASE_EVENT_SKIP = "event_skip"      # event engine dead-time skip bookkeeping
 
 #: Every phase the built-in instrumentation emits.
 PHASES = (
@@ -68,6 +69,7 @@ PHASES = (
     PHASE_DRAM,
     PHASE_COALESCE,
     PHASE_WARP_SCHED,
+    PHASE_EVENT_SKIP,
 )
 
 #: Fast-path flag: True exactly while a profiler is installed.

@@ -553,6 +553,7 @@ class ServeApp:
                 cache=self.config.cache,
                 cache_max_mb=self.config.cache_max_mb,
                 retries=self.config.retries,
+                engine=job.params.get("engine"),
             )
             return row.to_dict()
 

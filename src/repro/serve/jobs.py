@@ -19,6 +19,16 @@ A job is one ``POST /jobs`` request — a ``simulate``, ``sweep``, or
                                              "aug": "augmented"},
                                  "workloads": ["bfs"]}}
 
+    {"kind": "figure", "params": {"name": "fig02"},
+     "engine": "cycle"}
+
+An optional top-level ``"engine"`` runs every machine the job names on
+that simulator core (see :func:`repro.engines.available_engines`); a
+config spec that sets ``engine`` in its own ``overrides`` wins.  For
+``simulate``/``sweep`` the engine folds into each canonical config (two
+spellings of the same machines stay the same job); for ``figure`` it is
+recorded in the normalized params, since figure configs live server-side.
+
 Validation happens at admission (:func:`normalize_request`): unknown
 presets, workloads, figure ids, or config overrides are a ``400``
 before anything is journaled.  The normalized request embeds the
@@ -77,7 +87,9 @@ def _require(condition: bool, message: str) -> None:
         raise RequestError(message)
 
 
-def _build_config(spec: Any, where: str) -> GPUConfig:
+def _build_config(
+    spec: Any, where: str, engine: Optional[str] = None
+) -> GPUConfig:
     """Build the GPUConfig a JSON config spec names (validating it)."""
     if isinstance(spec, str):
         name, overrides = spec, {}
@@ -111,13 +123,16 @@ def _build_config(spec: Any, where: str) -> GPUConfig:
             "(nested config sections are not addressable over JSON)",
         )
     try:
-        return GPUConfig.preset(name, **overrides)
+        config = GPUConfig.preset(name, **overrides)
     except ValueError as exc:  # unknown preset name
         raise RequestError(f"{where}: {exc}") from exc
     except TypeError as exc:  # unknown override field
         raise RequestError(
             f"{where}: bad config override for preset {name!r}: {exc}"
         ) from exc
+    if engine is not None and "engine" not in overrides:
+        config = dataclasses.replace(config, engine=engine)
+    return config
 
 
 def _check_workloads(names: Any, where: str) -> List[str]:
@@ -164,8 +179,17 @@ def normalize_request(body: Any) -> Dict[str, Any]:
     _require(kind in KINDS, f"'kind' must be one of {list(KINDS)}")
     params = body.get("params")
     _require(isinstance(params, dict), "'params' must be a JSON object")
-    extra = set(body) - {"kind", "params", "deadline_s"}
+    extra = set(body) - {"kind", "params", "deadline_s", "engine"}
     _require(not extra, f"unknown request keys {sorted(extra)}")
+    engine = body.get("engine")
+    if engine is not None:
+        from repro.engines import available_engines
+
+        _require(
+            isinstance(engine, str) and engine in available_engines(),
+            f"'engine' must be one of {sorted(available_engines())}; "
+            f"got {engine!r}",
+        )
     deadline = body.get("deadline_s")
     if deadline is not None:
         _require(
@@ -187,7 +211,7 @@ def normalize_request(body: Any) -> Dict[str, Any]:
             f"{where}: unknown workload {workload!r}; choose from "
             f"{sorted(known)}",
         )
-        config = _build_config(params["config"], where)
+        config = _build_config(params["config"], where, engine=engine)
         normalized = {
             "config": json.loads(canonical_config_json(config)),
             "workload": workload,
@@ -218,7 +242,9 @@ def normalize_request(body: Any) -> Dict[str, Any]:
             "configs": {
                 label: json.loads(
                     canonical_config_json(
-                        _build_config(configs[label], f"{where}[{label!r}]")
+                        _build_config(
+                            configs[label], f"{where}[{label!r}]", engine=engine
+                        )
                     )
                 )
                 for label in sorted(configs)
@@ -254,6 +280,8 @@ def normalize_request(body: Any) -> Dict[str, Any]:
                 else None
             ),
         }
+        if engine is not None:
+            normalized["engine"] = engine
     request = {"kind": kind, "params": normalized}
     if deadline is not None:
         request["deadline_s"] = float(deadline)

@@ -154,7 +154,7 @@ def simulate_cell_resumable(
     chash = config_hash(config)
     work_source = get_workload(cell.workload)
     work = work_source.build(config, form=cell.form, miss_scale=cell.miss_scale)
-    sim = Simulator(config, work, work_source.name)
+    sim = Simulator._build(config, work, work_source.name)
     poll = None
     if snapshot_path is not None:
         envelope = read_snapshot(

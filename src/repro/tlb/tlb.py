@@ -15,7 +15,7 @@ within each set.  Two paper-specific extensions live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import events as _ev
@@ -24,9 +24,11 @@ from repro.prof import profiler as _prof
 from repro.vm.pte import HISTORY_LENGTH
 
 
-@dataclass(frozen=True)
 class TLBLookup:
     """Outcome of a TLB lookup.
+
+    A plain ``__slots__`` value object — one is built per probed page on
+    the simulator's hottest path.
 
     Attributes
     ----------
@@ -41,10 +43,39 @@ class TLBLookup:
         first); empty on a miss.  Feeds the Common Page Matrix.
     """
 
-    hit: bool
-    pfn: Optional[int] = None
-    lru_depth: Optional[int] = None
-    prior_history: Tuple[int, ...] = ()
+    __slots__ = ("hit", "pfn", "lru_depth", "prior_history")
+
+    def __init__(
+        self,
+        hit: bool,
+        pfn: Optional[int] = None,
+        lru_depth: Optional[int] = None,
+        prior_history: Tuple[int, ...] = (),
+    ):
+        self.hit = hit
+        self.pfn = pfn
+        self.lru_depth = lru_depth
+        self.prior_history = prior_history
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TLBLookup)
+            and self.hit == other.hit
+            and self.pfn == other.pfn
+            and self.lru_depth == other.lru_depth
+            and self.prior_history == other.prior_history
+        )
+
+    def __repr__(self):
+        return (
+            f"TLBLookup(hit={self.hit}, pfn={self.pfn}, "
+            f"lru_depth={self.lru_depth}, prior_history={self.prior_history})"
+        )
+
+
+#: Shared miss outcome: misses carry no payload, so every miss can
+#: return the same immutable-by-convention instance.
+_MISS = TLBLookup(hit=False)
 
 
 @dataclass(frozen=True)
@@ -60,11 +91,13 @@ class TLBEviction:
     owner: Optional[int]
 
 
-@dataclass
 class _TLBEntry:
-    vpn: int
-    pfn: int
-    history: List[int] = field(default_factory=list)
+    __slots__ = ("vpn", "pfn", "history")
+
+    def __init__(self, vpn: int, pfn: int, history: Optional[List[int]] = None):
+        self.vpn = vpn
+        self.pfn = pfn
+        self.history = [] if history is None else history
 
 
 class SetAssociativeTLB:
@@ -114,9 +147,14 @@ class SetAssociativeTLB:
                 )
             if _prof.ENABLED:
                 _prof.end()
-            return TLBLookup(hit=False)
+            return _MISS
         self.hits += 1
-        depth_from_mru = len(tlb_set) - 1 - list(tlb_set).index(vpn)
+        # Depth from the MRU end: walk newest-to-oldest until the hit.
+        depth_from_mru = 0
+        for resident_vpn in reversed(tlb_set):
+            if resident_vpn == vpn:
+                break
+            depth_from_mru += 1
         entry = tlb_set.pop(vpn)
         prior_history = tuple(entry.history)
         if warp_id is not None:

@@ -124,6 +124,10 @@ class PageTable:
         self._root = self._new_node()
         self._mapped_4k: Dict[int, int] = {}
         self._mapped_2m: Dict[int, int] = {}
+        # Successful walks keyed by vpn.  The radix tree only changes
+        # through map/unmap (which clear this), so replaying a walk's
+        # step list is safe — callers must treat it as read-only.
+        self._walk_cache: Dict[int, List[WalkStep]] = {}
 
     @property
     def cr3(self) -> int:
@@ -152,6 +156,7 @@ class PageTable:
         """
         if vpn in self._mapped_4k:
             raise ValueError(f"virtual page {vpn:#x} is already mapped")
+        self._walk_cache.clear()
         indices = split_vpn(vpn)
         node = self._root
         for index in indices[:-1]:
@@ -177,6 +182,7 @@ class PageTable:
         """Map a 2 MB page at 2 MB-page-number ``vpn_2m``; return base PFN."""
         if vpn_2m in self._mapped_2m:
             raise ValueError(f"2 MB page {vpn_2m:#x} is already mapped")
+        self._walk_cache.clear()
         # A 2 MB page number is a 4 KB VPN with the PT index stripped.
         indices = split_vpn(vpn_2m << (PAGE_SHIFT_2M - PAGE_SHIFT_4K))[:-1]
         node = self._root
@@ -218,6 +224,7 @@ class PageTable:
 
     def unmap_page(self, vpn: int) -> None:
         """Remove a 4 KB mapping and free its data frame."""
+        self._walk_cache.clear()
         pfn = self._mapped_4k.pop(vpn, None)
         if pfn is None:
             raise TranslationFault(
@@ -239,7 +246,13 @@ class PageTable:
         makes: four steps for a 4 KB mapping, three when the walk hits a
         2 MB leaf at the PD.  Raises :class:`TranslationFault` when an
         entry is missing.
+
+        Successful walks are cached until the next map/unmap; the
+        returned list is shared and must not be mutated.
         """
+        cached = self._walk_cache.get(vpn)
+        if cached is not None:
+            return cached
         indices = split_vpn(vpn)
         steps: List[WalkStep] = []
         node = self._root
@@ -267,8 +280,10 @@ class PageTable:
                 )
             )
             if is_leaf:
+                self._walk_cache[vpn] = steps
                 return steps
             node = pfn << PAGE_SHIFT_4K
+        self._walk_cache[vpn] = steps
         return steps
 
     def walk_addresses(self, vpn: int) -> List[int]:
@@ -329,6 +344,7 @@ class PageTable:
         }
 
     def load_state(self, state: dict) -> None:
+        self._walk_cache.clear()
         self._root = state["root"]
         self._nodes = {
             base: {index: entry for index, entry in entries}

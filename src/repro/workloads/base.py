@@ -469,11 +469,38 @@ class Workload:
         form: Optional[str] = None,
         miss_scale: float = 1.0,
     ):
-        """Build per-core work; form defaults to what the config implies."""
+        """Build per-core work; form defaults to what the config implies.
+
+        Builds are memoized process-wide: generation is pure in the spec
+        and the geometry fields consumed here (seeded RNGs, no global
+        state), and the returned traces/blocks are immutable once built
+        — the simulator wraps them in per-run Warp state and never
+        writes through them.  Sweeps over non-geometry knobs (TLB sizes,
+        scheduler policies, ...) therefore rebuild nothing.
+        """
         if form is None:
             form = "blocks" if config.tbc.mode != "stack" else "linear"
+        if form not in ("linear", "blocks"):
+            raise ValueError(f"unknown workload form {form!r}")
+        key = (
+            self.spec,
+            form,
+            miss_scale,
+            config.num_cores,
+            config.warps_per_core,
+            config.warp_width,
+        )
+        cached = _BUILD_CACHE.get(key)
+        if cached is not None:
+            return cached
         if form == "linear":
-            return self.build_linear(config, miss_scale=miss_scale)
-        if form == "blocks":
-            return self.build_blocks(config, miss_scale=miss_scale)
-        raise ValueError(f"unknown workload form {form!r}")
+            built = self.build_linear(config, miss_scale=miss_scale)
+        else:
+            built = self.build_blocks(config, miss_scale=miss_scale)
+        _BUILD_CACHE[key] = built
+        return built
+
+
+#: Memoized Workload.build results keyed by (spec, form, miss_scale,
+#: geometry).  Per process; sweep workers each warm their own.
+_BUILD_CACHE: Dict[tuple, object] = {}

@@ -1,0 +1,75 @@
+"""Seeded differential fuzz: random machines, both engines, one answer.
+
+Twenty seeded (config, workload) draws over the preset space — TLB
+geometry, port counts, schedulers (including CCWS and both TBC modes),
+warp counts, address-stream shapes — each run under the cycle and
+event engines.  The full serialized result *and* the aggregated core
+statistics must match exactly.  Any divergence is an engine bug by
+definition: the cycle engine is the reference oracle.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from helpers import small_workload
+
+from repro.api import simulate
+from repro.core import presets
+from repro.core.config import GPUConfig
+
+assert "helpers" in sys.modules  # conftest puts tests/ on sys.path
+
+SEEDS = list(range(20))
+
+_PRESETS = ("no_tlb", "naive", "blocking", "augmented", "ideal")
+
+
+def _draw(seed: int):
+    """One seeded (config, workload, form) draw."""
+    rng = random.Random(0xE7C1 + seed)
+    name = rng.choice(_PRESETS)
+    overrides = dict(
+        num_cores=1,
+        warps_per_core=rng.choice([4, 8]),
+        warp_width=8,
+    )
+    if name == "naive":
+        overrides["ports"] = rng.choice([1, 2, 3, 4])
+    config = GPUConfig.preset(name, **overrides)
+    form = None
+    sched = rng.random()
+    if sched < 0.25:
+        config = presets.with_ccws(config)
+    elif sched < 0.5:
+        config = config.with_(warmup_instructions=0)
+        config = presets.with_tbc(config, rng.choice(["tbc", "tlb-tbc"]))
+        form = "blocks"
+    workload = small_workload(
+        seed=rng.randrange(1 << 16),
+        instructions_per_warp=rng.choice([10, 20, 30]),
+        shared_fraction=rng.choice([0.0, 0.4, 0.8]),
+        cold_fraction=rng.choice([0.0, 0.1, 0.3]),
+        page_div_mean=rng.choice([1.0, 2.0, 4.0]),
+        page_div_max=4,
+    )
+    return config, workload, form
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engines_agree(seed):
+    config, workload, form = _draw(seed)
+    results = {
+        engine: simulate(
+            config=config, workload=workload, form=form, engine=engine
+        )
+        for engine in ("cycle", "event")
+    }
+    cycle, event = results["cycle"], results["event"]
+    # The aggregated core statistics, field by field...
+    assert event.stats == cycle.stats, config.describe()
+    # ...and the full serialized result, byte for byte.
+    assert event.canonical_json() == cycle.canonical_json(), config.describe()

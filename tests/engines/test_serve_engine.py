@@ -1,0 +1,82 @@
+"""The optional ``engine`` field in serve job requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import RequestError, job_id_for, normalize_request
+
+
+def test_engine_folds_into_sweep_configs():
+    request = normalize_request(
+        {
+            "kind": "sweep",
+            "params": {"configs": {"a": "no_tlb"}, "workloads": ["bfs"]},
+            "engine": "cycle",
+        }
+    )
+    assert request["params"]["configs"]["a"]["engine"] == "cycle"
+    # The engine lives in the canonical configs, not at top level.
+    assert "engine" not in request
+
+
+def test_engine_folds_into_simulate_config():
+    request = normalize_request(
+        {
+            "kind": "simulate",
+            "params": {"config": "no_tlb", "workload": "bfs"},
+            "engine": "cycle",
+        }
+    )
+    assert request["params"]["config"]["engine"] == "cycle"
+
+
+def test_config_override_beats_request_engine():
+    request = normalize_request(
+        {
+            "kind": "sweep",
+            "params": {
+                "configs": {
+                    "a": {
+                        "preset": "no_tlb",
+                        "overrides": {"engine": "event"},
+                    }
+                },
+                "workloads": ["bfs"],
+            },
+            "engine": "cycle",
+        }
+    )
+    assert request["params"]["configs"]["a"]["engine"] == "event"
+
+
+def test_figure_records_engine_in_params():
+    with_engine = normalize_request(
+        {"kind": "figure", "params": {"name": "fig02"}, "engine": "cycle"}
+    )
+    without = normalize_request({"kind": "figure", "params": {"name": "fig02"}})
+    assert with_engine["params"]["engine"] == "cycle"
+    assert "engine" not in without["params"]
+    assert job_id_for(with_engine) != job_id_for(without)
+
+
+def test_engine_changes_simulate_job_id():
+    base = {"kind": "simulate", "params": {"config": "no_tlb", "workload": "bfs"}}
+    default = normalize_request(dict(base))
+    explicit = normalize_request(dict(base, engine="event"))
+    cycle = normalize_request(dict(base, engine="cycle"))
+    # Spelling the default engine explicitly is the same job; a
+    # different engine is a different job.
+    assert job_id_for(default) == job_id_for(explicit)
+    assert job_id_for(default) != job_id_for(cycle)
+
+
+def test_unknown_engine_is_a_request_error():
+    with pytest.raises(RequestError, match="engine"):
+        normalize_request(
+            {
+                "kind": "figure",
+                "params": {"name": "fig02"},
+                "engine": "verilog",
+            }
+        )
