@@ -129,8 +129,10 @@ def simulate(
     work = work_source.build(machine, form=form, miss_scale=miss_scale)
     result = Simulator._build(machine, work, work_source.name).run()
     # Observation-only mirror of the run's counters into the unified
-    # metrics registry; never feeds back into results.
-    record_result(result)
+    # metrics registry; never feeds back into results.  The engine label
+    # keeps per-engine series separable (and lets tests pin that both
+    # engines mirror identical sim_* counters).
+    record_result(result, engine=machine.engine)
     return result
 
 

@@ -11,18 +11,22 @@ cross-check counter invariants afterwards.
 
 from __future__ import annotations
 
+import contextlib
 import warnings
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.core.config import GPUConfig
+from repro.core.config import GPUConfig, TraceConfig
 from repro.core.results import SimulationResult
+from repro.engines import DEFAULT_ENGINE, require_features
 from repro.faults.context import FaultContext
 from repro.faults.errors import InvariantViolation, SimulationError
 from repro.gpu.instruction import MemoryInstruction, WarpTrace
 from repro.gpu.shader_core import ShaderCore
 from repro.gpu.tbc.blocks import ThreadBlock
 from repro.mem.hierarchy import SharedMemory
+from repro.obs import log as _log
+from repro.obs import spans as _spans
 from repro.obs import tracer as obs_tracer
 from repro.obs.interval import IntervalSampler
 from repro.prof import profiler as _prof
@@ -76,6 +80,30 @@ def _vpns_of(item, page_shift: int) -> tuple:
     vpns = tuple(seen)
     cache[id(item)] = (item, vpns)
     return vpns
+
+
+#: When set, every run uses this trace configuration instead of its
+#: config's own (see :func:`trace_override`).
+_TRACE_OVERRIDE: Optional[TraceConfig] = None
+
+
+@contextlib.contextmanager
+def trace_override(trace: TraceConfig):
+    """Force ``trace`` on every :meth:`Simulator.run` in the block.
+
+    The observation-only escape hatch for entry points that build their
+    configs internally (figure drivers, the bench harness): the whole
+    sweep runs fully observed without touching a single config, so
+    results, config hashes, and cache keys are exactly those of the
+    untraced run.  Nests; restores the previous override on exit.
+    """
+    global _TRACE_OVERRIDE
+    previous = _TRACE_OVERRIDE
+    _TRACE_OVERRIDE = trace
+    try:
+        yield
+    finally:
+        _TRACE_OVERRIDE = previous
 
 
 class Simulator:
@@ -249,7 +277,28 @@ class Simulator:
         resumed via :meth:`load_state` continues from the saved core
         cursor — finished cores are not re-executed.
         """
-        trace_config = self.config.trace
+        trace_config = (
+            _TRACE_OVERRIDE
+            if _TRACE_OVERRIDE is not None
+            else self.config.trace
+        )
+        # Observer runs require the engine to support them natively —
+        # there is no silent fallback to another engine.  Validate the
+        # exact observer set active for this run up front so a
+        # capability gap fails loudly (the CLI maps this to exit 2).
+        needed = set()
+        if trace_config.enabled:
+            needed.add("trace")
+            if trace_config.interval_cycles:
+                needed.add("sampling")
+        if _spans.ENABLED:
+            needed.add("spans")
+        if _prof.ENABLED:
+            needed.add("profile")
+        if needed:
+            require_features(
+                getattr(self.config, "engine", DEFAULT_ENGINE), needed
+            )
         tracer = None
         if trace_config.enabled:
             tracer = obs_tracer.build_tracer(trace_config)
@@ -269,6 +318,21 @@ class Simulator:
                     ring.load_state(self._pending_ring_state)
                 self._pending_ring_state = None
         merged = self._merged
+        run_log = None
+        if _log.ENABLED:
+            run_log = _log.get_logger(
+                "simulator",
+                engine=getattr(self.config, "engine", DEFAULT_ENGINE),
+                config=self.config.stable_hash()[:12],
+                workload=self.workload_name,
+            )
+            run_log.info(
+                "run_start",
+                cores=len(self.cores),
+                traced=trace_config.enabled,
+                spans=_spans.ENABLED,
+                resumed=self._core_cursor > 0,
+            )
         if _prof.ENABLED:
             _prof.begin(_prof.PHASE_SIMULATE)
         try:
@@ -282,6 +346,12 @@ class Simulator:
                         config=self.config.describe(),
                         core=core.core_id,
                     )
+                    if run_log is not None:
+                        run_log.error(
+                            "run_failed",
+                            core=core.core_id,
+                            error=type(exc).__name__,
+                        )
                     raise
                 merged.merge(stats)
                 hits, misses, miss_latency = core.steady_memory_counters()
@@ -352,6 +422,13 @@ class Simulator:
                     ).items()
                 }
             tracer.close()
+        if run_log is not None:
+            run_log.info(
+                "run_end",
+                cycles=result.cycles,
+                instructions=merged.instructions,
+                tlb_misses=merged.tlb_misses,
+            )
         return result
 
     # ------------------------------------------------------------------

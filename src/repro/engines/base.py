@@ -30,6 +30,17 @@ class SimEngine:
     #: Registry name; subclasses override.
     name = "base"
 
+    #: Observer capabilities this engine supports natively (subset of
+    #: :data:`repro.engines.OBSERVER_FEATURES`).  An engine must
+    #: *declare* a capability to be allowed to run with the matching
+    #: observer installed — there is no silent fallback to another
+    #: engine; :func:`repro.engines.require_features` raises
+    #: :class:`repro.engines.EngineFeatureError` instead, and the CLI
+    #: surfaces it as exit status 2.  The conservative default is
+    #: "nothing": a plug-in engine that never thought about tracing
+    #: fails loudly rather than producing a silently unobserved run.
+    FEATURES: frozenset = frozenset()
+
     def __init__(self, core):
         self.core = core
         # (cycle, seq, callback) min-heap of user-registered events.

@@ -5,8 +5,10 @@ instruction per cycle when any warp is ready, clock jumps to the next
 warp-ready event otherwise, full per-iteration instrumentation
 (tracing, spans, interval sampling, profiling).  It is the oracle the
 event engine is differenced against — ``tests/engines`` asserts the
-two produce byte-identical results — and the engine every run falls
-back to when observation hooks need per-iteration fidelity.
+two produce byte-identical results *and* identical observer output
+(trace streams, span decompositions, interval samples), so it is never
+silently substituted for the event engine; selecting it is always an
+explicit choice.
 """
 
 from __future__ import annotations
@@ -27,6 +29,9 @@ class CycleEngine(SimEngine):
     """Faithful cycle-driven issue loop (the reference oracle)."""
 
     name = "cycle"
+    FEATURES = frozenset(
+        {"trace", "spans", "sampling", "profile", "snapshot"}
+    )
 
     def run(self, poll=None):
         """Execute the core's work to completion; return its counters.

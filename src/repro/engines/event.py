@@ -24,20 +24,36 @@ from the cycle engine's.  Three mechanical changes carry the speedup:
   LRU/insertion-order mutation in the exact reference order) instead of
   crossing five method-call layers per line.
 
-The fast path requires that no per-access observation hook can fire:
-tracing off, spans off, no interval sampler, no fault injector.
-Anything else falls back to the inherited cycle loop — same results,
-reference mechanics — so observability is never silently degraded.
-Schedulers never force the fallback: round robin and greedy-then-oldest
-are replicated inline, and every other policy (the CCWS family) runs
-through its real ``select()`` with its memory-side hooks —
-``on_l1_access``, ``on_tlb_hit`` / ``on_tlb_miss`` / ``on_tlb_evict`` —
-invoked with the reference path's exact arguments.  The page-fault
-*model* (demand paging) stays on the fast path: faults surface inside
-the walker, which is called unchanged.
+The engine never leaves event-driven mechanics.  Two loops share the
+ready-list/wait-heap machinery:
+
+- the **fast loop** runs when no per-access observation hook can fire
+  (tracing off, spans off, no interval sampler, no fault injector) and
+  elides every emission;
+- the **observed loop** runs otherwise and emits the reference path's
+  instrumentation natively — TraceEvents at the exact cycle stamps the
+  cycle engine produces, span fills handed to the shared
+  ``_record_spans`` assembler, interval-sampler boundaries at the same
+  loop-top clock sequence — so traces, spans, histograms, and interval
+  series are equivalent to the cycle engine's (canonical-sorted
+  streams byte-identical; ``tests/engines/test_observers.py`` pins
+  this).  There is no cycle-loop fallback anywhere.
+
+Schedulers never change the mechanics either: on the fast loop round
+robin and greedy-then-oldest are replicated inline, and every other
+policy (the CCWS family) runs through its real ``select()`` with its
+memory-side hooks — ``on_l1_access``, ``on_tlb_hit`` / ``on_tlb_miss``
+/ ``on_tlb_evict`` — invoked with the reference path's exact
+arguments.  The page-fault *model* (demand paging) stays on the fast
+path: faults surface inside the walker, which is called unchanged.
+Seeded fault *injection* (shootdowns, invalidations) runs on the
+observed loop with the injector consulted at the reference points, so
+fault campaigns get event-speed too.
 """
 
 from __future__ import annotations
+
+import gc as _gc
 
 from bisect import insort as _insort
 from heapq import heapify, heappop as _heappop, heappush as _heappush
@@ -55,12 +71,13 @@ from repro.gpu.scheduler.base import (
     GreedyThenOldestScheduler,
     RoundRobinScheduler,
 )
+from repro.obs import events as _ev
 from repro.obs import spans as _spans
 from repro.obs import tracer as _trace
 from repro.prof import profiler as _prof
 from repro.vm.pte import HISTORY_LENGTH
 
-from repro.engines.cycle import CycleEngine
+from repro.engines.base import SimEngine
 
 _EMPTY_ORIGINS: Dict[int, int] = {}
 
@@ -208,10 +225,239 @@ def _build_fast_access(core):
     return fast_access
 
 
-class EventEngine(CycleEngine):
+def _build_observed_access(core):
+    """Build the traced per-line memory access function for one run.
+
+    The same inline hierarchy replica as :func:`_build_fast_access` —
+    every hot object captured in closure cells — plus the hierarchy's
+    trace emissions and the reference return shape ``(ready, level,
+    evicted_line, evicted_warp)``, where ``level`` is the satisfying
+    level exactly as :class:`~repro.mem.hierarchy.MemAccessResult`
+    reports it (``"l1"``, ``"l1-mshr"``, ``"l2"``, ``"dram"``) — the
+    span assembler's fill components and the scheduler's hit flag both
+    key off it.  MSHR expiry runs the file's real ``_expire`` so traced
+    runs retire entries in insertion order with MSHR_RETIRE stamped at
+    each entry's fill time, exactly as the reference path does.
+    """
+    mem = core.memory
+    l1 = mem.l1
+    l1_label = l1.label
+    l1_sets = l1._sets
+    l1_shift = l1._line_shift
+    l1_mask = l1._set_mask
+    l1_assoc = l1.associativity
+    l1_latency = mem.l1_latency
+    mshrs = mem.mshrs
+    expire = mshrs._expire
+    inflight = mshrs._inflight
+    heap = mshrs._heap
+    mshr_capacity = mshrs.capacity
+    shm = mem.shared
+    banks = shm.l2_banks
+    bank_labels = [bank.label for bank in banks]
+    first_bank = banks[0]
+    bank_shift = first_bank._line_shift
+    bank_mask = first_bank._set_mask
+    bank_assoc = first_bank.associativity
+    bank_busy = shm._bank_busy_until
+    icn_latency = shm.interconnect_latency
+    l2_interval = shm.l2_service_interval
+    l2_latency = shm.l2_latency
+    channels = shm.dram.channels
+    num_channels = shm.dram.num_channels
+    dram_line = shm.dram.line_bytes
+    dram_tracks = [f"dram-ch{i}" for i in range(num_channels)]
+
+    def observed_access(paddr, start, warp_id):
+        traced = _trace.ENABLED
+        if traced:
+            record = _trace.RECORD
+            ev_now = _trace.NOW
+            ev_core = _trace.CORE
+        index = (paddr >> l1_shift) & l1_mask
+        cache_set = l1_sets.get(index)
+        if cache_set is None:
+            cache_set = l1_sets[index] = {}
+        if paddr in cache_set:
+            l1.hits += 1
+            cache_set[paddr] = cache_set.pop(paddr)  # move to MRU
+            if traced:
+                record(
+                    (
+                        _ev.CACHE_ACCESS,
+                        ev_now,
+                        ev_core,
+                        l1_label,
+                        None,
+                        {"line": paddr, "hit": True, "warp": warp_id},
+                    )
+                )
+            mem.l1_hits += 1
+            return start + l1_latency, "l1", None, None
+        l1.misses += 1
+        ev_line = ev_warp = None
+        if len(cache_set) >= l1_assoc:
+            ev_line = next(iter(cache_set))
+            ev_warp = cache_set.pop(ev_line)
+        cache_set[paddr] = warp_id
+        if traced:
+            record(
+                (
+                    _ev.CACHE_ACCESS,
+                    ev_now,
+                    ev_core,
+                    l1_label,
+                    None,
+                    {
+                        "line": paddr,
+                        "hit": False,
+                        "warp": warp_id,
+                        "evicted": ev_line,
+                    },
+                )
+            )
+        mem.l1_misses += 1
+        if start >= mshrs._min_ready:
+            expire(start)
+        merge_ready = inflight.get(paddr)
+        if merge_ready is not None:
+            mshrs.merges += 1
+            if traced:
+                record(
+                    (
+                        _ev.MSHR_MERGE,
+                        start,
+                        ev_core,
+                        "mshr",
+                        None,
+                        {"line": paddr, "ready": merge_ready},
+                    )
+                )
+            ready = merge_ready if merge_ready > start else start + l1_latency
+            mem.total_miss_latency += ready - start
+            return ready, "l1-mshr", ev_line, ev_warp
+        if len(inflight) < mshr_capacity:
+            slot_free = start
+        else:
+            mshrs.stalls += 1
+            # Exact earliest fill among live entries: the heap top,
+            # after discarding stale (lazily deleted) entries.
+            while True:
+                ready0, line0 = heap[0]
+                if inflight.get(line0) == ready0:
+                    slot_free = ready0
+                    break
+                _heappop(heap)
+        channel = (paddr // dram_line) % num_channels
+        arrive = start + icn_latency
+        busy = bank_busy[channel]
+        service_start = arrive if arrive > busy else busy
+        bank_busy[channel] = service_start + l2_interval
+        bank = banks[channel]
+        bank_index = (paddr >> bank_shift) & bank_mask
+        bank_sets = bank._sets
+        bank_set = bank_sets.get(bank_index)
+        if bank_set is None:
+            bank_set = bank_sets[bank_index] = {}
+        if paddr in bank_set:
+            bank.hits += 1
+            bank_set[paddr] = bank_set.pop(paddr)
+            if traced:
+                record(
+                    (
+                        _ev.CACHE_ACCESS,
+                        ev_now,
+                        ev_core,
+                        bank_labels[channel],
+                        None,
+                        {"line": paddr, "hit": True, "warp": None},
+                    )
+                )
+            shm.l2_hits += 1
+            shared_ready = service_start + l2_latency
+            level = "l2"
+        else:
+            bank.misses += 1
+            bank_evicted = None
+            if len(bank_set) >= bank_assoc:
+                bank_evicted = next(iter(bank_set))
+                del bank_set[bank_evicted]
+            bank_set[paddr] = None
+            if traced:
+                record(
+                    (
+                        _ev.CACHE_ACCESS,
+                        ev_now,
+                        ev_core,
+                        bank_labels[channel],
+                        None,
+                        {
+                            "line": paddr,
+                            "hit": False,
+                            "warp": None,
+                            "evicted": bank_evicted,
+                        },
+                    )
+                )
+            shm.l2_misses += 1
+            dram_channel = channels[channel]
+            dram_now = service_start + l2_latency
+            dram_busy = dram_channel.busy_until
+            dram_start = dram_now if dram_now >= dram_busy else dram_busy
+            dram_channel.total_queue_delay += dram_start - dram_now
+            dram_channel.busy_until = dram_start + dram_channel.service_interval
+            dram_channel.requests += 1
+            if traced:
+                record(
+                    (
+                        _ev.DRAM_ACCESS,
+                        dram_start,
+                        ev_core,
+                        dram_tracks[channel],
+                        dram_channel.access_latency,
+                        {"line": paddr, "queued": dram_start - dram_now},
+                    )
+                )
+            shared_ready = dram_start + dram_channel.access_latency + icn_latency
+            level = "dram"
+        ready = slot_free + l1_latency
+        if shared_ready > ready:
+            ready = shared_ready
+        if slot_free >= mshrs._min_ready:
+            expire(slot_free)
+        inflight[paddr] = ready
+        _heappush(heap, (ready, paddr))
+        if ready < mshrs._min_ready:
+            mshrs._min_ready = ready
+        mshrs.allocations += 1
+        if traced:
+            record(
+                (
+                    _ev.MSHR_ALLOC,
+                    slot_free,
+                    ev_core,
+                    "mshr",
+                    None,
+                    {
+                        "line": paddr,
+                        "ready": ready,
+                        "outstanding": len(inflight),
+                    },
+                )
+            )
+        mem.total_miss_latency += ready - start
+        return ready, level, ev_line, ev_warp
+
+    return observed_access
+
+
+class EventEngine(SimEngine):
     """Event-driven issue loop, byte-identical to :class:`CycleEngine`."""
 
     name = "event"
+    FEATURES = frozenset(
+        {"trace", "spans", "sampling", "profile", "snapshot"}
+    )
 
     def __init__(self, core):
         super().__init__(core)
@@ -221,22 +467,33 @@ class EventEngine(CycleEngine):
         self._hot: Optional[tuple] = None
         self._tlb_hot: Optional[tuple] = None
         self._access_fn = None
+        self._observed_access_fn = None
 
     # -- eligibility ---------------------------------------------------
 
     def _fast_eligible(self) -> bool:
-        """Whether the fast loop can run without changing observables.
+        """Whether the emission-free fast loop can run.
 
         Checked per run()/step_to() entry (hooks are installed between
-        runs, never mid-run), so a traced run uses the reference loop
-        and an untraced run of the same core uses the fast one.
+        runs, never mid-run), so a traced run uses the observed event
+        loop and an untraced run of the same core uses the fast one —
+        both event-driven, both byte-identical.
         """
         core = self.core
         if _trace.ENABLED or _spans.ENABLED:
             return False
         if core.sampler is not None or core._injector is not None:
             return False
-        mem = core.memory
+        return self._inline_geometry_ok()
+
+    def _inline_geometry_ok(self) -> bool:
+        """Whether the inlined memory path's shift/mask math applies.
+
+        Non-power-of-two cache geometry or heterogeneous L2 banks fall
+        back to the hierarchy's real ``access`` method (still inside the
+        event loop), which handles any geometry.
+        """
+        mem = self.core.memory
         if mem.l1._line_shift is None:
             return False
         banks = mem.shared.l2_banks
@@ -258,20 +515,39 @@ class EventEngine(CycleEngine):
         core = self.core
         if not core._run_begun:
             core.begin_run()
-        if self._fast_eligible():
-            self._fast_loop(poll, None)
-        else:
-            self._loop(poll, None)
+        # The loop allocates at a very high rate (trace tuples, span
+        # fills, heap entries) but creates no reference cycles, so the
+        # cyclic collector only burns time rescanning the trace ring's
+        # retained window over and over.  Refcounting frees everything
+        # that matters; park the collector for the bounded loop.
+        was_collecting = _gc.isenabled()
+        if was_collecting:
+            _gc.disable()
+        try:
+            if self._fast_eligible():
+                self._fast_loop(poll, None)
+            else:
+                self._observed_loop(poll, None)
+        finally:
+            if was_collecting:
+                _gc.enable()
         return core._finalize_run()
 
     def step_to(self, cycle: int, poll=None) -> int:
         core = self.core
         if not core._run_begun:
             core.begin_run()
-        if self._fast_eligible():
-            self._fast_loop(poll, cycle)
-        else:
-            self._loop(poll, cycle)
+        was_collecting = _gc.isenabled()
+        if was_collecting:
+            _gc.disable()
+        try:
+            if self._fast_eligible():
+                self._fast_loop(poll, cycle)
+            else:
+                self._observed_loop(poll, cycle)
+        finally:
+            if was_collecting:
+                _gc.enable()
         return core._now
 
     # -- vectorized coalesce precompute --------------------------------
@@ -695,6 +971,514 @@ class EventEngine(CycleEngine):
                 entry, instr, ready_idx = chosen
                 entry_seq = ready_entries[ready_idx][0]
                 del ready_entries[ready_idx]
+            warp = entry[0]
+            if instr.__class__ is ComputeInstruction:
+                latency = instr.latency
+                warp.ready_at = now + latency
+                stats.scalar_instructions += latency
+                advance = latency
+            else:
+                warp.ready_at = issue_memory(warp, instr, now, entry[2], stats)
+                stats.memory_instructions += 1
+                stats.scalar_instructions += 1
+                advance = 1
+            stats.instructions += 1
+            if watchdog is not None:
+                watchdog.last_progress = now
+            warp.issued += 1
+            warp.pc += 1
+            if warp.ready_at > finish:
+                finish = warp.ready_at
+            if warp.pc >= entry[3]:
+                before = len(warps)
+                core._warp_retired(warp, now)
+                if len(warps) > before:
+                    fresh = []
+                    for new_warp in warps[before:]:
+                        instrs = new_warp.trace.instructions
+                        if new_warp.pc < len(instrs):
+                            fresh.append(
+                                (
+                                    new_warp,
+                                    instrs,
+                                    new_warp.trace.warp_id,
+                                    len(instrs),
+                                )
+                            )
+                    self._precompute(fresh)
+                    for new_entry in fresh:
+                        ready_at = new_entry[0].ready_at
+                        if ready_at > now:
+                            _heappush(wait_heap, (ready_at, seq, new_entry))
+                        else:
+                            _insort(ready_entries, (seq, new_entry))
+                        seq += 1
+            else:
+                ready_at = warp.ready_at
+                if ready_at > now:
+                    _heappush(wait_heap, (ready_at, entry_seq, entry))
+                else:
+                    _insort(ready_entries, (entry_seq, entry))
+            now += advance
+            issued_total += 1
+            if not measuring and issued_total >= warmup_budget:
+                measuring = True
+                core._begin_measurement(now)
+                stats = core.stats  # _begin_measurement replaces it
+        core._now = now
+        core._finish = finish
+        core._issued_total = issued_total
+        core._measuring = measuring
+        return True
+
+    # -- the observed loop ---------------------------------------------
+
+    def _observed_loop(self, poll, stop_at) -> bool:
+        """The event loop with the reference path's instrumentation.
+
+        Identical event-driven mechanics to :meth:`_fast_loop` — ready
+        list + wait heap, next-event clock jumps, the same inline
+        scheduler selections — with every observer the cycle engine
+        serves emitted natively at the same stamps.  The loop-top
+        clock sequence is exactly the reference loop's (every
+        iteration either issues or jumps, 1:1), so the trace context
+        (``_trace.NOW``/``CORE``) and the interval sampler see the
+        identical cycle visits; WARP_STALL pairs fire on idle jumps,
+        SCHEDULER_DECISION after every selection (inline or real), and
+        the memory path's per-event emissions come from
+        :meth:`_observed_issue_memory` (or, for cache geometries the
+        inline shift/mask math can't index, the core's real
+        ``_issue_memory`` — still inside this loop).  Stateful
+        policies (the CCWS family) run through their real ``select()``
+        with the reference loop's exact candidate list, so their
+        memory-side hooks and throttling behave exactly as on the
+        reference path.
+        """
+        core = self.core
+        watchdog = core._watchdog
+        cfg = core.config
+        blocking = cfg.tlb.enabled and cfg.tlb.blocking
+        warmup_budget = core._warmup_budget
+        now = core._now
+        finish = core._finish
+        issued_total = core._issued_total
+        measuring = core._measuring
+        stats = core.stats
+        events = self._events
+        sched = core.scheduler
+        fast_sched = type(sched) in _FAST_SCHEDULERS
+        rr = type(sched) is RoundRobinScheduler
+        num_warps = sched.num_warps
+        policy = cfg.scheduler.kind
+        core_id = core.core_id
+        sampler = core.sampler
+        warps = core.warps
+
+        if self._inline_geometry_ok():
+            mem = core.memory
+            shm = mem.shared
+            first_bank = shm.l2_banks[0]
+            self._hot = (
+                mem.l1,
+                mem.l1._sets,
+                mem.l1._line_shift,
+                mem.l1._set_mask,
+                mem.l1.associativity,
+                mem.l1_latency,
+                mem,
+                mem.mshrs,
+                shm,
+                shm.l2_banks,
+                first_bank._line_shift,
+                first_bank._set_mask,
+                first_bank.associativity,
+                shm._bank_busy_until,
+                shm.interconnect_latency,
+                shm.l2_service_interval,
+                shm.l2_latency,
+                shm.dram.channels,
+                shm.dram.num_channels,
+                shm.dram.line_bytes,
+            )
+            self._tlb_hot = (
+                cfg.tlb.ports,
+                core.tlb_extra_latency,
+                blocking,
+                cfg.tlb.cache_overlap,
+            )
+            self._observed_access_fn = _build_observed_access(core)
+            issue_memory = self._observed_issue_memory
+        else:
+
+            def issue_memory(warp, instr, at, warp_id, stats):
+                return core._issue_memory(warp, instr, at)
+
+        cand_cache: Dict[int, Candidate] = {}
+
+        ready_entries: List[tuple] = []
+        wait_heap: List[tuple] = []
+        seq = 0
+        live: List[tuple] = []
+        for w in warps:
+            instrs = w.trace.instructions
+            if w.pc < len(instrs):
+                live.append((w, instrs, w.trace.warp_id, len(instrs)))
+        self._precompute(live)
+        for entry in live:
+            ready_at = entry[0].ready_at
+            if ready_at > now:
+                wait_heap.append((ready_at, seq, entry))
+            else:
+                ready_entries.append((seq, entry))
+            seq += 1
+        if wait_heap:
+            heapify(wait_heap)
+
+        while True:
+            if stop_at is not None and now >= stop_at:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                return False
+            if events and events[0][0] <= now:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                self._dispatch_events(now)
+                warps = core.warps
+                rebuilt: List[tuple] = []
+                for w in warps:
+                    instrs = w.trace.instructions
+                    if w.pc < len(instrs):
+                        rebuilt.append((w, instrs, w.trace.warp_id, len(instrs)))
+                self._precompute(rebuilt)
+                ready_entries = []
+                wait_heap = []
+                seq = 0
+                for entry in rebuilt:
+                    ready_at = entry[0].ready_at
+                    if ready_at > now:
+                        wait_heap.append((ready_at, seq, entry))
+                    else:
+                        ready_entries.append((seq, entry))
+                    seq += 1
+                if wait_heap:
+                    heapify(wait_heap)
+            if poll is not None:
+                core._now = now
+                core._finish = finish
+                core._issued_total = issued_total
+                core._measuring = measuring
+                poll(core)
+            if _trace.ENABLED:
+                _trace.CORE = core_id
+                _trace.NOW = now
+            if sampler is not None and now >= sampler._next:
+                sampler.maybe_sample(now, core.stats)
+            while wait_heap and wait_heap[0][0] <= now:
+                item = _heappop(wait_heap)
+                _insort(ready_entries, (item[1], item[2]))
+            chosen = None
+            chosen_id = None
+            n_cands = 0
+            if not ready_entries:
+                if not wait_heap:
+                    break
+                min_wait = wait_heap[0][0]
+                cands: Optional[List[tuple]] = None
+            else:
+                min_wait = wait_heap[0][0] if wait_heap else -1
+                tbu = core.tlb_blocked_until
+                gate = blocking and now < tbu
+                cands = None
+                if fast_sched and not gate:
+                    # Direct selection over the ready set, exactly the
+                    # fast loop's: with the TLB gate inactive every
+                    # ready entry competes, so the reference loop's
+                    # candidate count IS len(ready_entries).
+                    n_cands = len(ready_entries)
+                    if n_cands == 1:
+                        ready_idx = 0
+                        entry = ready_entries[0][1]
+                        chosen_id = entry[2]
+                        if rr:
+                            sched._next = (chosen_id + 1) % num_warps
+                        else:
+                            sched._current = chosen_id
+                            sched._last_issue[chosen_id] = now
+                    elif rr:
+                        nxt = sched._next
+                        best_key = num_warps
+                        ready_idx = 0
+                        idx = 0
+                        for pair in ready_entries:
+                            key = (pair[1][2] - nxt) % num_warps
+                            if key < best_key:
+                                best_key = key
+                                ready_idx = idx
+                            idx += 1
+                        entry = ready_entries[ready_idx][1]
+                        chosen_id = entry[2]
+                        sched._next = (chosen_id + 1) % num_warps
+                    else:
+                        current = sched._current
+                        ready_idx = -1
+                        idx = 0
+                        for pair in ready_entries:
+                            if pair[1][2] == current:
+                                ready_idx = idx
+                                break
+                            idx += 1
+                        if ready_idx < 0:
+                            by_id = set()
+                            index = {}
+                            idx = 0
+                            for pair in ready_entries:
+                                warp_id = pair[1][2]
+                                if warp_id not in index:
+                                    by_id.add(warp_id)
+                                    index[warp_id] = idx
+                                idx += 1
+                            chosen_id = min(
+                                by_id, key=sched._last_issue.__getitem__
+                            )
+                            ready_idx = index[chosen_id]
+                            sched._current = chosen_id
+                        else:
+                            chosen_id = current
+                        entry = ready_entries[ready_idx][1]
+                        sched._last_issue[chosen_id] = now
+                    entry_seq = ready_entries[ready_idx][0]
+                    del ready_entries[ready_idx]
+                    instr = entry[1][entry[0].pc]
+                    chosen = True  # entry/instr already bound
+                else:
+                    for idx, pair in enumerate(ready_entries):
+                        entry = pair[1]
+                        instr = entry[1][entry[0].pc]
+                        if gate and instr.__class__ is not ComputeInstruction:
+                            continue
+                        if cands is None:
+                            cands = [(entry, instr, idx)]
+                        else:
+                            cands.append((entry, instr, idx))
+            if chosen is None and cands is None:
+                # Nothing can issue: jump to the next event.  Identical
+                # accounting to the reference loop's stall branch (which
+                # reaches this state with blocked_only always True).
+                tbu = core.tlb_blocked_until
+                if watchdog is not None:
+                    watchdog.check(now, core._hang_diagnostics)
+                if _prof.ENABLED:
+                    _prof.begin(_prof.PHASE_EVENT_SKIP)
+                tlb_blocked = blocking and tbu > now
+                if tlb_blocked:
+                    if min_wait < 0 or tbu < min_wait:
+                        next_event = tbu
+                    else:
+                        next_event = min_wait
+                    stats.tlb_blocked_wait_cycles += (
+                        next_event if next_event < tbu else tbu
+                    ) - now
+                elif min_wait >= 0:
+                    next_event = min_wait
+                else:
+                    next_event = now + 1
+                stats.idle_cycles += next_event - now
+                if _trace.ENABLED:
+                    core._stall_seq += 1
+                    record = _trace.RECORD
+                    record(
+                        (
+                            _ev.WARP_STALL_BEGIN,
+                            now,
+                            core_id,
+                            "core",
+                            None,
+                            {
+                                "id": core._stall_seq,
+                                "reason": (
+                                    "tlb_blocked" if tlb_blocked else "memory"
+                                ),
+                                "live": len(ready_entries) + len(wait_heap),
+                            },
+                        )
+                    )
+                    record(
+                        (
+                            _ev.WARP_STALL_END,
+                            next_event,
+                            core_id,
+                            "core",
+                            None,
+                            {"id": core._stall_seq},
+                        )
+                    )
+                if _prof.ENABLED:
+                    _prof.end()
+                now = next_event
+                continue
+            if chosen is None:
+                n_cands = len(cands)
+                if not fast_sched:
+                    # Stateful policy (CCWS family): run the real
+                    # select() with the reference loop's exact candidate
+                    # list and in-flight flag; it may throttle (return
+                    # None).  Candidate is frozen, so per-(warp,
+                    # is_memory) instances are built once and reused.
+                    if _prof.ENABLED:
+                        _prof.begin(_prof.PHASE_WARP_SCHED)
+                    cand_list = []
+                    for c in cands:
+                        warp_id = c[0][2]
+                        key = (warp_id << 1) | isinstance(
+                            c[1], MemoryInstruction
+                        )
+                        cand = cand_cache.get(key)
+                        if cand is None:
+                            cand = cand_cache[key] = Candidate(
+                                warp_id, bool(key & 1)
+                            )
+                        cand_list.append(cand)
+                    chosen_id = sched.select(cand_list, now, min_wait >= 0)
+                    if _prof.ENABLED:
+                        _prof.end()
+                    if _trace.ENABLED:
+                        _trace.RECORD(
+                            (
+                                _ev.SCHEDULER_DECISION,
+                                now,
+                                core_id,
+                                "sched",
+                                None,
+                                {
+                                    "policy": policy,
+                                    "chosen": chosen_id,
+                                    "candidates": n_cands,
+                                },
+                            )
+                        )
+                    if chosen_id is None:
+                        if watchdog is not None:
+                            watchdog.check(now, core._hang_diagnostics)
+                        next_event = min_wait if min_wait >= 0 else now + 1
+                        stats.idle_cycles += next_event - now
+                        if _trace.ENABLED:
+                            core._stall_seq += 1
+                            record = _trace.RECORD
+                            record(
+                                (
+                                    _ev.WARP_STALL_BEGIN,
+                                    now,
+                                    core_id,
+                                    "core",
+                                    None,
+                                    {
+                                        "id": core._stall_seq,
+                                        "reason": "throttled",
+                                        "live": len(ready_entries)
+                                        + len(wait_heap),
+                                    },
+                                )
+                            )
+                            record(
+                                (
+                                    _ev.WARP_STALL_END,
+                                    next_event,
+                                    core_id,
+                                    "core",
+                                    None,
+                                    {"id": core._stall_seq},
+                                )
+                            )
+                        now = next_event
+                        continue
+                    chosen = None
+                    for cand in cands:
+                        if cand[0][2] == chosen_id:
+                            chosen = cand
+                            break
+                    if chosen is None:  # matches the reference's next() raise
+                        raise LookupError(
+                            f"scheduler chose non-candidate {chosen_id}"
+                        )
+                # Inline scheduler select (fast policies, gate active).
+                elif n_cands == 1:
+                    chosen = cands[0]
+                    chosen_id = chosen[0][2]
+                    if rr:
+                        sched._next = (chosen_id + 1) % num_warps
+                    else:
+                        sched._current = chosen_id
+                        sched._last_issue[chosen_id] = now
+                elif rr:
+                    nxt = sched._next
+                    best_key = num_warps
+                    chosen = cands[0]
+                    for cand in cands:
+                        key = (cand[0][2] - nxt) % num_warps
+                        if key < best_key:
+                            best_key = key
+                            chosen = cand
+                    chosen_id = chosen[0][2]
+                    sched._next = (chosen_id + 1) % num_warps
+                else:
+                    current = sched._current
+                    chosen = None
+                    for cand in cands:
+                        if cand[0][2] == current:
+                            chosen = cand
+                            chosen_id = current
+                            break
+                    if chosen is None:
+                        by_id = set()
+                        index = {}
+                        for cand in cands:
+                            warp_id = cand[0][2]
+                            if warp_id not in index:
+                                by_id.add(warp_id)
+                                index[warp_id] = cand
+                        chosen_id = min(by_id, key=sched._last_issue.__getitem__)
+                        chosen = index[chosen_id]
+                        sched._current = chosen_id
+                    sched._last_issue[chosen_id] = now
+                if fast_sched and _trace.ENABLED:
+                    _trace.RECORD(
+                        (
+                            _ev.SCHEDULER_DECISION,
+                            now,
+                            core_id,
+                            "sched",
+                            None,
+                            {
+                                "policy": policy,
+                                "chosen": chosen_id,
+                                "candidates": n_cands,
+                            },
+                        )
+                    )
+                entry, instr, ready_idx = chosen
+                entry_seq = ready_entries[ready_idx][0]
+                del ready_entries[ready_idx]
+            elif _trace.ENABLED:
+                # Direct-selection path: the decision event the
+                # reference loop emits after its select() call.
+                _trace.RECORD(
+                    (
+                        _ev.SCHEDULER_DECISION,
+                        now,
+                        core_id,
+                        "sched",
+                        None,
+                        {
+                            "policy": policy,
+                            "chosen": chosen_id,
+                            "candidates": n_cands,
+                        },
+                    )
+                )
             warp = entry[0]
             if instr.__class__ is ComputeInstruction:
                 latency = instr.latency
@@ -1259,3 +2043,453 @@ class EventEngine(CycleEngine):
         mshrs.allocations += 1
         mem.total_miss_latency += ready - start
         return ready, False, ev_line, ev_warp
+
+    # -- inlined memory path, full observation -------------------------
+
+    def _observed_issue_memory(self, warp, instr, now, warp_id, stats) -> int:
+        """:meth:`_hooked_issue_memory` emitting the reference path's
+        instrumentation natively.
+
+        Every counter, LRU, and busy-window mutation happens in the
+        exact reference order, and so does every observation: scheduler
+        memory-side hooks, TraceEvent emissions (same kinds, stamps,
+        tracks, args, and ordering as the cycle engine's), span fills
+        handed to the shared ``_record_spans`` assembler, and the fault
+        injector consulted at the reference points (shootdown before
+        the lookup batch; invalidations inside ``_fill_tlb``, which
+        runs unchanged via ``_handle_misses``).
+        """
+        core = self.core
+        sched = core.scheduler
+        on_l1 = sched.on_l1_access
+        cached = self._coal.get(id(instr))
+        if cached is None or cached[0] is not instr:
+            cached = (
+                instr,
+                coalesce(instr.addresses, core.line_bytes, core.page_shift),
+            )
+            self._coal[id(instr)] = cached
+        coal = cached[1]
+        vpns = coal.vpns
+        lines = coal.lines
+        n_pages = len(vpns)
+        stats.page_divergence_sum += n_pages
+        if n_pages > stats.page_divergence_max:
+            stats.page_divergence_max = n_pages
+        stats.coalesced_lines += len(lines)
+        traced = _trace.ENABLED
+        if traced:
+            record = _trace.RECORD
+            ev_core = _trace.CORE
+            record(
+                (
+                    _ev.MEM_COALESCE,
+                    now,
+                    ev_core,
+                    "coalescer",
+                    None,
+                    {
+                        "warp": warp_id,
+                        "pages": n_pages,
+                        "lines": len(lines),
+                    },
+                )
+            )
+        page_shift = core.page_shift
+        page_mask = core.page_mask
+        access = self._observed_access_fn
+
+        tlb = core.tlb
+        if tlb is None:
+            completion = now
+            frame_map = core.frame_map
+            for offset, line in enumerate(lines):
+                pfn = frame_map.get(line >> page_shift)
+                if pfn is not None:
+                    line = (pfn << 12) + (line & page_mask)
+                ready, level, ev_line, ev_warp = access(
+                    line, now + offset, warp_id
+                )
+                on_l1(warp_id, line, level == "l1", False, ev_line, ev_warp)
+                if ready > completion:
+                    completion = ready
+            return completion
+
+        injector = core._injector
+        shootdown = False
+        if injector is not None and injector.tlb_shootdown(core.core_id):
+            tlb.flush()
+            core._shootdowns += 1
+            shootdown = True
+            if traced:
+                record(
+                    (
+                        _ev.FAULT_INJECT,
+                        now,
+                        ev_core,
+                        "faults",
+                        None,
+                        {"fault": "tlb_shootdown", "core": core.core_id},
+                    )
+                )
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_TLB)
+        ports, extra_latency, tlb_blocking, cache_overlap = self._tlb_hot
+
+        if n_pages == 1:
+            # Single-page instruction (the common case for coalesced
+            # streams): the fast path's specialization -- no
+            # translation/ready maps, one direct probe -- with the
+            # reference path's emissions, stats, and scheduler hooks
+            # kept in the reference order.
+            vpn = vpns[0]
+            port_busy = core.tlb_port_busy_until
+            port_start = now if now > port_busy else port_busy
+            core.tlb_port_busy_until = port_start + 1
+            tlb_done = port_start + extra_latency + 1
+            origins = (
+                core._vpn_origins(instr, vpns)
+                if instr.origins is not None
+                else _EMPTY_ORIGINS
+            )
+            stats.tlb_lookups += 1
+            cpm = core.cpm
+            if cpm is not None:
+                cpm.maybe_flush(now)
+            history_id = origins.get(vpn, warp_id) if origins else warp_id
+            tlb_set = tlb._sets.get(vpn % tlb.num_sets)
+            if tlb_set is not None and vpn in tlb_set:
+                tlb.hits += 1
+                # LRU stack depth from the MRU end, computed before the
+                # reinsertion below disturbs the order (as the
+                # reference lookup does).
+                depth = 0
+                for resident_vpn in reversed(tlb_set):
+                    if resident_vpn == vpn:
+                        break
+                    depth += 1
+                entry = tlb_set.pop(vpn)
+                history = entry.history
+                prior = tuple(history) if cpm is not None else ()
+                if history_id in history:
+                    history.remove(history_id)
+                history.insert(0, history_id)
+                del history[HISTORY_LENGTH:]
+                tlb_set[vpn] = entry  # move to MRU
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_LOOKUP,
+                            now,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {
+                                "vpn": vpn,
+                                "hit": True,
+                                "depth": depth,
+                                "warp": history_id,
+                            },
+                        )
+                    )
+                stats.tlb_hits += 1
+                sched.on_tlb_hit(warp_id, vpn, depth)
+                if cpm is not None and prior:
+                    cpm.update(history_id, prior)
+                pfn_base = entry.pfn << 12
+                available = tlb_done
+                walk_ready = None
+                tlb_missed = False
+            else:
+                tlb.misses += 1
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_LOOKUP,
+                            now,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "hit": False, "warp": history_id},
+                        )
+                    )
+                stats.tlb_misses += 1
+                sched.on_tlb_miss(warp_id, vpn)
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_MISS_BEGIN,
+                            tlb_done,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "warp": warp_id},
+                        )
+                    )
+                walk_ready = core._handle_misses(
+                    warp, [vpn], tlb_done, origins
+                )
+                pfn, resolved = walk_ready[vpn]
+                stats.total_tlb_miss_cycles += resolved - tlb_done
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_MISS_END,
+                            resolved,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "latency": resolved - tlb_done},
+                        )
+                    )
+                all_ready = resolved if resolved > tlb_done else tlb_done
+                if tlb_blocking and all_ready > core.tlb_blocked_until:
+                    core.tlb_blocked_until = all_ready
+                pfn_base = pfn << 12
+                # The overlap stage uses the page's own fill time, the
+                # serial stage the (clamped) barrier; identical unless
+                # a walk somehow resolves before the lookup completes.
+                available = resolved if cache_overlap else all_ready
+                tlb_missed = True
+            if _prof.ENABLED:
+                _prof.end()
+                _prof.begin(_prof.PHASE_CACHE)
+            completion = tlb_done
+            cursor = now
+            fills = [] if (_spans.ENABLED and tlb_missed) else None
+            for line in lines:
+                cursor += 1
+                paddr = pfn_base + (line & page_mask)
+                ready, level, ev_line, ev_warp = access(paddr, cursor, warp_id)
+                on_l1(
+                    warp_id, paddr, level == "l1", tlb_missed, ev_line, ev_warp
+                )
+                fill_start = available if available > cursor else cursor
+                line_end = fill_start + ready - cursor
+                if line_end > completion:
+                    completion = line_end
+                if fills is not None:
+                    fills.append((level, fill_start, line_end))
+            if _prof.ENABLED:
+                _prof.end()
+            if tlb_missed:
+                stall = all_ready - tlb_done
+                if stall > 0:
+                    stats.tlb_miss_stall_cycles += stall
+                if fills is not None:
+                    core._record_spans(
+                        warp,
+                        coal,
+                        now,
+                        port_start,
+                        tlb_done,
+                        1,
+                        walk_ready,
+                        {vpn: fills} if fills else {},
+                        completion,
+                        shootdown,
+                    )
+            return completion
+        lookup_cycles = -(-n_pages // ports)  # ceil division
+        port_busy = core.tlb_port_busy_until
+        port_start = now if now > port_busy else port_busy
+        core.tlb_port_busy_until = port_start + lookup_cycles
+        tlb_done = port_start + extra_latency + lookup_cycles
+        origins = (
+            core._vpn_origins(instr, vpns)
+            if instr.origins is not None
+            else _EMPTY_ORIGINS
+        )
+        stats.tlb_lookups += n_pages
+        cpm = core.cpm
+        if cpm is not None:
+            cpm.maybe_flush(now)
+        translations: Dict[int, int] = {}
+        page_ready: Dict[int, int] = {}
+        misses: Optional[List[int]] = None
+        tlb_sets = tlb._sets
+        num_sets = tlb.num_sets
+        for vpn in vpns:
+            history_id = origins.get(vpn, warp_id) if origins else warp_id
+            tlb_set = tlb_sets.get(vpn % num_sets)
+            if tlb_set is None or vpn not in tlb_set:
+                tlb.misses += 1
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_LOOKUP,
+                            now,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "hit": False, "warp": history_id},
+                        )
+                    )
+                stats.tlb_misses += 1
+                sched.on_tlb_miss(warp_id, vpn)
+                if misses is None:
+                    misses = [vpn]
+                else:
+                    misses.append(vpn)
+                continue
+            tlb.hits += 1
+            # LRU stack depth from the MRU end, computed before the
+            # reinsertion below disturbs the order (as the reference
+            # lookup does).
+            depth = 0
+            for resident_vpn in reversed(tlb_set):
+                if resident_vpn == vpn:
+                    break
+                depth += 1
+            entry = tlb_set.pop(vpn)
+            history = entry.history
+            prior = tuple(history) if cpm is not None else ()
+            if history_id in history:
+                history.remove(history_id)
+            history.insert(0, history_id)
+            del history[HISTORY_LENGTH:]
+            tlb_set[vpn] = entry  # move to MRU
+            if traced:
+                record(
+                    (
+                        _ev.TLB_LOOKUP,
+                        now,
+                        ev_core,
+                        "tlb",
+                        None,
+                        {
+                            "vpn": vpn,
+                            "hit": True,
+                            "depth": depth,
+                            "warp": history_id,
+                        },
+                    )
+                )
+            stats.tlb_hits += 1
+            sched.on_tlb_hit(warp_id, vpn, depth)
+            if cpm is not None and prior:
+                cpm.update(history_id, prior)
+            translations[vpn] = entry.pfn
+            page_ready[vpn] = tlb_done
+        if misses is not None:
+            if traced:
+                for vpn in misses:
+                    record(
+                        (
+                            _ev.TLB_MISS_BEGIN,
+                            tlb_done,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "warp": warp_id},
+                        )
+                    )
+            walk_ready = core._handle_misses(warp, misses, tlb_done, origins)
+            all_ready = tlb_done
+            for vpn, resolved in walk_ready.items():
+                pfn, ready = resolved
+                translations[vpn] = pfn
+                page_ready[vpn] = ready
+                stats.total_tlb_miss_cycles += ready - tlb_done
+                if traced:
+                    record(
+                        (
+                            _ev.TLB_MISS_END,
+                            ready,
+                            ev_core,
+                            "tlb",
+                            None,
+                            {"vpn": vpn, "latency": ready - tlb_done},
+                        )
+                    )
+                if ready > all_ready:
+                    all_ready = ready
+            if tlb_blocking and all_ready > core.tlb_blocked_until:
+                core.tlb_blocked_until = all_ready
+            missed = set(misses)
+        else:
+            walk_ready = None
+            all_ready = tlb_done
+            missed = ()
+        if _prof.ENABLED:
+            _prof.end()
+
+        if _prof.ENABLED:
+            _prof.begin(_prof.PHASE_CACHE)
+        completion = tlb_done
+        cursor = now
+        span_fills: Optional[Dict[int, list]] = (
+            {} if (_spans.ENABLED and misses is not None) else None
+        )
+        if cache_overlap:
+            lines_by_vpn = coal.lines_by_vpn
+            for vpn in vpns:
+                available_at = page_ready[vpn]
+                pfn_base = translations[vpn] << 12
+                tlb_missed = vpn in missed
+                for line in lines_by_vpn[vpn]:
+                    cursor += 1
+                    paddr = pfn_base + (line & page_mask)
+                    ready, level, ev_line, ev_warp = access(
+                        paddr, cursor, warp_id
+                    )
+                    on_l1(
+                        warp_id,
+                        paddr,
+                        level == "l1",
+                        tlb_missed,
+                        ev_line,
+                        ev_warp,
+                    )
+                    fill_start = (
+                        available_at if available_at > cursor else cursor
+                    )
+                    line_end = fill_start + ready - cursor
+                    if line_end > completion:
+                        completion = line_end
+                    if span_fills is not None and tlb_missed:
+                        fills = span_fills.get(vpn)
+                        if fills is None:
+                            fills = span_fills[vpn] = []
+                        fills.append((level, fill_start, line_end))
+        else:
+            for line in lines:
+                vpn = line >> page_shift
+                pfn_base = translations[vpn] << 12
+                tlb_missed = vpn in missed
+                cursor += 1
+                paddr = pfn_base + (line & page_mask)
+                ready, level, ev_line, ev_warp = access(paddr, cursor, warp_id)
+                on_l1(
+                    warp_id, paddr, level == "l1", tlb_missed, ev_line, ev_warp
+                )
+                fill_start = all_ready if all_ready > cursor else cursor
+                line_end = fill_start + ready - cursor
+                if line_end > completion:
+                    completion = line_end
+                if span_fills is not None and tlb_missed:
+                    fills = span_fills.get(vpn)
+                    if fills is None:
+                        fills = span_fills[vpn] = []
+                    fills.append((level, fill_start, line_end))
+        if _prof.ENABLED:
+            _prof.end()
+        if misses is not None:
+            stall = all_ready - tlb_done
+            if stall > 0:
+                stats.tlb_miss_stall_cycles += stall
+            if span_fills is not None:
+                core._record_spans(
+                    warp,
+                    coal,
+                    now,
+                    port_start,
+                    tlb_done,
+                    lookup_cycles,
+                    walk_ready,
+                    span_fills,
+                    completion,
+                    shootdown,
+                )
+        return completion
+

@@ -20,6 +20,8 @@ Usage::
     python -m repro.harness chaos --quick --seed 7
     python -m repro.harness chaos --server --quick
     python -m repro.harness serve --journal serve.jsonl --cache ~/.cache/repro
+    python -m repro.harness top --url http://127.0.0.1:8750
+    python -m repro.harness top --file metrics.prom --once --plain
 
 Each figure id maps to a driver in :mod:`repro.harness.figures`, run
 through the stable :mod:`repro.api` facade; the rendered table prints
@@ -51,7 +53,9 @@ faults — proving recovered sweeps byte-identical to clean serial runs
 (see :mod:`repro.harness.chaos`; ``chaos --server`` attacks the serve
 daemon instead — SIGKILL mid-sweep, torn journal, expired leases,
 admission floods); ``serve`` runs the crash-safe simulation server
-(see :mod:`repro.serve`).
+(see :mod:`repro.serve`); ``top`` is the live terminal ops view over a
+serve daemon's ``/metrics`` endpoint or a Prometheus textfile scrape
+(see :mod:`repro.harness.top`).
 """
 
 from __future__ import annotations
@@ -69,6 +73,9 @@ from repro.workloads.registry import workload_names
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    from repro.obs import log as _log
+
+    _log.configure_from_env()
     if argv and argv[0] == "trace":
         from repro.harness.trace import main as trace_main
 
@@ -93,6 +100,10 @@ def main(argv=None) -> int:
         from repro.serve.app import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.harness.top import main as top_main
+
+        return top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's evaluation figures.",

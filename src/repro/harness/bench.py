@@ -7,6 +7,12 @@ schema-versioned ``BENCH_<n>.json`` report (see
 throughput, simulated-cycle throughput, the host-time phase breakdown,
 peak RSS, and a snapshot of the unified metrics registry.
 
+``--observed`` re-runs each figure a second time with event tracing
+and span recording live (via :func:`repro.core.simulator.trace_override`
+— the configs, results, and cache keys are untouched) and records
+``observed_wall_s`` / ``observed_overhead`` per figure and in totals:
+the measured price of full observability.
+
 Two calibrated matrices:
 
 - ``--quick`` (the default): four representative figures x two
@@ -34,8 +40,11 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.api import figure as api_figure
+from repro.core.config import TraceConfig
+from repro.core.simulator import trace_override
 from repro.engines import available_engines
 from repro.harness.figures import ALL_FIGURES
+from repro.obs.spans import SpanRecorder, record_spans
 from repro.prof import benchfile
 from repro.prof.export import registry_to_dict
 from repro.prof.profiler import PhaseProfiler, profile
@@ -109,12 +118,21 @@ def _git() -> Optional[Dict[str, Any]]:
     }
 
 
+#: The observed pass's trace configuration: ring-only event tracing
+#: (no file sinks) plus interval sampling — what a traced production
+#: run pays at minimum.
+OBSERVED_TRACE = TraceConfig(
+    enabled=True, ring_capacity=4096, interval_cycles=250
+)
+
+
 def run_bench(
     figures: Sequence[str],
     workloads: Optional[Sequence[str]],
     mode: str,
     stream=None,
     engine: Optional[str] = None,
+    observed: bool = False,
 ) -> Dict[str, Any]:
     """Run the matrix and build the report dict (not yet written)."""
     REGISTRY.clear()
@@ -122,6 +140,7 @@ def run_bench(
     total_wall = 0.0
     total_cells = 0
     total_cycles = 0
+    total_observed = 0.0
     for name in figures:
         if stream is not None:
             stream.write(f"[bench] {name} ...\n")
@@ -149,11 +168,38 @@ def run_bench(
         total_wall += wall
         total_cells += cells
         total_cycles += cycles
-        if stream is not None:
-            stream.write(
-                f"[bench] {name}: {wall:.2f}s, {cells} cells, "
-                f"{cycles} cycles\n"
+        if observed:
+            # The observed column: the same figure with event tracing
+            # and span recording live for every cell.  Results are
+            # byte-identical (pinned by tests/engines/test_observers.py);
+            # the ratio is the price of full observability.
+            recorder = SpanRecorder(keep_slowest=5)
+            start = time.perf_counter()
+            with trace_override(OBSERVED_TRACE), record_spans(recorder):
+                api_figure(
+                    name=name,
+                    workloads=list(workloads) if workloads else None,
+                    jobs=1,
+                    engine=engine,
+                )
+            observed_wall = time.perf_counter() - start
+            total_observed += observed_wall
+            report_figures[name]["observed_wall_s"] = round(observed_wall, 4)
+            report_figures[name]["observed_overhead"] = (
+                round(observed_wall / wall, 3) if wall > 0 else 0.0
             )
+        if stream is not None:
+            line = (
+                f"[bench] {name}: {wall:.2f}s, {cells} cells, "
+                f"{cycles} cycles"
+            )
+            if observed:
+                entry = report_figures[name]
+                line += (
+                    f", observed {entry['observed_wall_s']:.2f}s "
+                    f"(x{entry['observed_overhead']:.2f})"
+                )
+            stream.write(line + "\n")
             stream.flush()
     report: Dict[str, Any] = {
         "schema_version": benchfile.BENCH_SCHEMA_VERSION,
@@ -175,6 +221,11 @@ def run_bench(
         },
         "metrics": registry_to_dict(REGISTRY),
     }
+    if observed:
+        report["totals"]["observed_wall_s"] = round(total_observed, 4)
+        report["totals"]["observed_overhead"] = (
+            round(total_observed / total_wall, 3) if total_wall > 0 else 0.0
+        )
     if engine is not None:
         report["engine"] = engine
     git = _git()
@@ -249,6 +300,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "normally 'event'; recorded in the report when set)",
     )
     parser.add_argument(
+        "--observed",
+        action="store_true",
+        help="add an observed column: re-run each figure with event "
+        "tracing and span recording live (byte-identical results) and "
+        "record the wall time plus overhead ratio",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero when the comparison verdict is a regression",
@@ -317,7 +375,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     report = run_bench(
-        figures, workloads, mode, stream=sys.stderr, engine=args.engine
+        figures,
+        workloads,
+        mode,
+        stream=sys.stderr,
+        engine=args.engine,
+        observed=args.observed,
     )
     benchfile.save(report, out)
     totals = report["totals"]

@@ -34,7 +34,7 @@ import sys
 from typing import Optional
 
 from repro.core.simulator import Simulator
-from repro.engines import available_engines
+from repro.engines import EngineFeatureError, available_engines
 from repro.harness.trace import _tiny_workload, resolve_target
 from repro.obs.critpath import CriticalPathReport
 from repro.obs.spans import SpanRecorder, record_spans
@@ -134,8 +134,8 @@ def main(argv=None) -> int:
         default=None,
         choices=sorted(available_engines()),
         help="simulator core (default: the config's own, normally "
-        "'event'; span-recorded runs fall back to the reference loop "
-        "either way, so both explain identically)",
+        "'event'; both engines record identical request spans — the "
+        "event engine instruments its own scheduler natively)",
     )
     args = parser.parse_args(argv)
     workload = args.workloads.split(",")[0] if args.workloads else None
@@ -147,7 +147,7 @@ def main(argv=None) -> int:
             quick=args.quick,
             engine=args.engine,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, EngineFeatureError) as exc:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2
     report: CriticalPathReport = run["report"]

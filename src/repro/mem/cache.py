@@ -133,12 +133,15 @@ class SetAssociativeCache:
             owner = cache_set.pop(line_addr)
             cache_set[line_addr] = owner  # move to MRU
             if _trace.ENABLED:
-                _trace.emit(
-                    _ev.CACHE_ACCESS,
-                    track=self.label,
-                    line=line_addr,
-                    hit=True,
-                    warp=warp_id,
+                _trace.RECORD(
+                    (
+                        _ev.CACHE_ACCESS,
+                        _trace.NOW,
+                        _trace.CORE,
+                        self.label,
+                        None,
+                        {"line": line_addr, "hit": True, "warp": warp_id},
+                    )
                 )
             return _HIT
         self.misses += 1
@@ -149,13 +152,20 @@ class SetAssociativeCache:
             del cache_set[evicted_line]
         cache_set[line_addr] = warp_id
         if _trace.ENABLED:
-            _trace.emit(
-                _ev.CACHE_ACCESS,
-                track=self.label,
-                line=line_addr,
-                hit=False,
-                warp=warp_id,
-                evicted=evicted_line,
+            _trace.RECORD(
+                (
+                    _ev.CACHE_ACCESS,
+                    _trace.NOW,
+                    _trace.CORE,
+                    self.label,
+                    None,
+                    {
+                        "line": line_addr,
+                        "hit": False,
+                        "warp": warp_id,
+                        "evicted": evicted_line,
+                    },
+                )
             )
         return CacheAccess(
             hit=False, evicted_line=evicted_line, evicted_warp=evicted_warp

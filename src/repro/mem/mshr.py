@@ -49,24 +49,38 @@ class MSHRFile:
         if now < self._min_ready:
             return
         inflight = self._inflight
-        if _trace.ENABLED:
-            # Traced path: retire in file (insertion) order so the
-            # MSHR_RETIRE event sequence matches the pre-heap behaviour
-            # byte for byte; stale heap entries fall out lazily later.
-            expired = [line for line, ready in inflight.items() if ready <= now]
-            for line in expired:
-                # Stamped with the entry's fill time, not the (later)
-                # cycle the lazy expiry happened to run at.
-                _trace.emit(
-                    _ev.MSHR_RETIRE,
-                    cycle=inflight[line],
-                    track="mshr",
-                    line=line,
-                )
-                del inflight[line]
-            self._min_ready = min(inflight.values()) if inflight else _NEVER
-            return
         heap = self._heap
+        if _trace.ENABLED:
+            # Traced path: the heap finds the retirees cheaply, then a
+            # positional index (built only for multi-entry batches)
+            # restores file (insertion) order so the MSHR_RETIRE event
+            # sequence matches the pre-heap behaviour byte for byte.
+            expired = []
+            while heap and heap[0][0] <= now:
+                ready, line = heapq.heappop(heap)
+                if inflight.get(line) == ready:
+                    expired.append(line)
+            if expired:
+                if len(expired) > 1:
+                    order = {line: i for i, line in enumerate(inflight)}
+                    expired.sort(key=order.__getitem__)
+                record = _trace.RECORD
+                core = _trace.CORE
+                for line in expired:
+                    # Stamped with the entry's fill time, not the
+                    # (later) cycle the lazy expiry happened to run at.
+                    record(
+                        (
+                            _ev.MSHR_RETIRE,
+                            inflight.pop(line),
+                            core,
+                            "mshr",
+                            None,
+                            {"line": line},
+                        )
+                    )
+            self._min_ready = heap[0][0] if heap else _NEVER
+            return
         while heap and heap[0][0] <= now:
             ready, line = heapq.heappop(heap)
             if inflight.get(line) == ready:

@@ -20,6 +20,9 @@ The subsystem has six pieces:
   :class:`ChromeTraceSink` (span flow events included).
 - :mod:`repro.obs.interval` — :class:`IntervalSampler`, periodic
   CoreStats-delta snapshots.
+- :mod:`repro.obs.log` — structured, leveled run logs (host-process
+  lifecycle: runs, workers, serve jobs), text and JSONL sinks, enabled
+  via ``REPRO_LOG_LEVEL`` / ``REPRO_LOG_JSONL``.
 
 Enable tracing per run via ``GPUConfig.trace`` (a
 :class:`repro.core.config.TraceConfig`) or from the command line with

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import io
 import json
-from collections import deque
 from typing import Any, Dict, List, Optional, Union
 
 from repro.obs.events import COUNTER_KINDS, SPAN, TraceEvent
@@ -38,6 +37,15 @@ class NullSink:
 class RingBufferSink:
     """Keeps the most recent ``capacity`` events in memory.
 
+    The hot path is :meth:`record_raw`: the tracer hands over the
+    *constructor tuple* of a :class:`TraceEvent` rather than the event
+    itself, and the sink materializes event objects lazily — only the
+    retained window is ever constructed, so a run emitting millions of
+    events builds at most ``capacity`` of them (plus whatever a mid-run
+    reader like the hang watchdog asks for).  Storage is a plain list
+    trimmed amortized at ``2 * capacity``; readers always see exactly
+    the newest ``capacity`` entries.
+
     Parameters
     ----------
     capacity:
@@ -49,27 +57,58 @@ class RingBufferSink:
         if capacity <= 0:
             raise ValueError("ring buffer capacity must be positive")
         self.capacity = capacity
-        self._buffer: deque = deque(maxlen=capacity)
-        self.recorded = 0
+        self._raw: List = []  # TraceEvent | constructor tuple, mixed
+        self._trim_at = 2 * capacity
+        self._trimmed = 0
+        self._rebuild_record()
+
+    def _rebuild_record(self) -> None:
+        """(Re)build :meth:`record_raw` as a closure over the storage
+        list — one append, one length check, no attribute loads per
+        event.  The check runs after every append, so at trim time the
+        list holds exactly ``2 * capacity`` items and the cut is always
+        the oldest ``capacity`` of them."""
+        raw = self._raw
+        append = raw.append
+        trim_at = self._trim_at
+        capacity = self.capacity
+        sink = self
+
+        def record_raw(item) -> None:
+            append(item)
+            if len(raw) >= trim_at:
+                del raw[:capacity]
+                sink._trimmed += capacity
+
+        self.record_raw = record_raw
 
     def record(self, event: TraceEvent) -> None:
-        self._buffer.append(event)
-        self.recorded += 1
+        self.record_raw(event)
 
     def close(self) -> None:
         pass
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        return min(len(self._raw), self.capacity)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (retained or dropped)."""
+        return self._trimmed + len(self._raw)
 
     @property
     def dropped(self) -> int:
         """Events pushed out of the buffer by newer ones."""
-        return self.recorded - len(self._buffer)
+        return self.recorded - len(self)
 
     def events(self, kind: Optional[str] = None, core: Optional[int] = None) -> List[TraceEvent]:
         """Retained events, optionally filtered by kind and/or core."""
-        out = list(self._buffer)
+        raw = self._raw
+        if len(raw) > self.capacity:
+            raw = raw[-self.capacity :]
+        out = [
+            e if isinstance(e, TraceEvent) else TraceEvent(*e) for e in raw
+        ]
         if kind is not None:
             out = [e for e in out if e.kind == kind]
         if core is not None:
@@ -78,30 +117,34 @@ class RingBufferSink:
 
     def clear(self) -> None:
         """Drop all retained events (the drop/record counters persist)."""
-        self._buffer.clear()
+        self._trimmed += len(self._raw)
+        self._raw.clear()
 
     def state_dict(self) -> dict:
         """Snapshot retained events and the recorded total, so post-hoc
         histograms over a resumed run see the same event stream."""
         return {
-            "events": [event.as_dict() for event in self._buffer],
+            "events": [event.as_dict() for event in self.events()],
             "recorded": self.recorded,
         }
 
     def load_state(self, state: dict) -> None:
-        self._buffer.clear()
-        for entry in state["events"]:
-            self._buffer.append(
-                TraceEvent(
-                    entry["kind"],
-                    entry["cycle"],
-                    core=entry.get("core", -1),
-                    track=entry.get("track", "core"),
-                    dur=entry.get("dur"),
-                    args=entry.get("args"),
-                )
+        # Restore IN PLACE: the tracer's installed fast path (and any
+        # hot loop that grabbed it) closes over the storage *list
+        # object*, so replacing the list would silently divert every
+        # post-restore event into an orphan.
+        self._raw[:] = [
+            TraceEvent(
+                entry["kind"],
+                entry["cycle"],
+                core=entry.get("core", -1),
+                track=entry.get("track", "core"),
+                dur=entry.get("dur"),
+                args=entry.get("args"),
             )
-        self.recorded = state["recorded"]
+            for entry in state["events"]
+        ]
+        self._trimmed = state["recorded"] - len(self._raw)
 
 
 class JsonlSink:

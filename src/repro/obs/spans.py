@@ -258,24 +258,27 @@ class SpanRecorder:
         covered = 0
         edge = root.start
         exact = True
+        cycles = self.component_cycles
+        counts = self.component_counts
+        histograms = self.histograms
         for child in root.children:
-            if child.start != edge:
+            start = child.start
+            if start != edge:
                 exact = False
-            covered += child.duration
+            dur = child.end - start
+            covered += dur
             edge = child.end
+            name = child.name
+            cycles[name] = cycles.get(name, 0) + dur
+            counts[name] = counts.get(name, 0) + 1
+            hist = histograms.get(name)
+            if hist is None:
+                hist = self._hist(name)
+            hist.add(dur)
         if not exact or covered != total or edge != root.end:
             self.mismatches += 1
         self.requests += 1
         self.total_cycles += total
-        for child in root.children:
-            dur = child.duration
-            self.component_cycles[child.name] = (
-                self.component_cycles.get(child.name, 0) + dur
-            )
-            self.component_counts[child.name] = (
-                self.component_counts.get(child.name, 0) + 1
-            )
-            self._hist(child.name).add(dur)
         self._hist("end_to_end").add(total)
         self._seq += 1
         if self.keep_slowest > 0:

@@ -44,10 +44,26 @@ CORE = -1
 _ACTIVE: Optional["Tracer"] = None
 
 
+def _record_disabled(raw) -> None:  # pragma: no cover - guarded by ENABLED
+    raise RuntimeError("no tracer installed")
+
+
+#: Per-event dispatch target while a tracer is installed: a callable
+#: taking one :class:`TraceEvent` *constructor tuple* ``(kind, cycle,
+#: core, track, dur, args)``.  For the common ring-buffer-only tracer
+#: this is the ring's ``record_raw`` (no event object is constructed at
+#: all — the ring materializes its retained window lazily); otherwise a
+#: fan-out that builds the event once and feeds every sink.  Hot loops
+#: that already know their stamps may call it directly instead of
+#: :func:`emit`, skipping one call frame per event.
+RECORD = _record_disabled
+
+
 def _reset_context() -> None:
-    global NOW, CORE
+    global NOW, CORE, RECORD
     NOW = 0
     CORE = -1
+    RECORD = _record_disabled
 
 
 _SWITCH = ModuleSwitch(__name__, on_uninstall=_reset_context)
@@ -63,6 +79,20 @@ class Tracer:
         for sink in self.sinks:
             sink.record(event)
 
+    def _fast_record(self):
+        """The per-raw-tuple dispatch :data:`RECORD` publishes while
+        this tracer is installed."""
+        if len(self.sinks) == 1 and isinstance(self.sinks[0], RingBufferSink):
+            return self.sinks[0].record_raw
+        sinks = self.sinks
+
+        def fanout(raw: tuple) -> None:
+            event = TraceEvent(*raw)
+            for sink in sinks:
+                sink.record(event)
+
+        return fanout
+
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
@@ -77,6 +107,8 @@ class Tracer:
 
 def install(tracer: Tracer) -> None:
     """Make ``tracer`` the active tracer and raise the fast-path flag."""
+    global RECORD
+    RECORD = tracer._fast_record()
     _SWITCH.install(tracer)
 
 
@@ -103,11 +135,10 @@ def emit(
     ``cycle``/``core`` default to the module context (:data:`NOW` /
     :data:`CORE`) so clock-less components can emit without plumbing.
     """
-    tracer = _ACTIVE
-    if tracer is None:
+    if _ACTIVE is None:
         return
-    tracer.record(
-        TraceEvent(
+    RECORD(
+        (
             kind,
             NOW if cycle is None else cycle,
             CORE if core is None else core,

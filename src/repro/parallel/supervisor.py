@@ -50,6 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import SimulationResult
 from repro.faults.errors import SimulationError, WorkerCrashed
+from repro.obs import log as _log
 from repro.parallel.backoff import Backoff
 from repro.parallel.cells import Cell, error_payload, key_of
 
@@ -320,6 +321,10 @@ class SupervisedPool:
         # heartbeats at all must still trip the deadline eventually.
         worker.deadline = time.monotonic() + self.stale_after
         worker.process.start()
+        if _log.ENABLED:
+            self._worker_log(worker).debug(
+                "worker_spawn", pid=worker.process.pid, spawns=worker.spawns
+            )
 
     def _heartbeat_age(self, worker: _Worker) -> Optional[float]:
         """Seconds since the worker's last heartbeat, None if never."""
@@ -350,6 +355,16 @@ class SupervisedPool:
             raise _rebuild_raise(entry["payload"])
         return None
 
+    def _worker_log(self, worker: _Worker) -> _log.RunLogger:
+        """Pool logger bound with the worker's cell identity."""
+        return _log.get_logger(
+            "pool",
+            slot=worker.index,
+            cell=key_of(worker.cell)[:12],
+            series=worker.cell.label,
+            workload=worker.cell.workload,
+        )
+
     def _crash_outcome(self, worker: _Worker, reason: str) -> Outcome:
         exit_code = worker.process.exitcode
         error = WorkerCrashed(
@@ -376,6 +391,17 @@ class SupervisedPool:
         status, payload = outcome
         if status == "ok":
             self.health.on_success()
+        if _log.ENABLED:
+            log = self._worker_log(worker)
+            if status == "ok":
+                log.info("worker_done", status=status, spawns=worker.spawns)
+            else:
+                log.warning(
+                    "worker_done",
+                    status=status,
+                    error=payload[0] if payload else None,
+                    spawns=worker.spawns,
+                )
         del self.active[worker.index]
         for path in (
             self.heartbeat_path(worker.index),
@@ -392,12 +418,28 @@ class SupervisedPool:
     def _handle_crash(self, worker: _Worker, reason: str) -> None:
         self.health.on_crash()
         if worker.spawns > self.restart_budget:
+            if _log.ENABLED:
+                self._worker_log(worker).error(
+                    "worker_crash",
+                    reason=reason,
+                    spawns=worker.spawns,
+                    budget_exhausted=True,
+                )
             self._resolve(worker, self._crash_outcome(worker, reason))
             return
         self.restarts += 1
         # Defer the respawn instead of sleeping: other workers stay
         # supervised while this slot backs off.
-        worker.respawn_at = time.monotonic() + self.restart_backoff.next()
+        delay = self.restart_backoff.next()
+        worker.respawn_at = time.monotonic() + delay
+        if _log.ENABLED:
+            self._worker_log(worker).warning(
+                "worker_crash",
+                reason=reason,
+                spawns=worker.spawns,
+                respawn_in=round(delay, 3),
+                slots=self.health.slots,
+            )
 
     def run(self, cells: Sequence[Tuple[int, Cell]]) -> None:
         """Supervise every ``(index, cell)`` to an outcome.
@@ -409,6 +451,10 @@ class SupervisedPool:
         """
         queue = list(cells)
         self.spool = tempfile.mkdtemp(prefix="repro-pool-")
+        if _log.ENABLED:
+            _log.get_logger("pool").info(
+                "pool_start", cells=len(queue), slots=self.health.slots
+            )
         try:
             while queue or self.active:
                 while queue and len(self.active) < self.health.slots:
@@ -461,3 +507,10 @@ class SupervisedPool:
             if self.spool is not None:
                 shutil.rmtree(self.spool, ignore_errors=True)
                 self.spool = None
+            if _log.ENABLED:
+                _log.get_logger("pool").info(
+                    "pool_drained",
+                    restarts=self.restarts,
+                    stale_kills=self.kills_for_staleness,
+                    slots=self.health.slots,
+                )

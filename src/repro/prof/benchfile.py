@@ -29,11 +29,15 @@ Schema (``BENCH_SCHEMA_VERSION`` = 1)::
           "cells_per_s": float,
           "sim_cycles": int,      # simulated cycles across the cells
           "cycles_per_s": float,  # simulated cycles per host second
-          "phases": {"<phase>": {"calls", "self_s", "total_s"}, ...}
+          "phases": {"<phase>": {"calls", "self_s", "total_s"}, ...},
+          "observed_wall_s": float,   # optional (bench --observed):
+          "observed_overhead": float  # traced+spanned re-run and its
+                                      # ratio to the untraced wall time
         }, ...
       },
       "totals": {"wall_s", "cells", "cells_per_s", "sim_cycles",
-                 "cycles_per_s", "peak_rss_kb"},
+                 "cycles_per_s", "peak_rss_kb",
+                 "observed_wall_s"?, "observed_overhead"?},
       "metrics": { ... repro.prof.export.registry_to_dict ... }
     }
 

@@ -8,7 +8,10 @@ One process, three moving parts:
   process liveness, ``GET /readyz`` is routable readiness (503 while
   starting or draining; degradation spelled out in the body), and
   ``GET /metrics`` serves the unified
-  :class:`repro.prof.registry.MetricsRegistry` as Prometheus text;
+  :class:`repro.prof.registry.MetricsRegistry` as Prometheus text, and
+  ``GET /dashboard`` is the server-rendered ops page (queue depth,
+  live leases, cache reuse, per-engine simulated throughput, in-flight
+  sweep ETA; auto-refreshes);
 - the **dispatcher** (one background thread): leases queued jobs to
   executor threads while slots are free, re-queues expired leases with
   backoff, fails jobs that exhaust their attempt budget, and shrinks
@@ -45,11 +48,13 @@ import sys
 import threading
 import time
 from dataclasses import dataclass
+from html import escape as html_escape
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import config_from_dict
 from repro.faults.errors import SimulationError, WorkerCrashed
+from repro.obs import log as _log
 from repro.faults.watchdog import wall_clock_guard
 from repro.parallel.cache import ResultCache
 from repro.parallel.cells import Cell
@@ -153,6 +158,30 @@ class ServeApp:
         self._stop = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
         self._executors: List[threading.Thread] = []
+        self._started_at = clock()
+        # Last (clock, sim_cycles) per engine: the dashboard's
+        # scrape-to-scrape throughput estimate.
+        self._engine_rates: Dict[str, Tuple[float, float]] = {}
+
+    # -- run log -------------------------------------------------------
+
+    @staticmethod
+    def _job_log(job: Job) -> _log.RunLogger:
+        """Serve logger bound with the job's identity (and its engine
+        when the request pinned one)."""
+        context: Dict[str, Any] = {
+            "job_id": job.id,
+            "kind": job.kind,
+            "attempt": job.attempts,
+        }
+        engine = (
+            job.params.get("engine")
+            if isinstance(job.params, dict)
+            else None
+        )
+        if engine:
+            context["engine"] = engine
+        return _log.get_logger("serve", **context)
 
     # -- metrics -------------------------------------------------------
 
@@ -205,6 +234,14 @@ class ServeApp:
             ]
             self.readiness.started = True
             self._observe_gauges()
+            if _log.ENABLED:
+                _log.get_logger("serve").info(
+                    "serve_start",
+                    jobs=len(self.jobs),
+                    requeued=len(replayed.interrupted),
+                    queued=len(self._queue),
+                    slots=self.health.slots,
+                )
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
@@ -215,6 +252,12 @@ class ServeApp:
         with self.lock:
             self.readiness.draining = True
             self._observe_gauges()
+            if _log.ENABLED:
+                _log.get_logger("serve").info(
+                    "drain_begin",
+                    queued=len(self._queue),
+                    in_flight=self.leases.live_count,
+                )
 
     def drain(self, grace_s: Optional[float] = None) -> int:
         """Graceful shutdown: finish or re-queue in-flight, then stop.
@@ -258,6 +301,8 @@ class ServeApp:
             if self.journal is not None:
                 self.journal.close()
                 self.journal = None
+        if _log.ENABLED:
+            _log.get_logger("serve").info("drain_end", requeued=requeued)
         return requeued
 
     def close(self) -> None:
@@ -293,6 +338,13 @@ class ServeApp:
                     "serve_admission_rejections_total",
                     help="submissions shed by admission control",
                 ).inc(reason=reason)
+                if _log.ENABLED:
+                    _log.get_logger("serve").warning(
+                        "admission_reject",
+                        job_id=job_id,
+                        reason=reason,
+                        queue_depth=depth,
+                    )
                 body_out: Dict[str, Any] = {"error": verdict.reason}
                 if verdict.retry_after_s is not None:
                     body_out["retry_after_s"] = verdict.retry_after_s
@@ -313,6 +365,10 @@ class ServeApp:
             self.jobs[job.id] = job
             self._queue.append(job.id)
             self._observe_gauges()
+            if _log.ENABLED:
+                self._job_log(job).info(
+                    "job_admitted", queue_depth=depth + 1
+                )
             return 201, job.public_dict(include_result=False)
 
     # -- queries -------------------------------------------------------
@@ -344,6 +400,230 @@ class ServeApp:
         with self.lock:
             self._observe_gauges()
             return to_prometheus(self.registry)
+
+    # -- ops dashboard -------------------------------------------------
+
+    def _histogram_mean(self, name: str, **labels: str) -> Optional[float]:
+        family = self.registry.get(name)
+        if family is None or family.kind != "histogram":
+            return None
+        snap = family.snapshot(**labels)
+        count = snap["count"]
+        if not count:
+            return None
+        return snap["sum"] / count
+
+    def dashboard_view(self) -> Dict[str, Any]:
+        """Structured ops snapshot behind ``GET /dashboard``.
+
+        Pure observation: queue depth, live leases (with per-kind ETA
+        from the job-seconds histogram), cache reuse, per-engine
+        simulated throughput, and the in-flight sweep's projected
+        remaining seconds.
+        """
+        with self.lock:
+            now = self.clock()
+            states: Dict[str, int] = {}
+            for job in self.jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            ttl = self.config.lease_ttl_s
+            leases: List[Dict[str, Any]] = []
+            for lease in self.leases.live_leases():
+                job = self.jobs.get(lease.job_id)
+                age = max(0.0, ttl - (lease.expires_at - now))
+                kind = job.kind if job is not None else "?"
+                mean = self._histogram_mean("serve_job_seconds", kind=kind)
+                leases.append(
+                    {
+                        "job_id": lease.job_id,
+                        "kind": kind,
+                        "attempt": lease.attempt,
+                        "age_s": round(age, 1),
+                        "expires_in_s": round(
+                            max(0.0, lease.expires_at - now), 1
+                        ),
+                        "eta_s": (
+                            round(max(0.0, mean - age), 1)
+                            if mean is not None
+                            else None
+                        ),
+                    }
+                )
+            cells = self.registry.get("sweep_cells_total")
+            cache = {"cache": 0, "checkpoint": 0, "simulated": 0, "failed": 0}
+            if cells is not None:
+                for labels, value in cells.series().items():
+                    source = dict(labels).get("source", "?")
+                    if source in cache:
+                        cache[source] = int(value)
+            reused = cache["cache"] + cache["checkpoint"]
+            completed = reused + cache["simulated"] + cache["failed"]
+            engines: List[Dict[str, Any]] = []
+            cycles_family = self.registry.get("sim_cycles")
+            instr_family = self.registry.get("sim_instructions")
+            if cycles_family is not None:
+                totals: Dict[str, float] = {}
+                for labels, value in cycles_family.series().items():
+                    engine = dict(labels).get("engine", "(unlabeled)")
+                    totals[engine] = totals.get(engine, 0.0) + value
+                for engine in sorted(totals):
+                    cycles = totals[engine]
+                    prev = self._engine_rates.get(engine)
+                    # Rate between dashboard scrapes; first scrape falls
+                    # back to the since-start average.
+                    if prev is not None and now - prev[0] > 0.05:
+                        rate = (cycles - prev[1]) / (now - prev[0])
+                    elif now > self._started_at:
+                        rate = cycles / (now - self._started_at)
+                    else:
+                        rate = 0.0
+                    self._engine_rates[engine] = (now, cycles)
+                    instructions = 0.0
+                    if instr_family is not None:
+                        instructions = sum(
+                            value
+                            for labels, value in instr_family.series().items()
+                            if dict(labels).get("engine", "(unlabeled)")
+                            == engine
+                        )
+                    engines.append(
+                        {
+                            "engine": engine,
+                            "cycles": int(cycles),
+                            "instructions": int(instructions),
+                            "cycles_per_s": round(max(0.0, rate)),
+                        }
+                    )
+            in_flight_cells = 0
+            gauge = self.registry.get("sweep_in_flight")
+            if gauge is not None:
+                in_flight_cells = int(gauge.value())
+            mean_cell = self._histogram_mean("sweep_cell_seconds")
+            sweep_eta = (
+                round(in_flight_cells * mean_cell, 1)
+                if in_flight_cells and mean_cell is not None
+                else None
+            )
+            return {
+                "ready": self.readiness.is_ready,
+                "draining": self.readiness.draining,
+                "uptime_s": round(max(0.0, now - self._started_at), 1),
+                "queue_depth": len(self._queue),
+                "in_flight": self.leases.live_count,
+                "slots": self.health.slots,
+                "jobs": {
+                    "total": len(self.jobs),
+                    "queued": states.get(STATE_QUEUED, 0),
+                    "running": states.get(STATE_RUNNING, 0),
+                    "done": states.get(STATE_DONE, 0),
+                    "failed": states.get(STATE_FAILED, 0),
+                },
+                "leases": leases,
+                "cells": {**cache, "reused": reused, "completed": completed},
+                "engines": engines,
+                "sweep": {
+                    "in_flight_cells": in_flight_cells,
+                    "mean_cell_s": (
+                        round(mean_cell, 3) if mean_cell is not None else None
+                    ),
+                    "eta_s": sweep_eta,
+                },
+            }
+
+    def dashboard_html(self, refresh_s: int = 2) -> str:
+        """Server-rendered HTML over :meth:`dashboard_view` (no JS
+        frameworks, one meta refresh — readable from curl or a browser)."""
+        view = self.dashboard_view()
+
+        def esc(value: Any) -> str:
+            return html_escape(str(value), quote=True)
+
+        def dash(value: Any) -> str:
+            return esc(value) if value is not None else "&mdash;"
+
+        status = (
+            "draining"
+            if view["draining"]
+            else ("ready" if view["ready"] else "not ready")
+        )
+        jobs = view["jobs"]
+        rows = []
+        for lease in view["leases"]:
+            rows.append(
+                "<tr>"
+                f"<td><code>{esc(lease['job_id'])}</code></td>"
+                f"<td>{esc(lease['kind'])}</td>"
+                f"<td>{esc(lease['attempt'])}</td>"
+                f"<td>{esc(lease['age_s'])}s</td>"
+                f"<td>{esc(lease['expires_in_s'])}s</td>"
+                f"<td>{dash(lease['eta_s'])}</td>"
+                "</tr>"
+            )
+        lease_rows = "".join(rows) or (
+            '<tr><td colspan="6"><em>no jobs in flight</em></td></tr>'
+        )
+        engine_rows = "".join(
+            "<tr>"
+            f"<td>{esc(row['engine'])}</td>"
+            f"<td>{esc(row['cycles'])}</td>"
+            f"<td>{esc(row['instructions'])}</td>"
+            f"<td>{esc(row['cycles_per_s'])}</td>"
+            "</tr>"
+            for row in view["engines"]
+        ) or '<tr><td colspan="4"><em>no simulations yet</em></td></tr>'
+        cells = view["cells"]
+        sweep = view["sweep"]
+        return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="{int(refresh_s)}">
+<title>repro.serve dashboard</title>
+<style>
+body {{ font: 14px/1.4 system-ui, sans-serif; margin: 2em; color: #222; }}
+table {{ border-collapse: collapse; margin: 0.5em 0 1.5em; }}
+th, td {{ border: 1px solid #ccc; padding: 0.3em 0.8em; text-align: left; }}
+th {{ background: #f2f2f2; }}
+.kpis span {{ display: inline-block; margin-right: 2em; }}
+.kpis b {{ font-size: 1.4em; }}
+.status-ready {{ color: #1a7f37; }}
+.status-draining, .status-not.ready {{ color: #b35900; }}
+</style>
+</head>
+<body>
+<h1>repro.serve <span class="status-{esc(status.replace(' ', '.'))}">{esc(status)}</span></h1>
+<p class="kpis">
+<span><b>{esc(view['queue_depth'])}</b> queued</span>
+<span><b>{esc(view['in_flight'])}</b> in flight</span>
+<span><b>{esc(view['slots'])}</b> slots</span>
+<span><b>{esc(jobs['done'])}</b> done</span>
+<span><b>{esc(jobs['failed'])}</b> failed</span>
+<span><b>{esc(view['uptime_s'])}s</b> up</span>
+</p>
+<h2>Leases</h2>
+<table>
+<tr><th>job</th><th>kind</th><th>attempt</th><th>age</th>
+<th>lease expires</th><th>eta</th></tr>
+{lease_rows}
+</table>
+<h2>Engines</h2>
+<table>
+<tr><th>engine</th><th>sim cycles</th><th>instructions</th>
+<th>cycles/s</th></tr>
+{engine_rows}
+</table>
+<h2>Cells</h2>
+<p>{esc(cells['completed'])} completed &middot;
+{esc(cells['simulated'])} simulated &middot;
+{esc(cells['reused'])} reused (cache {esc(cells['cache'])},
+checkpoint {esc(cells['checkpoint'])}) &middot;
+{esc(cells['failed'])} failed</p>
+<p>In-flight sweep: {esc(sweep['in_flight_cells'])} cell(s)
+&middot; mean cell {dash(sweep['mean_cell_s'])}s
+&middot; eta {dash(sweep['eta_s'])}s</p>
+</body>
+</html>
+"""
 
     # -- dispatch ------------------------------------------------------
 
@@ -390,6 +670,10 @@ class ServeApp:
             job.attempts,
             expires_unix=time.time() + self.config.lease_ttl_s,
         )
+        if _log.ENABLED:
+            self._job_log(job).info(
+                "lease_granted", ttl_s=self.config.lease_ttl_s
+            )
         thread = threading.Thread(
             target=self._execute,
             args=(job.copy(), lease),
@@ -427,6 +711,10 @@ class ServeApp:
                 "attempts": job.attempts,
             }
             self._count_terminal(STATE_FAILED)
+            if _log.ENABLED:
+                self._job_log(job).error(
+                    "lease_expired", outcome="failed", attempts=job.attempts
+                )
             return
         delay = self.leases.requeue_delay(job.id)
         job.state = STATE_QUEUED
@@ -438,6 +726,12 @@ class ServeApp:
             "serve_requeues_total", help="lease re-queues by reason"
         ).inc(reason="lease-expired")
         self._queue.append(job.id)
+        if _log.ENABLED:
+            self._job_log(job).warning(
+                "lease_expired",
+                outcome="requeued",
+                delay_s=round(delay, 3),
+            )
 
     def _count_terminal(self, state: str) -> None:
         self.registry.counter(
@@ -471,6 +765,11 @@ class ServeApp:
                     "serve_stale_results_total",
                     help="executor outcomes discarded after lease loss",
                 ).inc()
+                if _log.ENABLED:
+                    self._job_log(job).warning(
+                        "stale_result_discarded",
+                        elapsed_s=round(elapsed, 3),
+                    )
                 return
             live = self.jobs[job.id]
             assert self.journal is not None
@@ -481,6 +780,10 @@ class ServeApp:
                 live.error = None
                 self.health.on_success()
                 self._count_terminal(STATE_DONE)
+                if _log.ENABLED:
+                    self._job_log(live).info(
+                        "job_done", elapsed_s=round(elapsed, 3)
+                    )
             else:
                 error_type, message = failure
                 self.journal.record_fail(
@@ -499,6 +802,13 @@ class ServeApp:
                     # it says nothing about the host's health.
                     self.health.on_success()
                 self._count_terminal(STATE_FAILED)
+                if _log.ENABLED:
+                    self._job_log(live).error(
+                        "job_failed",
+                        error=error_type,
+                        infrastructure=infrastructure,
+                        elapsed_s=round(elapsed, 3),
+                    )
             self.registry.histogram(
                 "serve_job_seconds", help="job execution wall time"
             ).observe(elapsed, kind=job.kind)
@@ -604,6 +914,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self.app._count_request(self.command, route, code)
 
+    def _send_html(self, code: int, text: str, route: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.app._count_request(self.command, route, code)
+
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
@@ -613,6 +932,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(code, body, "/readyz")
         elif path == "/metrics":
             self._send_text(200, self.app.metrics_text(), "/metrics")
+        elif path == "/dashboard":
+            self._send_html(200, self.app.dashboard_html(), "/dashboard")
         elif path == "/jobs":
             self._send_json(200, {"jobs": self.app.jobs_view()}, "/jobs")
         elif path.startswith("/jobs/"):
@@ -750,6 +1071,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default 30)",
     )
     args = parser.parse_args(argv)
+    _log.configure_from_env()
 
     config = ServeConfig(
         journal=args.journal,

@@ -143,3 +143,7 @@ class LeaseTable:
 
     def live_job_ids(self) -> List[str]:
         return list(self._live)
+
+    def live_leases(self) -> List[Lease]:
+        """The current grants (the ops dashboard renders these)."""
+        return list(self._live.values())

@@ -187,8 +187,8 @@ def simulate_cell_resumable(
 
     result = sim.run(poll)
     # Observation-only mirror into the unified metrics registry, exactly
-    # as repro.api.simulate does.
-    record_result(result)
+    # as repro.api.simulate does (engine label included).
+    record_result(result, engine=config.engine)
     return result
 
 

@@ -1,0 +1,151 @@
+"""Engine capability declarations: no silent fallback, ever.
+
+A ``SimEngine`` declares the observers it supports natively in
+``FEATURES``; asking an engine to run with an observer it lacks raises
+:class:`repro.engines.EngineFeatureError` (CLI: exit status 2) instead
+of quietly substituting another engine.  The stub engine here is the
+event engine minus every capability, so any observer request against
+it must fail loudly — these tests pin the error surface end to end:
+``require_features`` → ``Simulator.run`` → ``repro.api.simulate`` →
+each harness subcommand.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.api import simulate
+from repro.core.config import GPUConfig, TraceConfig
+from repro.engines import (
+    OBSERVER_FEATURES,
+    EngineFeatureError,
+    available_engines,
+    engine_features,
+    get_engine,
+    register_engine,
+    require_features,
+    unregister_engine,
+)
+from repro.engines.event import EventEngine
+from repro.obs.spans import SpanRecorder, record_spans
+from repro.prof import profiler as _prof
+
+
+class CrippledEngine(EventEngine):
+    """Event mechanics, zero declared observer capabilities."""
+
+    name = "crippled"
+    FEATURES = frozenset()
+
+
+@contextlib.contextmanager
+def crippled_registered():
+    register_engine("crippled", CrippledEngine)
+    try:
+        yield
+    finally:
+        unregister_engine("crippled")
+
+
+TINY = dict(
+    num_cores=1, warps_per_core=8, warp_width=8, warmup_instructions=0
+)
+
+
+def test_builtin_engines_declare_every_observer_feature():
+    for name in ("cycle", "event"):
+        assert engine_features(name) == frozenset(OBSERVER_FEATURES)
+
+
+def test_require_features_passes_for_builtins():
+    require_features("event", {"trace", "spans"})
+    require_features("cycle", OBSERVER_FEATURES)
+
+
+def test_require_features_raises_with_sorted_missing():
+    with crippled_registered():
+        with pytest.raises(EngineFeatureError) as info:
+            require_features("crippled", {"trace", "spans"})
+    assert info.value.engine == "crippled"
+    assert info.value.missing == ("spans", "trace")
+    assert "never silently moved" in str(info.value)
+
+
+def test_register_engine_accepts_class_and_unregister_cleans_up():
+    register_engine("crippled", CrippledEngine)
+    try:
+        assert "crippled" in available_engines()
+        assert get_engine("crippled") is CrippledEngine
+    finally:
+        unregister_engine("crippled")
+    assert "crippled" not in available_engines()
+
+
+def test_unregister_refuses_builtins():
+    with pytest.raises(ValueError):
+        unregister_engine("event")
+
+
+def test_untraced_run_on_crippled_engine_still_works():
+    with crippled_registered():
+        config = GPUConfig.preset("no_tlb", **TINY).with_(engine="crippled")
+        result = simulate(config=config, workload="bfs")
+    assert result.cycles > 0
+
+
+def test_traced_simulate_on_crippled_engine_raises():
+    with crippled_registered():
+        config = GPUConfig.preset("no_tlb", **TINY).with_(
+            engine="crippled",
+            trace=TraceConfig(enabled=True, ring_capacity=256),
+        )
+        with pytest.raises(EngineFeatureError) as info:
+            simulate(config=config, workload="bfs")
+    assert "trace" in info.value.missing
+
+
+def test_spanned_simulate_on_crippled_engine_raises():
+    with crippled_registered():
+        config = GPUConfig.preset("no_tlb", **TINY).with_(engine="crippled")
+        with record_spans(SpanRecorder()):
+            with pytest.raises(EngineFeatureError) as info:
+                simulate(config=config, workload="bfs")
+    assert info.value.missing == ("spans",)
+
+
+def test_profiled_simulate_on_crippled_engine_raises():
+    with crippled_registered():
+        config = GPUConfig.preset("no_tlb", **TINY).with_(engine="crippled")
+        profiler = _prof.PhaseProfiler()
+        _prof.install(profiler)
+        try:
+            with pytest.raises(EngineFeatureError) as info:
+                simulate(config=config, workload="bfs")
+        finally:
+            _prof.uninstall()
+    assert info.value.missing == ("profile",)
+
+
+@pytest.mark.parametrize(
+    "subcommand",
+    [
+        ["trace", "bfs", "--tiny", "--engine", "crippled"],
+        ["explain", "bfs", "--quick", "--engine", "crippled"],
+    ],
+    ids=["trace", "explain"],
+)
+def test_harness_subcommands_exit_2_not_fallback(subcommand, tmp_path, capsys):
+    """``--engine crippled`` with observers on: exit 2 + clear message,
+    never a quiet run on a different engine."""
+    from repro.harness.__main__ import main
+
+    if subcommand[0] == "trace":
+        subcommand = subcommand + ["--out", str(tmp_path)]
+    with crippled_registered():
+        code = main(subcommand)
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "crippled" in err
+    assert "never silently moved" in err

@@ -5,9 +5,9 @@ the Figure 2 and Figure 11 machines, the same matrix the snapshot
 resume tests pin — under both engines and asserts the serialized
 results are identical (``canonical_json``).  The observed variants
 repeat the pin with the event tracer, the phase profiler, and the
-causal span recorder enabled (alone and together): instrumentation
-forces the event engine onto its reference loop, and the contract must
-hold on every path.
+causal span recorder enabled (alone and together): the event engine
+emits instrumentation natively from its own next-event loop (no
+cycle-loop fallback), and the contract must hold on every path.
 
 ``fig02-tbc`` and ``fig02-tlb-tbc`` are regression pins for warp-id
 aliasing: TBC compaction can field two *live* warps with the same

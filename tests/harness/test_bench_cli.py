@@ -37,6 +37,31 @@ class TestBenchCli:
         assert report["totals"]["peak_rss_kb"] > 0
         assert report["metrics"]  # registry snapshot is populated
 
+    def test_observed_column_records_overhead(self, tmp_path, capsys):
+        code = bench_main(
+            ARGS + ["--dir", str(tmp_path), "--observed", "--compare", "none"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        report = benchfile.load(tmp_path / "BENCH_1.json")
+        assert benchfile.validate(report) == []  # extra keys stay valid
+        figure = report["figures"]["fig04"]
+        assert figure["observed_wall_s"] > 0
+        # Tracing costs something but the observed loop stays the same
+        # order of magnitude; an absurd ratio means the instrumentation
+        # broke (noisy CI hosts get generous slack).
+        assert 0.2 < figure["observed_overhead"] < 10
+        totals = report["totals"]
+        assert totals["observed_wall_s"] > 0
+        assert totals["observed_overhead"] > 0
+
+    def test_without_observed_flag_no_observed_keys(self, tmp_path, capsys):
+        assert bench_main(ARGS + ["--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        report = benchfile.load(tmp_path / "BENCH_1.json")
+        assert "observed_wall_s" not in report["figures"]["fig04"]
+        assert "observed_wall_s" not in report["totals"]
+
     def test_strict_fails_on_synthetic_regression(self, tmp_path, capsys):
         assert bench_main(ARGS + ["--dir", str(tmp_path)]) == 0
         capsys.readouterr()

@@ -1,0 +1,243 @@
+"""repro.obs.log: structured run logs — levels, binding, sinks, env config."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture(autouse=True)
+def _clean_log_state():
+    log.reset()
+    yield
+    log.reset()
+
+
+def _text_records(stream):
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert log.ENABLED is False
+        assert log.sinks() == []
+
+    def test_emission_while_disabled_is_a_no_op(self):
+        logger = log.get_logger("test")
+        logger.info("event_one", key="value")
+        logger.error("event_two")
+        assert log.sinks() == []
+
+    def test_reset_returns_to_disabled(self):
+        log.configure(stream=io.StringIO())
+        assert log.ENABLED is True
+        log.reset()
+        assert log.ENABLED is False
+        assert log.LEVEL == log.INFO
+        assert log.sinks() == []
+
+
+class TestLevels:
+    def test_parse_level_names(self):
+        assert log.parse_level("debug") == log.DEBUG
+        assert log.parse_level("INFO") == log.INFO
+        assert log.parse_level(" Warning ") == log.WARNING
+        assert log.parse_level("error") == log.ERROR
+        assert log.parse_level(25) == 25
+
+    def test_parse_level_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.parse_level("verbose")
+
+    def test_level_name_round_trip(self):
+        for level in (log.DEBUG, log.INFO, log.WARNING, log.ERROR):
+            assert log.parse_level(log.level_name(level)) == level
+
+    def test_records_below_level_dropped(self):
+        stream = io.StringIO()
+        log.configure(level=log.WARNING, stream=stream)
+        logger = log.get_logger("test")
+        logger.debug("dropped_debug")
+        logger.info("dropped_info")
+        logger.warning("kept_warning")
+        logger.error("kept_error")
+        lines = _text_records(stream)
+        assert len(lines) == 2
+        assert "kept_warning" in lines[0]
+        assert "kept_error" in lines[1]
+
+    def test_debug_level_keeps_everything(self):
+        stream = io.StringIO()
+        log.configure(level="debug", stream=stream)
+        logger = log.get_logger("test")
+        logger.debug("a")
+        logger.info("b")
+        assert len(_text_records(stream)) == 2
+
+
+class TestBinding:
+    def test_bind_merges_context(self):
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        base = log.get_logger("serve", engine="event")
+        child = base.bind(job_id="j1", attempt=2)
+        child.info("lease_granted", ttl_s=120)
+        (line,) = _text_records(stream)
+        assert "engine=event" in line
+        assert "job_id=j1" in line
+        assert "attempt=2" in line
+        assert "ttl_s=120" in line
+
+    def test_bind_does_not_mutate_parent(self):
+        base = log.get_logger("pool", slot=0)
+        child = base.bind(slot=3, cell="abc")
+        assert base.context == {"slot": 0}
+        assert child.context == {"slot": 3, "cell": "abc"}
+
+    def test_call_fields_shadow_bound_context(self):
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        logger = log.get_logger("test", phase="warmup")
+        logger.info("tick", phase="measure")
+        (line,) = _text_records(stream)
+        assert "phase=measure" in line
+        assert "phase=warmup" not in line
+
+
+class TestJsonlSink:
+    def test_record_shape(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log.configure(jsonl_path=str(path), text=False)
+        logger = log.get_logger("simulator", engine="event", config="abc123")
+        logger.info("run_start", workload="bfs", cores=4)
+        logger.warning("run_slow", cycles=10)
+        records = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert len(records) == 2
+        first = records[0]
+        assert first["event"] == "run_start"
+        assert first["logger"] == "simulator"
+        assert first["level"] == "INFO"  # name, not number
+        assert first["engine"] == "event"
+        assert first["config"] == "abc123"
+        assert first["workload"] == "bfs"
+        assert first["cores"] == 4
+        assert isinstance(first["ts"], float)
+        assert records[1]["level"] == "WARNING"
+
+    def test_appends_across_configurations(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log.configure(jsonl_path=str(path), text=False)
+        log.get_logger("a").info("first")
+        log.reset()
+        log.configure(jsonl_path=str(path), text=False)
+        log.get_logger("a").info("second")
+        log.reset()
+        events = [
+            json.loads(line)["event"]
+            for line in path.read_text().splitlines()
+        ]
+        assert events == ["first", "second"]
+
+    def test_each_record_flushed(self, tmp_path):
+        # Crash safety: the file reflects every record without close().
+        path = tmp_path / "run.jsonl"
+        log.configure(jsonl_path=str(path), text=False)
+        log.get_logger("a").info("durable")
+        assert "durable" in path.read_text()
+
+    def test_written_counter(self, tmp_path):
+        log.configure(jsonl_path=str(tmp_path / "r.jsonl"), text=False)
+        (sink,) = log.sinks()
+        log.get_logger("a").info("one")
+        log.get_logger("a").debug("dropped")
+        assert sink.written == 1
+
+
+class TestTextSink:
+    def test_line_format(self):
+        stream = io.StringIO()
+        log.configure(stream=stream)
+        log.get_logger("serve").info("job_done", job_id="j9", elapsed_s=1.5)
+        (line,) = _text_records(stream)
+        ts, level, event = line.split()[:3]
+        assert len(ts.split(":")) == 3
+        assert level == "INFO"
+        assert event == "job_done"
+        assert "job_id=j9" in line
+        assert "elapsed_s=1.5" in line
+
+
+class TestConfigureFromEnv:
+    def test_nothing_set_stays_disabled(self):
+        assert log.configure_from_env({}) is False
+        assert log.ENABLED is False
+
+    def test_level_enables_text(self):
+        assert log.configure_from_env({"REPRO_LOG_LEVEL": "debug"}) is True
+        assert log.ENABLED is True
+        assert log.LEVEL == log.DEBUG
+        (sink,) = log.sinks()
+        assert isinstance(sink, log.TextLogSink)
+
+    def test_jsonl_only(self, tmp_path):
+        path = tmp_path / "env.jsonl"
+        assert (
+            log.configure_from_env({"REPRO_LOG_JSONL": str(path)}) is True
+        )
+        assert log.LEVEL == log.INFO
+        (sink,) = log.sinks()
+        assert isinstance(sink, log.JsonlLogSink)
+        log.get_logger("a").info("via_env")
+        assert "via_env" in path.read_text()
+
+    def test_both_set(self, tmp_path):
+        path = tmp_path / "env.jsonl"
+        log.configure_from_env(
+            {
+                "REPRO_LOG_LEVEL": "warning",
+                "REPRO_LOG_JSONL": str(path),
+            }
+        )
+        assert log.LEVEL == log.WARNING
+        kinds = {type(s) for s in log.sinks()}
+        assert kinds == {log.TextLogSink, log.JsonlLogSink}
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            log.configure_from_env({"REPRO_LOG_LEVEL": "loud"})
+
+
+class TestSimulationUnaffected:
+    def test_results_identical_with_logging_on(self, tmp_path):
+        from repro.api import simulate
+        from repro.core.config import GPUConfig
+
+        config = GPUConfig.preset(
+            "baseline",
+            num_cores=1,
+            warps_per_core=8,
+            warp_width=8,
+            warmup_instructions=0,
+        )
+        baseline = simulate(config=config, workload="bfs")
+        log.configure(
+            level="debug", jsonl_path=str(tmp_path / "sim.jsonl"), text=False
+        )
+        logged = simulate(config=config, workload="bfs")
+        assert (
+            logged.canonical_json() == baseline.canonical_json()
+        )
+        events = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "sim.jsonl").read_text().splitlines()
+        ]
+        assert "run_start" in events
+        assert "run_end" in events

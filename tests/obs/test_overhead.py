@@ -69,6 +69,36 @@ class TestObservationOnly:
         assert result.interval_series == []
         assert result.histograms == {}
 
+    def test_trace_override_forces_tracing_without_touching_results(self):
+        from repro.core import simulator as sim_mod
+        from repro.core.simulator import trace_override
+
+        base = small_config()
+        off = run(base)
+        forced = TraceConfig(
+            enabled=True, ring_capacity=1 << 14, interval_cycles=256
+        )
+        with trace_override(forced):
+            on = run(base)  # config itself stays untraced
+        assert sim_mod._TRACE_OVERRIDE is None  # restored
+        assert base.trace.enabled is False
+        assert on.cycles == off.cycles
+        assert on.stats == off.stats
+        assert on.interval_series  # the override really traced the run
+        assert on.histograms
+
+    def test_trace_override_nests_and_restores(self):
+        from repro.core import simulator as sim_mod
+        from repro.core.simulator import trace_override
+
+        outer = TraceConfig(enabled=True, ring_capacity=64)
+        inner = TraceConfig(enabled=True, ring_capacity=128)
+        with trace_override(outer):
+            with trace_override(inner):
+                assert sim_mod._TRACE_OVERRIDE is inner
+            assert sim_mod._TRACE_OVERRIDE is outer
+        assert sim_mod._TRACE_OVERRIDE is None
+
     def test_tracer_uninstalled_after_run(self):
         run(small_config(trace=TraceConfig(enabled=True)))
         assert trace.ENABLED is False

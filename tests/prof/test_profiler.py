@@ -165,3 +165,57 @@ class TestModuleFlag:
             assert work() == 42
         assert profiler.records["analysis"].calls == 1
         assert profiler.records["analysis"].total_ns == 7
+
+
+class TestEventSkipPhase:
+    """The event engine's dead-time bookkeeping is a real profiled
+    phase: sparse workloads accumulate it, and it nests under the
+    simulate frame without breaking the self-time partition."""
+
+    def _profiled_run(self, compute_latency=12):
+        from repro.api import simulate
+
+        from helpers import small_config, small_workload
+
+        profiler = PhaseProfiler()
+        with prof.profile(profiler):
+            simulate(
+                config=small_config(),
+                workload=small_workload(compute_latency=compute_latency),
+                engine="event",
+            )
+        return profiler
+
+    def test_sparse_workload_accumulates_event_skip(self):
+        profiler = self._profiled_run()
+        record = profiler.records[prof.PHASE_EVENT_SKIP]
+        assert record.calls > 0
+        assert record.self_ns > 0
+
+    def test_event_skip_self_time_still_tiles_wall_time(self):
+        profiler = self._profiled_run()
+        assert profiler.depth == 0  # every frame closed
+        simulate_record = profiler.records[prof.PHASE_SIMULATE]
+        # The simulate frame is the sole root, so the per-phase
+        # self-times must partition its span exactly — event_skip
+        # included, double counting nothing.
+        assert profiler.total_profiled_ns() == simulate_record.total_ns
+        assert (
+            0
+            < profiler.records[prof.PHASE_EVENT_SKIP].self_ns
+            < simulate_record.total_ns
+        )
+
+    def test_cycle_engine_never_records_event_skip(self):
+        from repro.api import simulate
+
+        from helpers import small_config, small_workload
+
+        profiler = PhaseProfiler()
+        with prof.profile(profiler):
+            simulate(
+                config=small_config(),
+                workload=small_workload(compute_latency=12),
+                engine="cycle",
+            )
+        assert prof.PHASE_EVENT_SKIP not in profiler.records

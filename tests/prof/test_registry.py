@@ -114,3 +114,36 @@ class TestRecordResult:
     def test_metric_kinds(self, registry):
         assert isinstance(registry.gauge("g"), Gauge)
         assert isinstance(registry.histogram("h"), Histogram)
+
+    def test_api_simulate_labels_series_with_engine(self):
+        from repro.api import simulate
+        from repro.prof.registry import REGISTRY
+
+        config = small_config()
+        before = REGISTRY.counter("sim_cycles").value(engine="event")
+        result = simulate(config=config, workload="bfs", engine="event")
+        after = REGISTRY.counter("sim_cycles").value(engine="event")
+        assert after - before == result.stats.cycles
+
+    def test_event_and_cycle_engines_mirror_identical_counters(
+        self, registry
+    ):
+        """The sim_* mirror is engine-invariant: byte-identical results
+        mean byte-identical counters, separable by the engine label."""
+        from repro.api import simulate
+
+        config = small_config()
+        for engine in ("event", "cycle"):
+            result = simulate(config=config, workload="bfs", engine=engine)
+            record_result(result, registry, engine=engine)
+        families = [
+            m for m in registry.metrics() if m.name.startswith("sim_")
+        ]
+        assert families, "no sim_* families mirrored"
+        nonzero = 0
+        for family in families:
+            event_value = family.value(engine="event")
+            cycle_value = family.value(engine="cycle")
+            assert event_value == cycle_value, family.name
+            nonzero += event_value > 0
+        assert nonzero >= 5  # cycles, instructions, l1/l2, tlb at least
