@@ -1,0 +1,11 @@
+"""``python -m repro.dist`` — the worker CLI (coordinator lives in serve).
+
+The coordinator runs inside the ``repro.serve`` daemon (start it with
+``python -m repro.serve --dist-journal PATH``); this entry point is the
+worker side, identical to ``python -m repro.harness worker``.
+"""
+
+from repro.dist.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,661 @@
+"""The sweep coordinator: shard, lease, verify, reassemble.
+
+The coordinator is a journaled state machine over sweep cells, HTTP
+left to its host (the ``repro.serve`` daemon splices ``/dist/*`` into
+its handler; in-process tests call :meth:`DistCoordinator.handle`
+directly).  The lifecycle of one cell:
+
+1. **shard** — :meth:`submit_cells` keys the cell by its canonical
+   config-hash identity (:func:`repro.parallel.cells.key_of`) and
+   journals its wire form; duplicate submissions collapse.
+2. **lease** — a worker's poll grants ``(cell_key, attempt)`` through
+   the same :class:`repro.serve.leases.LeaseTable` fencing the job
+   dispatcher uses, attempt incremented per grant.
+3. **heartbeat** — renews the lease while the worker executes; a
+   fenced heartbeat tells the worker to abandon the cell.
+4. **complete/fail** — the push runs a verification pipeline before
+   anything is journaled: known key → result digest (recomputed over
+   the exact pushed string) → config hash → fencing token.  Stale and
+   duplicate pushes are discarded and counted
+   (``dist_stale_results_total``), corrupt ones rejected and counted
+   (``dist_rejected_results_total``); only a verified push folds into
+   the shared :class:`repro.parallel.cache.ResultCache` and reaches
+   the journal.
+5. **expiry** — :meth:`maintain` (called from the daemon's monitor
+   tick) re-queues cells whose leases lapsed, under the shared
+   decorrelated-jitter backoff and the cell's bounded attempt budget;
+   a cell that exhausts the budget fails *structurally* (typed error,
+   attempts attached) without sinking the sweep.
+
+Reassembly (:meth:`assemble`) returns results in submission order,
+parsed from the exact strings workers pushed — byte-identical to a
+serial run because cells are pure functions of their configs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import SimulationResult
+from repro.dist.journal import (
+    CellJournal,
+    CellState,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+)
+from repro.dist.protocol import (
+    ProtocolError,
+    cell_from_wire,
+    cell_to_wire,
+    result_digest,
+    wire_config_hash,
+)
+from repro.obs import log as _log
+from repro.parallel.cache import ResultCache
+from repro.parallel.cells import Cell, key_of, rebuild_error
+from repro.prof.registry import MetricsRegistry, REGISTRY
+from repro.serve.leases import LeaseTable
+
+__all__ = ["DistCoordinator"]
+
+#: Push dispositions :meth:`DistCoordinator.complete` can return.
+ACCEPTED = "accepted"
+
+
+class DistCoordinator:
+    """Shards a sweep into leased cells and reassembles verified results.
+
+    Parameters
+    ----------
+    journal_path:
+        The cell journal (WAL) file; replayed on construction, so a
+        restarted coordinator resumes exactly where it died.
+    cache:
+        Shared result cache verified pushes fold into (optional).
+    lease_ttl:
+        Seconds a worker owns a cell between heartbeats before the
+        coordinator presumes it dead and re-queues.
+    max_attempts:
+        Lease grants per cell before it fails structurally.
+    worker_ttl:
+        Seconds since last contact before a worker stops counting as
+        live (default ``2 * lease_ttl``).
+    clock:
+        Injectable monotonic clock (chaos tests advance a fake one).
+    """
+
+    def __init__(
+        self,
+        journal_path: str,
+        cache: Optional[ResultCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        lease_ttl: float = 30.0,
+        max_attempts: int = 3,
+        worker_ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        backoff_seed: int = 0,
+        journal_max_bytes: Optional[int] = None,
+    ):
+        self.lock = threading.RLock()
+        self.cache = cache
+        self.registry = registry if registry is not None else REGISTRY
+        self.max_attempts = max_attempts
+        self.worker_ttl = worker_ttl if worker_ttl is not None else 2 * lease_ttl
+        self.clock = clock
+        self.leases = LeaseTable(
+            ttl=lease_ttl, clock=clock, backoff_seed=backoff_seed
+        )
+        self.journal = CellJournal(journal_path, max_bytes=journal_max_bytes)
+        self.log = _log.get_logger("dist.coordinator")
+        #: worker id → monotonic last-contact instant.
+        self._workers: Dict[str, float] = {}
+        self._cells: Dict[str, CellState] = self.journal.replayed.cells
+        #: Submission order — assemble() without explicit keys uses it.
+        self._order: List[str] = list(self._cells)
+        # Cells mid-lease when the previous coordinator died: their
+        # leases died with it, so they re-queue (fencing discards any
+        # late push from their original workers).
+        for key in self.journal.replayed.interrupted:
+            cell = self._cells[key]
+            cell.state = STATE_QUEUED
+            self.journal.record_requeue(
+                key, cell.attempts, reason="coordinator-restart"
+            )
+            if _log.ENABLED:
+                self.log.warning(
+                    "dist_cell_interrupted", cell=key, attempt=cell.attempts
+                )
+
+    # -- metric shorthands ---------------------------------------------
+
+    def _count(self, name: str, help: str, **labels: str) -> None:
+        self.registry.counter(name, help=help).inc(1, **labels)
+
+    def _stale(self, reason: str, key: str, attempt: int) -> Dict[str, Any]:
+        self._count(
+            "dist_stale_results_total",
+            "pushes discarded by lease fencing",
+            reason=reason,
+        )
+        if _log.ENABLED:
+            self.log.warning(
+                "dist_stale_result", cell=key, attempt=attempt, reason=reason
+            )
+        return {"accepted": False, "reason": reason, "retry": False}
+
+    def _rejected(
+        self, reason: str, key: str, retry: bool
+    ) -> Dict[str, Any]:
+        self._count(
+            "dist_rejected_results_total",
+            "pushes that failed verification",
+            reason=reason,
+        )
+        if _log.ENABLED:
+            self.log.warning("dist_rejected_result", cell=key, reason=reason)
+        return {"accepted": False, "reason": reason, "retry": retry}
+
+    def _update_cell_gauges(self) -> None:
+        counts = {s: 0 for s in (STATE_QUEUED, STATE_RUNNING, STATE_DONE,
+                                 STATE_FAILED)}
+        for cell in self._cells.values():
+            counts[cell.state] = counts.get(cell.state, 0) + 1
+        gauge = self.registry.gauge(
+            "dist_cells", "sharded cells by state"
+        )
+        for state, count in counts.items():
+            gauge.set(count, state=state)
+
+    # -- sharding ------------------------------------------------------
+
+    def submit_cells(self, cells: Sequence[Cell]) -> List[str]:
+        """Shard ``cells`` into the pool; returns their keys in order.
+
+        Content-derived keys make submission idempotent: a driver
+        re-submitting the same sweep after a coordinator restart (or a
+        retried POST) maps onto the existing cells, results intact.
+        """
+        keys: List[str] = []
+        with self.lock:
+            for cell in cells:
+                key = key_of(cell)
+                keys.append(key)
+                if key in self._cells:
+                    continue
+                wire = cell_to_wire(cell)
+                self.journal.record_shard(key, wire)
+                self._cells[key] = CellState(key=key, wire=wire)
+                self._order.append(key)
+                if _log.ENABLED:
+                    self.log.info("dist_shard", cell=key)
+            self._update_cell_gauges()
+        return keys
+
+    # -- worker-facing API ---------------------------------------------
+
+    def _touch_worker(self, worker: str) -> None:
+        if worker not in self._workers and _log.ENABLED:
+            self.log.info("dist_worker_seen", worker=worker)
+        self._workers[worker] = self.clock()
+
+    def lease(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Grant the next runnable cell to ``worker`` (None = idle)."""
+        with self.lock:
+            self._touch_worker(worker)
+            self._expire()
+            now = self.clock()
+            for key in self._order:
+                cell = self._cells[key]
+                if cell.state != STATE_QUEUED or cell.not_before > now:
+                    continue
+                attempt = cell.attempts + 1
+                grant = self.leases.grant(key, attempt, owner=worker)
+                cell.state = STATE_RUNNING
+                cell.attempts = attempt
+                self.journal.record_lease(
+                    key, attempt, worker, expires_unix=time.time()
+                    + self.leases.ttl
+                )
+                self._count(
+                    "dist_leases_granted_total", "cell leases granted"
+                )
+                self._update_cell_gauges()
+                if _log.ENABLED:
+                    self.log.info(
+                        "dist_lease", cell=key, attempt=attempt, worker=worker
+                    )
+                return {
+                    "key": key,
+                    "attempt": attempt,
+                    "cell": cell.wire,
+                    "ttl_s": self.leases.ttl,
+                    "expires_at": grant.expires_at,
+                }
+            return None
+
+    def heartbeat(self, worker: str, key: str, attempt: int) -> bool:
+        """Renew ``worker``'s lease; False means it was fenced off."""
+        with self.lock:
+            self._touch_worker(worker)
+            self._count("dist_heartbeats_total", "worker heartbeats")
+            cell = self._cells.get(key)
+            if cell is None or cell.terminal:
+                return False
+            live = self.leases.current(key)
+            if live is None or live.attempt != attempt:
+                if _log.ENABLED:
+                    self.log.warning(
+                        "dist_heartbeat_fenced",
+                        cell=key,
+                        attempt=attempt,
+                        worker=worker,
+                    )
+                return False
+            return self.leases.renew(live) is not None
+
+    def complete(
+        self,
+        worker: str,
+        key: str,
+        attempt: int,
+        result_json: Any,
+        digest: Any,
+        config_hash_claim: Any = None,
+    ) -> Dict[str, Any]:
+        """Verify and fold one pushed result.
+
+        Returns ``{"accepted": bool, "reason": ..., "retry": bool}``;
+        ``retry`` True marks transport-level corruption (torn body) the
+        worker should re-push, False marks a push that must be
+        abandoned (fenced, duplicate, or semantically wrong).  Raises
+        :class:`ProtocolError` for payloads malformed beyond reasoning.
+        """
+        if not isinstance(result_json, str) or not isinstance(digest, str):
+            raise ProtocolError(
+                "complete push needs string 'result' and 'digest' fields"
+            )
+        with self.lock:
+            self._touch_worker(worker)
+            cell = self._cells.get(key)
+            if cell is None:
+                return self._rejected("unknown", key, retry=False)
+            # Digest first: a mismatch means the body tore in flight —
+            # nothing else in the payload can be trusted, and the
+            # worker still holds the true bytes, so ask for a re-push.
+            if result_digest(result_json) != digest:
+                return self._rejected("digest", key, retry=True)
+            if config_hash_claim is not None:
+                if wire_config_hash(cell.wire) != config_hash_claim:
+                    return self._rejected("config_hash", key, retry=False)
+            # Fencing: exactly one push per cell ever passes this gate.
+            if cell.terminal:
+                return self._stale("duplicate", key, attempt)
+            live = self.leases.current(key)
+            if live is None or live.attempt != attempt:
+                return self._stale("fenced", key, attempt)
+            try:
+                result = SimulationResult.from_json(result_json)
+            except (ValueError, KeyError, TypeError):
+                return self._rejected("malformed", key, retry=True)
+            self.leases.release(live)
+            self.journal.record_done(key, result_json, digest, worker)
+            cell.state = STATE_DONE
+            cell.result_json = result_json
+            cell.digest = digest
+            cell.error = None
+            if self.cache is not None:
+                self.cache.put(cell_from_wire(cell.wire), result)
+            self._count("dist_results_total", "verified cell results")
+            self._update_cell_gauges()
+            if _log.ENABLED:
+                self.log.info(
+                    "dist_complete", cell=key, attempt=attempt, worker=worker
+                )
+            return {"accepted": True, "reason": ACCEPTED, "retry": False}
+
+    def fail(
+        self,
+        worker: str,
+        key: str,
+        attempt: int,
+        error_type: str,
+        message: str,
+        diagnostics: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Fold one structured worker-side failure (fenced like a push)."""
+        with self.lock:
+            self._touch_worker(worker)
+            cell = self._cells.get(key)
+            if cell is None:
+                return self._rejected("unknown", key, retry=False)
+            if cell.terminal:
+                return self._stale("duplicate", key, attempt)
+            live = self.leases.current(key)
+            if live is None or live.attempt != attempt:
+                return self._stale("fenced", key, attempt)
+            self.leases.release(live)
+            self._requeue_or_fail(
+                cell, reason="worker-error",
+                error=(str(error_type), str(message), diagnostics or {}),
+            )
+            self._update_cell_gauges()
+            return {"accepted": True, "reason": "recorded", "retry": False}
+
+    # -- expiry / maintenance ------------------------------------------
+
+    def _requeue_or_fail(
+        self,
+        cell: CellState,
+        reason: str,
+        error: Optional[Tuple[str, str, Dict[str, Any]]] = None,
+    ) -> None:
+        """Budgeted retry: re-queue under backoff or fail structurally."""
+        if cell.attempts >= self.max_attempts:
+            error_type, message, diagnostics = error or (
+                "CellTimeout",
+                f"lease expired {cell.attempts} times "
+                f"(workers died or wedged)",
+                {},
+            )
+            diagnostics = dict(diagnostics)
+            diagnostics.setdefault("cell_key", cell.key)
+            diagnostics["attempts"] = cell.attempts
+            cell.state = STATE_FAILED
+            cell.error = {
+                "type": error_type,
+                "message": message,
+                "attempts": cell.attempts,
+                "diagnostics": diagnostics,
+            }
+            self.journal.record_fail(
+                cell.key, error_type, message, cell.attempts
+            )
+            self._count(
+                "dist_cells_failed_total",
+                "cells that exhausted their attempt budget",
+            )
+            if _log.ENABLED:
+                self.log.error(
+                    "dist_cell_failed",
+                    cell=cell.key,
+                    error_type=error_type,
+                    attempts=cell.attempts,
+                )
+            return
+        delay = self.leases.requeue_delay(cell.key)
+        cell.state = STATE_QUEUED
+        cell.not_before = self.clock() + delay
+        self.journal.record_requeue(
+            cell.key, cell.attempts, reason=reason, delay_s=delay
+        )
+        if _log.ENABLED:
+            self.log.warning(
+                "dist_requeue",
+                cell=cell.key,
+                attempt=cell.attempts,
+                reason=reason,
+                delay_s=round(delay, 3),
+            )
+
+    def _expire(self) -> None:
+        """Re-queue cells whose leases lapsed (caller holds the lock)."""
+        for lease in self.leases.expired():
+            self.leases.revoke(lease.job_id)
+            cell = self._cells.get(lease.job_id)
+            self._count(
+                "dist_lease_expirations_total",
+                "leases that lapsed without a push",
+            )
+            if _log.ENABLED:
+                self.log.warning(
+                    "dist_lease_expired",
+                    cell=lease.job_id,
+                    attempt=lease.attempt,
+                    worker=lease.owner or "-",
+                )
+            if cell is not None and not cell.terminal:
+                self._requeue_or_fail(cell, reason="lease-expired")
+        live = sum(
+            1
+            for seen in self._workers.values()
+            if self.clock() - seen <= self.worker_ttl
+        )
+        self.registry.gauge(
+            "dist_workers_live", "workers seen within worker_ttl"
+        ).set(live)
+
+    def maintain(self) -> None:
+        """Periodic upkeep (the serve daemon calls this from its tick)."""
+        with self.lock:
+            self._expire()
+            self._update_cell_gauges()
+
+    # -- driver-facing API ---------------------------------------------
+
+    def live_workers(self) -> int:
+        with self.lock:
+            now = self.clock()
+            return sum(
+                1
+                for seen in self._workers.values()
+                if now - seen <= self.worker_ttl
+            )
+
+    def counts(self) -> Dict[str, int]:
+        with self.lock:
+            out = {s: 0 for s in (STATE_QUEUED, STATE_RUNNING, STATE_DONE,
+                                  STATE_FAILED)}
+            for cell in self._cells.values():
+                out[cell.state] = out.get(cell.state, 0) + 1
+            return out
+
+    def all_terminal(self) -> bool:
+        with self.lock:
+            return bool(self._cells) and all(
+                cell.terminal for cell in self._cells.values()
+            )
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /dist/status`` body (fleet + cell summary)."""
+        with self.lock:
+            self._expire()
+            now = self.clock()
+            workers = {
+                worker: {
+                    "age_s": round(now - seen, 3),
+                    "live": now - seen <= self.worker_ttl,
+                }
+                for worker, seen in sorted(self._workers.items())
+            }
+            return {
+                "cells": self.counts(),
+                "workers": workers,
+                "workers_live": sum(
+                    1 for w in workers.values() if w["live"]
+                ),
+                "leases": [
+                    {
+                        "key": lease.job_id,
+                        "attempt": lease.attempt,
+                        "owner": lease.owner,
+                        "expires_in_s": round(lease.expires_at - now, 3),
+                    }
+                    for lease in self.leases.live_leases()
+                ],
+                "lease_ttl_s": self.leases.ttl,
+                "max_attempts": self.max_attempts,
+            }
+
+    def cell_states(self) -> List[Dict[str, Any]]:
+        with self.lock:
+            return [
+                self._cells[key].public_dict() for key in self._order
+            ]
+
+    def result_strings(
+        self, keys: Optional[Sequence[str]] = None
+    ) -> List[Optional[str]]:
+        """The exact canonical result strings, in submission order.
+
+        Byte-identity assertions compare these against
+        ``SimulationResult.canonical_json()`` of a serial run.
+        """
+        with self.lock:
+            chosen = list(keys) if keys is not None else list(self._order)
+            return [
+                self._cells[key].result_json if key in self._cells else None
+                for key in chosen
+            ]
+
+    def assemble(
+        self, keys: Optional[Sequence[str]] = None
+    ) -> List[SimulationResult]:
+        """Reassemble the sweep in submission order.
+
+        Every cell must be terminal; the earliest failed cell (in the
+        requested order) raises its reconstructed structured error —
+        the same earliest-failure semantics the in-process pool uses.
+        """
+        with self.lock:
+            chosen = list(keys) if keys is not None else list(self._order)
+            for key in chosen:
+                cell = self._cells.get(key)
+                if cell is None:
+                    raise KeyError(f"unknown cell {key!r}")
+                if not cell.terminal:
+                    raise RuntimeError(
+                        f"cell {key!r} is still {cell.state!r}; "
+                        "assemble() needs every cell terminal"
+                    )
+            for key in chosen:
+                cell = self._cells[key]
+                if cell.state == STATE_FAILED:
+                    error = cell.error or {}
+                    diagnostics = dict(error.get("diagnostics") or {})
+                    diagnostics.setdefault("cell_key", key)
+                    diagnostics.setdefault(
+                        "attempts", error.get("attempts", cell.attempts)
+                    )
+                    raise rebuild_error(
+                        error.get("type", "SimulationError"),
+                        error.get("message", "distributed cell failed"),
+                        diagnostics,
+                    )
+            return [
+                SimulationResult.from_json(self._cells[key].result_json)
+                for key in chosen
+            ]
+
+    # -- HTTP splice ----------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one ``/dist/*`` request; returns ``(status, body)``.
+
+        The serve daemon's handler delegates here; the in-process
+        ``LocalTransport`` calls it directly.  Worker-identifying
+        fields are required on every POST.
+        """
+        if method == "GET" and path == "/dist/status":
+            return 200, self.status()
+        if method == "GET" and path == "/dist/cells":
+            return 200, {"cells": self.cell_states()}
+        if method != "POST":
+            return 404, {"error": f"no such dist route {path!r}"}
+        if not isinstance(body, dict):
+            return 400, {"error": "request body must be a JSON object"}
+
+        def _str(field: str) -> str:
+            value = body.get(field)
+            if not isinstance(value, str) or not value:
+                raise ProtocolError(
+                    f"field {field!r} must be a non-empty string"
+                )
+            return value
+
+        def _int(field: str) -> int:
+            value = body.get(field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ProtocolError(f"field {field!r} must be an integer")
+            return value
+
+        try:
+            if path == "/dist/shard":
+                wires = body.get("cells")
+                if not isinstance(wires, list) or not wires:
+                    raise ProtocolError(
+                        "'cells' must be a non-empty list of wire cells"
+                    )
+                cells = [cell_from_wire(wire) for wire in wires]
+                return 200, {"keys": self.submit_cells(cells)}
+            if path == "/dist/assemble":
+                keys = body.get("keys")
+                if keys is not None and not isinstance(keys, list):
+                    raise ProtocolError("'keys' must be a list of cell keys")
+                with self.lock:
+                    chosen = (
+                        [str(k) for k in keys]
+                        if keys is not None
+                        else list(self._order)
+                    )
+                    rows = []
+                    for key in chosen:
+                        cell = self._cells.get(key)
+                        if cell is None:
+                            raise ProtocolError(f"unknown cell {key!r}")
+                        rows.append(
+                            {
+                                "key": key,
+                                "state": cell.state,
+                                "result": cell.result_json,
+                                "error": cell.error,
+                            }
+                        )
+                    return 200, {
+                        "complete": all(
+                            row["state"] in ("done", "failed")
+                            for row in rows
+                        ),
+                        "cells": rows,
+                    }
+            if path == "/dist/lease":
+                grant = self.lease(_str("worker"))
+                return 200, {"lease": grant}
+            if path == "/dist/heartbeat":
+                ok = self.heartbeat(
+                    _str("worker"), _str("key"), _int("attempt")
+                )
+                return 200, {"ok": ok}
+            if path == "/dist/complete":
+                outcome = self.complete(
+                    _str("worker"),
+                    _str("key"),
+                    _int("attempt"),
+                    body.get("result"),
+                    body.get("digest"),
+                    body.get("config_hash"),
+                )
+                status = 400 if outcome.get("retry") else 200
+                return status, outcome
+            if path == "/dist/fail":
+                diagnostics = body.get("diagnostics")
+                outcome = self.fail(
+                    _str("worker"),
+                    _str("key"),
+                    _int("attempt"),
+                    _str("error_type"),
+                    str(body.get("error", "")),
+                    diagnostics if isinstance(diagnostics, dict) else None,
+                )
+                return 200, outcome
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        return 404, {"error": f"no such dist route {path!r}"}
+
+    def close(self) -> None:
+        self.journal.close()

@@ -1,0 +1,164 @@
+"""Seeded network fault injection for the worker↔coordinator channel.
+
+:class:`FaultyTransport` wraps any transport and misbehaves on the way
+through, drawing every decision from one seeded
+:class:`random.Random` so a chaos campaign replays bit-for-bit:
+
+- **refusals** — the connection never opens (``refuse``);
+- **torn bodies** — the request bytes truncate mid-flight (``tear``);
+  the far side sees invalid JSON and answers 400, the caller sees a
+  normal (failed) response — exactly a half-written POST;
+- **delays** — the request stalls before delivery (``delay`` /
+  ``delay_s``);
+- **duplicated deliveries** — the request arrives twice, the caller
+  sees only the second response (``duplicate``) — a retransmit that
+  was not actually lost;
+- **lost responses** — the request *is* delivered and processed, but
+  the response never comes back (``drop_response``); the caller
+  retries and the far side sees a duplicate — the classic
+  at-least-once double-push;
+- **partitions** — :meth:`FaultyTransport.partition` scripts a total
+  or one-way outage until :meth:`FaultyTransport.heal`; one-way means
+  requests still arrive (and mutate coordinator state) while every
+  response is lost, the worst case for fencing.
+
+Faults compose: a delayed, duplicated, torn request is possible.  The
+injected-fault counters (:attr:`FaultyTransport.injected`) let the
+campaign assert the run actually exercised what it claims to.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.dist.transport import TransportError, _encode
+
+__all__ = ["FaultSpec", "FaultyTransport"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-request fault probabilities (all default off)."""
+
+    refuse: float = 0.0
+    tear: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.02
+    drop_response: float = 0.0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """``"refuse=0.1,tear=0.05"`` → FaultSpec (CLI surface)."""
+        values: Dict[str, float] = {}
+        known = {f.name for f in fields(cls)}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault spec {part!r}; expected name=value"
+                )
+            name, _, raw = part.partition("=")
+            name = name.strip()
+            if name not in known:
+                raise ValueError(
+                    f"unknown fault {name!r}; one of {sorted(known)}"
+                )
+            values[name] = float(raw)
+        return cls(**values)
+
+
+class FaultyTransport:
+    """A transport that injects seeded faults around an inner one."""
+
+    def __init__(
+        self,
+        inner: Any,
+        spec: FaultSpec,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.spec = spec
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+        self._partitioned = False
+        self._one_way = False
+        #: fault name → times injected (campaign coverage assertions).
+        self.injected: Dict[str, int] = {}
+
+    # -- scripted partitions -------------------------------------------
+
+    def partition(self, one_way: bool = False) -> None:
+        """Cut the channel: total, or one-way (requests land, responses
+        are lost) until :meth:`heal`."""
+        self._partitioned = True
+        self._one_way = one_way
+
+    def heal(self) -> None:
+        self._partitioned = False
+        self._one_way = False
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partitioned
+
+    # -- the faulty path -----------------------------------------------
+
+    def _hit(self, name: str, probability: float) -> bool:
+        if probability <= 0.0:
+            return False
+        if self._rng.random() >= probability:
+            return False
+        self.injected[name] = self.injected.get(name, 0) + 1
+        return True
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Any]:
+        return self.request_raw(method, path, _encode(payload))
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Any]:
+        if self._partitioned and not self._one_way:
+            self.injected["partition"] = self.injected.get("partition", 0) + 1
+            raise TransportError(f"{method} {path}: partitioned (injected)")
+        if self._hit("refuse", self.spec.refuse):
+            raise TransportError(
+                f"{method} {path}: connection refused (injected)"
+            )
+        if self._hit("delay", self.spec.delay):
+            self.sleep(self.spec.delay_s)
+        send = body
+        if body is not None and self._hit("tear", self.spec.tear):
+            # Truncate somewhere strictly inside the body: the far
+            # side must see invalid JSON, not an empty no-op.
+            send = body[: self._rng.randrange(1, len(body))]
+        if send is not None and send == body and self._hit(
+            "duplicate", self.spec.duplicate
+        ):
+            # First delivery processed, its response discarded.
+            self.inner.request_raw(method, path, send)
+        status, response = self.inner.request_raw(method, path, send)
+        if self._partitioned and self._one_way:
+            self.injected["partition_oneway"] = (
+                self.injected.get("partition_oneway", 0) + 1
+            )
+            raise TransportError(
+                f"{method} {path}: response lost to one-way partition "
+                "(injected)"
+            )
+        if self._hit("drop_response", self.spec.drop_response):
+            raise TransportError(
+                f"{method} {path}: response lost (injected)"
+            )
+        return status, response

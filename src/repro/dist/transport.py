@@ -1,0 +1,123 @@
+"""Worker↔coordinator transports: HTTP, in-process, and the raw seam.
+
+A transport is anything with::
+
+    request(method, path, payload) -> (status, body_dict)
+    request_raw(method, path, body_bytes) -> (status, body_dict)
+
+``request`` is what the worker calls; ``request_raw`` is the byte-level
+seam underneath it — the fault injector
+(:class:`repro.dist.faultnet.FaultyTransport`) serializes the payload
+itself so it can truncate the bytes mid-flight, then delivers through
+``request_raw``, which parses exactly like a real server would (a torn
+body is a 400, never a half-parsed payload).
+
+Network failure raises :class:`TransportError` (a
+:class:`ConnectionError`): refusals, timeouts, resets, and injected
+partitions all surface the same way, so worker retry logic has one
+exception to reason about.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["HttpTransport", "LocalTransport", "TransportError"]
+
+
+class TransportError(ConnectionError):
+    """The coordinator could not be reached (or the channel failed)."""
+
+
+def _encode(payload: Optional[Dict[str, Any]]) -> Optional[bytes]:
+    if payload is None:
+        return None
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _decode(raw: bytes) -> Any:
+    if not raw:
+        return None
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+class HttpTransport:
+    """Talks to a coordinator's ``/dist/*`` routes over urllib."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Any]:
+        return self.request_raw(method, path, _encode(payload))
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Any]:
+        url = self.base_url + path
+        request = urllib.request.Request(
+            url,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return response.status, _decode(response.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, _decode(exc.read())
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            ConnectionError,
+            TimeoutError,
+            OSError,
+        ) as exc:
+            raise TransportError(f"{method} {url}: {exc}") from None
+
+
+class LocalTransport:
+    """Direct in-process calls to a coordinator (tests and chaos).
+
+    Round-trips every payload through JSON bytes so the in-process
+    path exercises the same serialization the wire does — a payload
+    that would not survive HTTP does not survive here either.
+    """
+
+    def __init__(self, coordinator: Any):
+        self.coordinator = coordinator
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Any]:
+        return self.request_raw(method, path, _encode(payload))
+
+    def request_raw(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Any]:
+        if body is None:
+            parsed: Any = None
+        else:
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                # Exactly what the HTTP handler does with a torn body.
+                return 400, {"error": "request body is not valid JSON"}
+        return self.coordinator.handle(method, path, parsed)

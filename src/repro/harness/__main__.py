@@ -20,6 +20,7 @@ Usage::
     python -m repro.harness chaos --quick --seed 7
     python -m repro.harness chaos --server --quick
     python -m repro.harness serve --journal serve.jsonl --cache ~/.cache/repro
+    python -m repro.harness worker --coordinator http://127.0.0.1:8750
     python -m repro.harness top --url http://127.0.0.1:8750
     python -m repro.harness top --file metrics.prom --once --plain
 
@@ -52,8 +53,13 @@ campaign — SIGKILLed workers, torn checkpoint/snapshot files, injected
 faults — proving recovered sweeps byte-identical to clean serial runs
 (see :mod:`repro.harness.chaos`; ``chaos --server`` attacks the serve
 daemon instead — SIGKILL mid-sweep, torn journal, expired leases,
-admission floods); ``serve`` runs the crash-safe simulation server
-(see :mod:`repro.serve`); ``top`` is the live terminal ops view over a
+admission floods, and ``chaos --distributed`` attacks the
+coordinator/worker sharding protocol — SIGKILLed workers mid-cell,
+partitions while holding a lease, duplicated completion pushes, torn
+result bodies); ``serve`` runs the crash-safe simulation server
+(see :mod:`repro.serve`); ``worker`` pulls and executes sweep cells
+from a coordinator (see :mod:`repro.dist.worker`); ``top`` is the live
+terminal ops view over a
 serve daemon's ``/metrics`` endpoint or a Prometheus textfile scrape
 (see :mod:`repro.harness.top`).
 """
@@ -100,6 +106,10 @@ def main(argv=None) -> int:
         from repro.serve.app import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        from repro.dist.worker import main as worker_main
+
+        return worker_main(argv[1:])
     if argv and argv[0] == "top":
         from repro.harness.top import main as top_main
 

@@ -23,8 +23,15 @@ daemon instead (see :mod:`repro.harness.chaos_server`): SIGKILL the
 daemon mid-sweep, tear the job journal's final line, expire a lease
 under a wedged executor, and flood admission past its high-water mark
 — asserting byte-identical recovery, exactly-one-terminal-state per
-job, and correct ``429``/``503`` shedding.  ``--workloads`` narrows
-the campaign to a workload subset (unknown names exit ``2``).
+job, and correct ``429``/``503`` shedding.  ``--distributed`` runs the
+third campaign, against the coordinator/worker sharding protocol (see
+:mod:`repro.harness.chaos_dist`): SIGKILL a worker holding a lease,
+partition a lease holder (one-way and total), replay a completion
+push, and tear a result body mid-flight — asserting byte-identical
+reassembly, exactly-once terminal states per cell, and that every
+stale or corrupt push bounces off the fencing/digest gates.
+``--workloads`` narrows the campaign to a workload subset (unknown
+names exit ``2``).
 
 Exit codes: ``0`` — every check passed; ``1`` — a verification failed
 (result mismatch, zero kills landed, unexpected warnings); ``2`` —
@@ -367,6 +374,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "floods)",
     )
     parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="attack the repro.dist coordinator/worker protocol instead "
+        "(SIGKILL a worker holding a lease, partition a lease holder, "
+        "replay completion pushes, tear result bodies)",
+    )
+    parser.add_argument(
         "--engine",
         default=None,
         choices=sorted(available_engines()),
@@ -389,6 +403,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.server and args.distributed:
+        print("pick one of --server / --distributed", file=sys.stderr)
+        return 2
+    if args.distributed:
+        from repro.harness.chaos_dist import run_dist_campaign
+
+        return run_dist_campaign(
+            seed=args.seed,
+            quick=args.quick,
+            workloads=workloads,
+            verbose=args.verbose,
+            engine=args.engine,
+        )
     if args.server:
         from repro.harness.chaos_server import run_server_campaign
 

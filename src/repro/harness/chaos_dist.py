@@ -1,0 +1,826 @@
+"""The distributed half of the chaos campaign: attack ``repro.dist``.
+
+``python -m repro.harness chaos --distributed`` points the seeded
+adversary at the coordinator/worker sharding protocol:
+
+1. **worker SIGKILL mid-cell** — a real ``repro.serve`` daemon (started
+   with ``--dist-journal``) shards a sweep; a real worker subprocess is
+   SIGKILLed while ``/dist/status`` shows it holding a lease.  The
+   lease must expire, the cell re-queue, and a replacement worker
+   finish the sweep byte-identical to the serial oracle — with exactly
+   one terminal state per cell in the cell journal and
+   ``dist_lease_expirations_total`` visible on ``/metrics``.
+2. **seeded faulty fleet** — in-process workers pull through a seeded
+   :class:`~repro.dist.faultnet.FaultyTransport` (refusals, torn
+   bodies, duplicated deliveries, lost responses).  Whatever the
+   channel does, reassembly must be byte-identical and every cell
+   terminal exactly once.
+3. **partition while holding a lease** — a one-way partition grants a
+   lease whose response never reaches the worker (state mutated, owner
+   oblivious), then a total partition silences a live lease holder.
+   Both leases must expire and re-queue; the healed holder's late push
+   must be fenced off as stale, its heartbeat refused.
+4. **duplicate completion push + torn result body** — a verbatim
+   replay of an accepted completion must be discarded as a duplicate,
+   and a result string torn in flight must fail digest verification
+   with ``retry`` (so the worker re-pushes the true bytes, which are
+   then accepted).
+
+Exit codes match :mod:`repro.harness.chaos`: 0 pass, 1 verification
+failure.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import GPUConfig, config_hash
+from repro.dist.coordinator import DistCoordinator
+from repro.dist.faultnet import FaultSpec, FaultyTransport
+from repro.dist.journal import CellJournal
+from repro.dist.protocol import cell_to_wire, result_digest
+from repro.dist.transport import HttpTransport, LocalTransport
+from repro.dist.worker import DistWorker
+from repro.parallel.cells import Cell, execute_cell
+from repro.prof.registry import MetricsRegistry
+
+#: Wall-clock budgets (generous; the campaign fails loudly, not flakily).
+STARTUP_TIMEOUT = 30.0
+SWEEP_TIMEOUT = 180.0
+
+#: Lease TTL for the subprocess scenario — long enough for heartbeats
+#: from a healthy worker (interval ttl/3), short enough that a SIGKILLed
+#: holder is presumed dead quickly.
+KILL_LEASE_TTL = 2.0
+
+
+def _step(verbose: bool, name: str, detail: str = "") -> None:
+    suffix = f" — {detail}" if detail else ""
+    print(f"chaos[dist]: {name}{suffix}")
+    if verbose:
+        sys.stdout.flush()
+
+
+def _tiny(preset: str, **overrides) -> GPUConfig:
+    return GPUConfig.preset(
+        preset, num_cores=1, warps_per_core=8, warp_width=8, **overrides
+    )
+
+
+def _matrix(quick: bool, workloads: Optional[List[str]] = None) -> List[Cell]:
+    """The campaign sweep: one deliberately slow cell, then tiny ones.
+
+    The first cell runs for north of a second on purpose — it is the
+    SIGKILL window.  Tiny cells finish in ~0.1 s, far too fast to
+    reliably murder a worker mid-cell.
+    """
+
+    def pick(index: int, default: str) -> str:
+        if workloads is None:
+            return default
+        return workloads[index % len(workloads)]
+
+    slow = GPUConfig.preset(
+        "naive", num_cores=4, warps_per_core=48, warp_width=32
+    )
+    cells = [
+        Cell(label="slow", workload=pick(0, "bfs"), config=slow,
+             miss_scale=1.0),
+        Cell(label="aug", workload=pick(1, "kmeans"),
+             config=_tiny("augmented"), miss_scale=1.0),
+        Cell(label="base", workload=pick(2, "bfs"), config=_tiny("no_tlb"),
+             miss_scale=1.0),
+    ]
+    if not quick:
+        cells += [
+            Cell(label="naive", workload=pick(3, "kmeans"),
+                 config=_tiny("naive"), miss_scale=1.0),
+            Cell(label="ideal", workload=pick(4, "bfs"),
+                 config=_tiny("ideal"), miss_scale=1.0),
+        ]
+    return cells
+
+
+def _on_engine(cell: Cell, engine: Optional[str]) -> Cell:
+    if engine is None or cell.config.engine == engine:
+        return cell
+    from dataclasses import replace
+
+    return replace(cell, config=cell.config.with_(engine=engine))
+
+
+def _oracle(cells: List[Cell]) -> List[str]:
+    """The serial ground truth every reassembly is compared against."""
+    return [execute_cell(cell).canonical_json() for cell in cells]
+
+
+def _terminal_once(journal_path: str, keys: List[str]) -> Optional[str]:
+    """None if every key is terminal exactly once, else a complaint."""
+    counts = CellJournal.terminal_counts(journal_path)
+    bad = {
+        key: counts.get(key, 0) for key in keys if counts.get(key, 0) != 1
+    }
+    if bad:
+        return f"terminal counts off (want exactly 1 each): {bad}"
+    return None
+
+
+def _drive_to_terminal(
+    coordinator: DistCoordinator,
+    worker: DistWorker,
+    deadline_s: float = SWEEP_TIMEOUT,
+) -> bool:
+    """Step ``worker`` until every cell is terminal (False = timed out)."""
+    deadline = time.monotonic() + deadline_s
+    while not coordinator.all_terminal():
+        if time.monotonic() > deadline:
+            return False
+        coordinator.maintain()
+        worker.step()
+    return True
+
+
+class _DistDaemon:
+    """A ``repro.serve`` subprocess with the ``/dist/*`` routes enabled."""
+
+    def __init__(self, tmp: str, tag: str):
+        self.journal = os.path.join(tmp, "serve-journal.jsonl")
+        self.dist_journal = os.path.join(tmp, "cells.jsonl")
+        self.port_file = os.path.join(tmp, f"port-{tag}")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.serve",
+                "--journal", self.journal,
+                "--dist-journal", self.dist_journal,
+                "--dist-lease-ttl", str(KILL_LEASE_TTL),
+                "--dist-max-attempts", "5",
+                "--port", "0",
+                "--port-file", self.port_file,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while not os.path.exists(self.port_file):
+            if self.process.poll() is not None:
+                out = (self.process.stdout.read() or b"").decode(
+                    "utf-8", errors="replace"
+                )
+                raise RuntimeError(
+                    f"serve daemon died during startup "
+                    f"(exit {self.process.returncode}): {out}"
+                )
+            if time.monotonic() > deadline:
+                self.process.kill()
+                raise RuntimeError("serve daemon never wrote its port file")
+            time.sleep(0.02)
+        with open(self.port_file, "r", encoding="utf-8") as handle:
+            self.base_url = f"http://{handle.read().strip()}"
+        self.transport = HttpTransport(self.base_url)
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            try:
+                status, _ = self.transport.request("GET", "/dist/status")
+                if status == 200:
+                    break
+            except ConnectionError:
+                pass
+            if time.monotonic() > deadline:
+                self.kill()
+                raise RuntimeError("serve daemon never became ready")
+            time.sleep(0.05)
+
+    def metrics_value(self, name: str) -> float:
+        """Sum of ``name``'s series scraped from the daemon's /metrics."""
+        with urllib.request.urlopen(
+            self.base_url + "/metrics", timeout=10
+        ) as response:
+            text = response.read().decode("utf-8")
+        total = 0.0
+        for line in text.splitlines():
+            match = re.match(
+                rf"^{re.escape(name)}(?:\{{[^}}]*\}})?\s+([0-9.eE+-]+)$",
+                line,
+            )
+            if match:
+                total += float(match.group(1))
+        return total
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=10)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+class _WorkerProc:
+    """A ``python -m repro.harness worker`` subprocess, SIGKILL-able."""
+
+    def __init__(self, coordinator_url: str, worker_id: str):
+        self.worker_id = worker_id
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.harness", "worker",
+                "--coordinator", coordinator_url,
+                "--id", worker_id,
+                "--poll", "0.05",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+
+    def kill(self) -> None:
+        """SIGKILL — no cleanup, no goodbye push; the crash under test."""
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=10)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+
+
+def _scenario_worker_sigkill(
+    failures: List[str],
+    verbose: bool,
+    cells: List[Cell],
+    oracle: List[str],
+) -> None:
+    """Scenario 1: SIGKILL a real worker holding a real lease."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-dist-") as tmp:
+        daemon = _DistDaemon(tmp, tag="a")
+        victim = replacement = None
+        try:
+            status, body = daemon.transport.request(
+                "POST",
+                "/dist/shard",
+                {"cells": [cell_to_wire(cell) for cell in cells]},
+            )
+            if status != 200:
+                failures.append(f"sigkill: shard returned {status}: {body}")
+                return
+            keys = body["keys"]
+            _step(verbose, "sharded", f"{len(keys)} cells via /dist/shard")
+
+            # One worker alone, so the lease we see is necessarily its.
+            victim = _WorkerProc(daemon.base_url, "w-victim")
+            held: Optional[Dict[str, Any]] = None
+            deadline = time.monotonic() + STARTUP_TIMEOUT
+            while time.monotonic() < deadline:
+                _, view = daemon.transport.request("GET", "/dist/status")
+                leases = [
+                    lease
+                    for lease in view.get("leases", [])
+                    if lease.get("owner") == "w-victim"
+                ]
+                if leases:
+                    held = leases[0]
+                    break
+                time.sleep(0.02)
+            if held is None:
+                failures.append(
+                    "sigkill: the victim worker never appeared as a "
+                    "lease owner in /dist/status"
+                )
+                return
+            victim.kill()
+            _step(
+                verbose,
+                "worker SIGKILLed",
+                f"held {held['key'][:12]}… attempt {held['attempt']}",
+            )
+
+            # A replacement (plus lease expiry) must finish the sweep.
+            replacement = _WorkerProc(daemon.base_url, "w-replacement")
+            deadline = time.monotonic() + SWEEP_TIMEOUT
+            assembled: Optional[Dict[str, Any]] = None
+            while time.monotonic() < deadline:
+                status, assembled = daemon.transport.request(
+                    "POST", "/dist/assemble", {"keys": keys}
+                )
+                if status == 200 and assembled.get("complete"):
+                    break
+                time.sleep(0.1)
+            else:
+                failures.append(
+                    "sigkill: the sweep never completed after the kill"
+                )
+                return
+
+            rows = assembled["cells"]
+            not_done = [r["key"] for r in rows if r["state"] != "done"]
+            if not_done:
+                failures.append(
+                    f"sigkill: cells ended non-done after recovery: "
+                    f"{not_done}"
+                )
+            reassembled = [row["result"] for row in rows]
+            identical = reassembled == oracle
+            if not identical:
+                failures.append(
+                    "sigkill: reassembled results are not byte-identical "
+                    "to the serial oracle"
+                )
+            complaint = _terminal_once(daemon.dist_journal, keys)
+            if complaint:
+                failures.append(f"sigkill: {complaint}")
+            expirations = daemon.metrics_value(
+                "dist_lease_expirations_total"
+            )
+            if expirations < 1:
+                failures.append(
+                    "sigkill: dist_lease_expirations_total never "
+                    "incremented — the dead worker's lease never expired"
+                )
+            _step(
+                verbose,
+                "worker sigkill",
+                f"expirations={expirations:.0f}, "
+                + ("identical" if identical else "MISMATCH"),
+            )
+        finally:
+            for proc in (victim, replacement):
+                if proc is not None:
+                    proc.kill()
+            daemon.kill()
+
+
+def _scenario_faulty_fleet(
+    failures: List[str],
+    verbose: bool,
+    seed: int,
+    cells: List[Cell],
+    oracle: List[str],
+) -> None:
+    """Scenario 2: an in-process fleet behind seeded channel faults."""
+    spec = FaultSpec(
+        refuse=0.10, tear=0.08, duplicate=0.15, drop_response=0.15
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-dist-") as tmp:
+        registry = MetricsRegistry()
+        coordinator = DistCoordinator(
+            os.path.join(tmp, "cells.jsonl"),
+            registry=registry,
+            lease_ttl=3.0,
+            max_attempts=8,
+            backoff_seed=seed,
+        )
+        try:
+            keys = coordinator.submit_cells(cells)
+            transports = [
+                FaultyTransport(
+                    LocalTransport(coordinator), spec, seed=seed * 101 + i
+                )
+                for i in range(2)
+            ]
+            workers = [
+                DistWorker(
+                    transport,
+                    worker_id=f"faulty-{i}",
+                    poll_s=0.02,
+                    push_retries=24,
+                    backoff_seed=seed + i,
+                )
+                for i, transport in enumerate(transports)
+            ]
+            threads = [
+                threading.Thread(
+                    target=worker.run,
+                    kwargs={"idle_exit_s": 1.0},
+                    daemon=True,
+                )
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + SWEEP_TIMEOUT
+            while any(t.is_alive() for t in threads):
+                if time.monotonic() > deadline:
+                    failures.append("faulty fleet: workers never drained")
+                    for worker in workers:
+                        worker.stop.set()
+                    break
+                coordinator.maintain()
+                time.sleep(0.05)
+            for thread in threads:
+                thread.join(timeout=10)
+
+            # Backoff'd re-queues can outlive the fleet's idle-exit; a
+            # clean sweeper drains the stragglers (still exactly-once).
+            if not coordinator.all_terminal():
+                sweeper = DistWorker(
+                    LocalTransport(coordinator),
+                    worker_id="sweeper",
+                    poll_s=0.02,
+                )
+                if not _drive_to_terminal(coordinator, sweeper, 60.0):
+                    failures.append(
+                        "faulty fleet: cells still non-terminal after "
+                        "the clean sweeper"
+                    )
+                    return
+
+            counts = coordinator.counts()
+            if counts.get("failed"):
+                failures.append(
+                    f"faulty fleet: {counts['failed']} cell(s) failed "
+                    "structurally — channel faults must never poison a "
+                    "cell"
+                )
+            strings = coordinator.result_strings(keys)
+            identical = strings == oracle
+            if not identical:
+                failures.append(
+                    "faulty fleet: reassembled results are not "
+                    "byte-identical to the serial oracle"
+                )
+            complaint = _terminal_once(coordinator.journal.path, keys)
+            if complaint:
+                failures.append(f"faulty fleet: {complaint}")
+            injected: Dict[str, int] = {}
+            for transport in transports:
+                for name, count in transport.injected.items():
+                    injected[name] = injected.get(name, 0) + count
+            if sum(injected.values()) < 3:
+                failures.append(
+                    f"faulty fleet: almost no faults injected "
+                    f"({injected}) — the campaign proved nothing"
+                )
+            _step(
+                verbose,
+                "faulty fleet",
+                f"injected={injected}, "
+                + ("identical" if identical else "MISMATCH"),
+            )
+        finally:
+            coordinator.close()
+
+
+def _scenario_partition(
+    failures: List[str],
+    verbose: bool,
+    seed: int,
+    engine: Optional[str],
+) -> None:
+    """Scenario 3: partitions around a live lease holder."""
+    ttl = 0.3
+    cells = [
+        _on_engine(
+            Cell(label="p1", workload="bfs", config=_tiny("naive"),
+                 miss_scale=1.0),
+            engine,
+        ),
+        _on_engine(
+            Cell(label="p2", workload="bfs", config=_tiny("augmented"),
+                 miss_scale=1.0),
+            engine,
+        ),
+    ]
+    oracle = _oracle(cells)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-dist-") as tmp:
+        registry = MetricsRegistry()
+        coordinator = DistCoordinator(
+            os.path.join(tmp, "cells.jsonl"),
+            registry=registry,
+            lease_ttl=ttl,
+            max_attempts=6,
+            backoff_seed=seed,
+        )
+        try:
+            keys = coordinator.submit_cells(cells)
+            channel = FaultyTransport(
+                LocalTransport(coordinator), FaultSpec(), seed=seed
+            )
+
+            # One-way partition: the lease request LANDS (coordinator
+            # state mutates) but the response is lost — the owner never
+            # learns it holds anything.  The worst case for fencing.
+            channel.partition(one_way=True)
+            try:
+                channel.request("POST", "/dist/lease", {"worker": "wA"})
+                failures.append(
+                    "partition: a one-way partition returned a response"
+                )
+            except ConnectionError:
+                pass
+            channel.heal()
+            orphaned = [
+                lease
+                for lease in coordinator.status()["leases"]
+                if lease["owner"] == "wA"
+            ]
+            if not orphaned:
+                failures.append(
+                    "partition: the one-way-partitioned lease request "
+                    "did not land coordinator-side"
+                )
+            _step(
+                verbose,
+                "one-way partition",
+                f"orphaned lease: {bool(orphaned)}",
+            )
+            # The oblivious owner never heartbeats; the lease expires.
+            time.sleep(ttl * 1.5)
+            coordinator.maintain()
+
+            # Now a knowing holder: wA leases legitimately, computes its
+            # result — then a TOTAL partition silences it past the TTL.
+            status, body = channel.request(
+                "POST", "/dist/lease", {"worker": "wA"}
+            )
+            lease = body.get("lease")
+            if lease is None:
+                failures.append(
+                    "partition: wA could not re-lease after the one-way "
+                    "orphan expired"
+                )
+                return
+            held_key, held_attempt = lease["key"], lease["attempt"]
+            from repro.dist.protocol import cell_from_wire
+
+            held_cell = cell_from_wire(lease["cell"])
+            late_result = execute_cell(held_cell).canonical_json()
+            channel.partition(one_way=False)
+            try:
+                channel.request(
+                    "POST",
+                    "/dist/heartbeat",
+                    {"worker": "wA", "key": held_key,
+                     "attempt": held_attempt},
+                )
+                failures.append(
+                    "partition: a total partition let a heartbeat through"
+                )
+            except ConnectionError:
+                pass
+            time.sleep(ttl * 1.5)
+            coordinator.maintain()
+            expirations = registry.counter(
+                "dist_lease_expirations_total"
+            ).value()
+            if expirations < 2:
+                failures.append(
+                    f"partition: {expirations:.0f} lease expiration(s) "
+                    "recorded (want 2: the orphan and the silenced holder)"
+                )
+
+            # wB finishes the whole sweep while wA is partitioned away.
+            wb = DistWorker(
+                LocalTransport(coordinator), worker_id="wB", poll_s=0.02
+            )
+            if not _drive_to_terminal(coordinator, wb, 60.0):
+                failures.append("partition: wB never drained the sweep")
+                return
+
+            # The partition heals; wA pushes its stale result and
+            # heartbeats.  Both must bounce off the fence.
+            channel.heal()
+            status, body = channel.request(
+                "POST",
+                "/dist/complete",
+                {
+                    "worker": "wA",
+                    "key": held_key,
+                    "attempt": held_attempt,
+                    "config_hash": config_hash(held_cell.config),
+                    "digest": result_digest(late_result),
+                    "result": late_result,
+                },
+            )
+            if body.get("accepted") or body.get("retry"):
+                failures.append(
+                    f"partition: the healed holder's stale push was not "
+                    f"discarded ({body})"
+                )
+            stale = registry.counter("dist_stale_results_total")
+            if stale.value(reason="duplicate") + stale.value(
+                reason="fenced"
+            ) < 1:
+                failures.append(
+                    "partition: dist_stale_results_total never counted "
+                    "the stale push"
+                )
+            status, body = channel.request(
+                "POST",
+                "/dist/heartbeat",
+                {"worker": "wA", "key": held_key, "attempt": held_attempt},
+            )
+            if body.get("ok"):
+                failures.append(
+                    "partition: the healed holder's heartbeat was renewed "
+                    "despite the fence"
+                )
+
+            strings = coordinator.result_strings(keys)
+            identical = strings == oracle
+            if not identical:
+                failures.append(
+                    "partition: reassembled results are not byte-identical "
+                    "to the serial oracle"
+                )
+            complaint = _terminal_once(coordinator.journal.path, keys)
+            if complaint:
+                failures.append(f"partition: {complaint}")
+            _step(
+                verbose,
+                "partition",
+                f"expirations={expirations:.0f}, stale push "
+                f"{body.get('ok') and 'LEAKED' or 'fenced'}, "
+                + ("identical" if identical else "MISMATCH"),
+            )
+        finally:
+            coordinator.close()
+
+
+def _scenario_duplicate_and_torn(
+    failures: List[str],
+    verbose: bool,
+    seed: int,
+    engine: Optional[str],
+) -> None:
+    """Scenario 4: replayed completion pushes and torn result bodies."""
+    cells = [
+        _on_engine(
+            Cell(label="d1", workload="kmeans", config=_tiny("naive"),
+                 miss_scale=1.0),
+            engine,
+        ),
+        _on_engine(
+            Cell(label="d2", workload="kmeans", config=_tiny("augmented"),
+                 miss_scale=1.0),
+            engine,
+        ),
+    ]
+    oracle = _oracle(cells)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-dist-") as tmp:
+        registry = MetricsRegistry()
+        coordinator = DistCoordinator(
+            os.path.join(tmp, "cells.jsonl"),
+            registry=registry,
+            lease_ttl=30.0,
+            max_attempts=3,
+        )
+        try:
+            keys = coordinator.submit_cells(cells)
+            channel = LocalTransport(coordinator)
+
+            # -- duplicate completion push ----------------------------
+            _, body = channel.request(
+                "POST", "/dist/lease", {"worker": "w1"}
+            )
+            lease = body["lease"]
+            from repro.dist.protocol import cell_from_wire
+
+            cell = cell_from_wire(lease["cell"])
+            result_json = execute_cell(cell).canonical_json()
+            push = {
+                "worker": "w1",
+                "key": lease["key"],
+                "attempt": lease["attempt"],
+                "config_hash": config_hash(cell.config),
+                "digest": result_digest(result_json),
+                "result": result_json,
+            }
+            _, first = channel.request("POST", "/dist/complete", push)
+            _, replay = channel.request("POST", "/dist/complete", push)
+            if not first.get("accepted"):
+                failures.append(
+                    f"duplicate: the first push was not accepted ({first})"
+                )
+            if replay.get("accepted") or replay.get("retry"):
+                failures.append(
+                    f"duplicate: the replayed push was not discarded "
+                    f"({replay})"
+                )
+            if replay.get("reason") != "duplicate":
+                failures.append(
+                    f"duplicate: replay reason {replay.get('reason')!r} "
+                    "(want 'duplicate')"
+                )
+            if registry.counter("dist_stale_results_total").value(
+                reason="duplicate"
+            ) < 1:
+                failures.append(
+                    "duplicate: dist_stale_results_total{duplicate} "
+                    "never incremented"
+                )
+            _step(verbose, "duplicate push", f"replay → {replay}")
+
+            # -- torn result body -------------------------------------
+            _, body = channel.request(
+                "POST", "/dist/lease", {"worker": "w2"}
+            )
+            lease = body["lease"]
+            cell = cell_from_wire(lease["cell"])
+            result_json = execute_cell(cell).canonical_json()
+            digest = result_digest(result_json)
+            torn = {
+                "worker": "w2",
+                "key": lease["key"],
+                "attempt": lease["attempt"],
+                "config_hash": config_hash(cell.config),
+                "digest": digest,
+                # The result string tore in flight; the digest is over
+                # the true bytes, so verification must catch it.
+                "result": result_json[: len(result_json) // 2],
+            }
+            status, verdict = channel.request(
+                "POST", "/dist/complete", torn
+            )
+            if status != 400 or verdict.get("accepted"):
+                failures.append(
+                    f"torn body: the torn push was accepted "
+                    f"({status}, {verdict})"
+                )
+            if not verdict.get("retry") or verdict.get("reason") != "digest":
+                failures.append(
+                    f"torn body: expected a retryable digest rejection, "
+                    f"got {verdict}"
+                )
+            if registry.counter("dist_rejected_results_total").value(
+                reason="digest"
+            ) < 1:
+                failures.append(
+                    "torn body: dist_rejected_results_total{digest} "
+                    "never incremented"
+                )
+            # A whole-body tear (invalid JSON on the wire) must be a 400
+            # too, never a half-parsed push.
+            faulty = FaultyTransport(
+                LocalTransport(coordinator),
+                FaultSpec(tear=1.0),
+                seed=seed,
+            )
+            status, body2 = faulty.request(
+                "POST",
+                "/dist/complete",
+                dict(torn, result=result_json),
+            )
+            if status != 400:
+                failures.append(
+                    f"torn body: a torn wire body returned {status} "
+                    "(want 400)"
+                )
+            # The worker still holds the true bytes: the clean re-push
+            # must be accepted.
+            _, healed = channel.request(
+                "POST", "/dist/complete", dict(torn, result=result_json)
+            )
+            if not healed.get("accepted"):
+                failures.append(
+                    f"torn body: the clean re-push was rejected ({healed})"
+                )
+            _step(verbose, "torn body", f"verdict={verdict}, re-push ok")
+
+            strings = coordinator.result_strings(keys)
+            identical = strings == oracle
+            if not identical:
+                failures.append(
+                    "duplicate/torn: results are not byte-identical to "
+                    "the serial oracle"
+                )
+            complaint = _terminal_once(coordinator.journal.path, keys)
+            if complaint:
+                failures.append(f"duplicate/torn: {complaint}")
+        finally:
+            coordinator.close()
+
+
+def run_dist_campaign(
+    *,
+    seed: int = 0,
+    quick: bool = False,
+    workloads: Optional[List[str]] = None,
+    verbose: bool = False,
+    engine: Optional[str] = None,
+) -> int:
+    """Execute the distributed campaign; returns the process exit code."""
+    failures: List[str] = []
+    cells = [_on_engine(c, engine) for c in _matrix(quick, workloads)]
+
+    _step(verbose, "oracle", f"{len(cells)} cells, serial, in-process")
+    started = time.monotonic()
+    oracle = _oracle(cells)
+    _step(verbose, "oracle done", f"{time.monotonic() - started:.1f}s")
+
+    _scenario_worker_sigkill(failures, verbose, cells, oracle)
+    _scenario_faulty_fleet(failures, verbose, seed, cells, oracle)
+    _scenario_partition(failures, verbose, seed, engine)
+    _scenario_duplicate_and_torn(failures, verbose, seed, engine)
+
+    if failures:
+        print()
+        for failure in failures:
+            print(f"chaos[dist] FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos[dist]: all checks passed (seed {seed}, {len(cells)} cells)"
+    )
+    return 0

@@ -17,18 +17,36 @@ Usage::
 
 Observation-only: nothing here feeds back into simulations or the
 server.  ``q`` quits the curses view; Ctrl-C quits either view.
+
+A vanished daemon does not kill the view: the last good frame stays on
+screen under a ``DISCONNECTED`` banner while the scraper reconnects
+through the shared decorrelated-jitter backoff — restart the daemon
+and the view heals itself.  When the daemon publishes ``dist_*``
+metrics (a coordinator is enabled), a fleet row appears: live workers,
+cells by state, fenced pushes, expired leases — flagged ``DEGRADED``
+when cells are pending but no worker is live.
 """
 
 from __future__ import annotations
 
 import argparse
+import http.client
 import sys
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.parallel.backoff import Backoff
 from repro.prof.export import parse_prometheus
+
+#: Failures that mean "the daemon is unreachable", not "bad data".
+_SCRAPE_ERRORS = (
+    OSError,
+    ValueError,
+    urllib.error.URLError,
+    http.client.HTTPException,
+)
 
 Samples = Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]
 
@@ -83,6 +101,10 @@ class TopView:
         self.source = source
         self._prev: Dict[str, Tuple[float, float]] = {}
         self.frames = 0
+        #: Last successfully rendered frame (shown while disconnected).
+        self.last_good: Optional[str] = None
+        #: Monotonic instant the current outage began (None = healthy).
+        self.disconnected_since: Optional[float] = None
 
     # -- model ---------------------------------------------------------
 
@@ -154,6 +176,30 @@ class TopView:
                 )
                 or 0,
             }
+        view["dist"] = None
+        dist_cells = _by_label(samples, "dist_cells", "state")
+        workers_live = _value(samples, "dist_workers_live")
+        if dist_cells or workers_live is not None:
+            queued = int(dist_cells.get("queued", 0))
+            running = int(dist_cells.get("running", 0))
+            view["dist"] = {
+                "workers_live": int(workers_live or 0),
+                "queued": queued,
+                "running": running,
+                "done": int(dist_cells.get("done", 0)),
+                "failed": int(dist_cells.get("failed", 0)),
+                "stale": sum(
+                    _by_label(
+                        samples, "dist_stale_results_total", "reason"
+                    ).values()
+                ),
+                "expirations": _value(
+                    samples, "dist_lease_expirations_total"
+                )
+                or 0,
+                "degraded": int(workers_live or 0) == 0
+                and (queued + running) > 0,
+            }
         return view
 
     # -- rendering -----------------------------------------------------
@@ -179,6 +225,23 @@ class TopView:
                 f"jobs     done {serve['done']} · failed {serve['failed']}"
                 f" · rejected {_fmt(serve['rejections'])}"
                 f" · leases expired {_fmt(serve['expirations'])}"
+            )
+            lines.append("")
+        dist = view["dist"]
+        if dist is not None:
+            fleet = (
+                "DEGRADED (cells pending, no live workers)"
+                if dist["degraded"]
+                else f"{dist['workers_live']} worker(s) live"
+            )
+            lines.append(
+                f"dist     {fleet} · cells queued {dist['queued']} · "
+                f"running {dist['running']} · done {dist['done']} · "
+                f"failed {dist['failed']}"
+            )
+            lines.append(
+                f"         stale pushes {_fmt(dist['stale'])} · "
+                f"leases expired {_fmt(dist['expirations'])}"
             )
             lines.append("")
         cells = view["cells"]
@@ -211,31 +274,66 @@ class TopView:
         return "\n".join(lines)
 
 
-def _render_error(source: str, error: Exception) -> str:
-    return (
-        f"repro top — {source} — {time.strftime('%H:%M:%S')}\n\n"
-        f"scrape failed: {type(error).__name__}: {error}"
+def _render_disconnected(view: TopView, error: Exception) -> str:
+    """The degraded frame: a banner over the last good data.
+
+    The view never blanks on an outage — operators keep the most
+    recent numbers, clearly labeled stale, while the scraper
+    reconnects with backoff.
+    """
+    if view.disconnected_since is None:
+        view.disconnected_since = time.monotonic()
+    age = time.monotonic() - view.disconnected_since
+    banner = (
+        f"repro top — {view.source} — {time.strftime('%H:%M:%S')}\n"
+        f"*** DISCONNECTED {age:.0f}s — {type(error).__name__}: {error}\n"
+        f"*** reconnecting with backoff; frame below is the last "
+        f"received"
     )
+    if view.last_good is None:
+        return banner + "\n\n(no frame ever received from this source)"
+    return banner + "\n\n" + view.last_good
 
 
 def _frame(view: TopView, scrape) -> Tuple[str, bool]:
     """One rendered frame; False when the scrape failed."""
     try:
         samples = parse_prometheus(scrape())
-    except (OSError, ValueError, urllib.error.URLError) as exc:
-        return _render_error(view.source, exc), False
-    return view.render(samples), True
+    except _SCRAPE_ERRORS as exc:
+        return _render_disconnected(view, exc), False
+    view.disconnected_since = None
+    text = view.render(samples)
+    view.last_good = text
+    return text, True
 
 
-def _run_plain(view: TopView, scrape, interval_s: float, once: bool) -> int:
+def _retry_delay(interval_s: float, backoff: Backoff) -> float:
+    """Reconnect cadence while disconnected: jittered, never slower
+    than the healthy refresh (a restarted daemon shows up fast)."""
+    return min(interval_s, max(0.1, backoff.next()))
+
+
+def _run_plain(
+    view: TopView,
+    scrape,
+    interval_s: float,
+    once: bool,
+    sleep=time.sleep,
+) -> int:
+    backoff = Backoff()
     while True:
         text, ok = _frame(view, scrape)
         print(text, flush=True)
         if once:
             return 0 if ok else 1
         print("-" * 72, flush=True)
+        if ok:
+            backoff.reset()
+            delay = interval_s
+        else:
+            delay = _retry_delay(interval_s, backoff)
         try:
-            time.sleep(interval_s)
+            sleep(delay)
         except KeyboardInterrupt:
             return 0
 
@@ -245,9 +343,16 @@ def _run_curses(view: TopView, scrape, interval_s: float) -> int:
 
     def loop(screen) -> int:
         curses.use_default_colors()
-        screen.timeout(int(interval_s * 1000))
+        backoff = Backoff()
         while True:
-            text, _ok = _frame(view, scrape)
+            text, ok = _frame(view, scrape)
+            if ok:
+                backoff.reset()
+                screen.timeout(int(interval_s * 1000))
+            else:
+                screen.timeout(
+                    int(_retry_delay(interval_s, backoff) * 1000)
+                )
             screen.erase()
             max_y, max_x = screen.getmaxyx()
             for y, line in enumerate(text.splitlines()):

@@ -84,6 +84,10 @@ class ServeConfig:
     """Everything the daemon is told at startup."""
 
     journal: str
+    #: Size bound for the job journal; once an append pushes past it,
+    #: the live state is compacted to a fresh segment atomically
+    #: (None = grow without bound).
+    journal_max_mb: Optional[float] = None
     host: str = "127.0.0.1"
     port: int = 0
     cache: Optional[str] = None
@@ -109,6 +113,14 @@ class ServeConfig:
     drain_grace_s: float = 30.0
     retry_after_s: float = 2.0
     tick_s: float = 0.02
+    #: Cell journal for the distributed sweep coordinator; None leaves
+    #: the ``/dist/*`` routes off (single-machine daemon).
+    dist_journal: Optional[str] = None
+    #: Lease lifetime for remote workers (much shorter than job leases:
+    #: workers heartbeat at ttl/3 while executing).
+    dist_lease_ttl_s: float = 30.0
+    #: Lease grants per cell before it fails structurally.
+    dist_max_attempts: int = 3
 
 
 class ServeApp:
@@ -155,6 +167,9 @@ class ServeApp:
             if config.cache
             else None
         )
+        #: Distributed sweep coordinator (``/dist/*`` routes), built in
+        #: :meth:`start` when the config names a cell journal.
+        self.coordinator: Optional["DistCoordinator"] = None
         self._stop = threading.Event()
         self._dispatcher: Optional[threading.Thread] = None
         self._executors: List[threading.Thread] = []
@@ -209,7 +224,30 @@ class ServeApp:
 
     def start(self) -> None:
         """Open (and replay) the journal, then start dispatching."""
-        self.journal = JobJournal(self.config.journal)
+        self.journal = JobJournal(
+            self.config.journal,
+            max_bytes=(
+                int(self.config.journal_max_mb * 1024 * 1024)
+                if self.config.journal_max_mb is not None
+                else None
+            ),
+        )
+        if self.config.dist_journal:
+            from repro.dist.coordinator import DistCoordinator
+
+            self.coordinator = DistCoordinator(
+                self.config.dist_journal,
+                cache=self.cache,
+                registry=self.registry,
+                lease_ttl=self.config.dist_lease_ttl_s,
+                max_attempts=self.config.dist_max_attempts,
+                clock=self.clock,
+                journal_max_bytes=(
+                    int(self.config.journal_max_mb * 1024 * 1024)
+                    if self.config.journal_max_mb is not None
+                    else None
+                ),
+            )
         replayed = self.journal.replayed
         with self.lock:
             self.jobs = replayed.jobs
@@ -301,6 +339,9 @@ class ServeApp:
             if self.journal is not None:
                 self.journal.close()
                 self.journal = None
+            if self.coordinator is not None:
+                self.coordinator.close()
+                self.coordinator = None
         if _log.ENABLED:
             _log.get_logger("serve").info("drain_end", requeued=requeued)
         return requeued
@@ -314,6 +355,9 @@ class ServeApp:
             if self.journal is not None:
                 self.journal.close()
                 self.journal = None
+            if self.coordinator is not None:
+                self.coordinator.close()
+                self.coordinator = None
 
     # -- submission (POST /jobs) ---------------------------------------
 
@@ -387,13 +431,35 @@ class ServeApp:
                 )
             ]
 
+    def _dist_fleet_view(self) -> Optional[Dict[str, Any]]:
+        """Fleet summary for /readyz and /dashboard (None = dist off).
+
+        ``degraded`` flags the state an operator must see: cells are
+        waiting but zero workers are live — the sweep is stalled until
+        a worker returns (nothing is lost; leases re-queue on expiry).
+        """
+        if self.coordinator is None:
+            return None
+        counts = self.coordinator.counts()
+        workers_live = self.coordinator.live_workers()
+        pending = counts.get("queued", 0) + counts.get("running", 0)
+        return {
+            "workers_live": workers_live,
+            "cells": counts,
+            "degraded": workers_live == 0 and pending > 0,
+        }
+
     def readyz_view(self) -> Tuple[int, Dict[str, Any]]:
         with self.lock:
             self.readiness.current_slots = self.health.slots
-            body = self.readiness.describe(
-                queue_depth=len(self._queue),
-                in_flight=self.leases.live_count,
-            )
+            extra: Dict[str, Any] = {
+                "queue_depth": len(self._queue),
+                "in_flight": self.leases.live_count,
+            }
+            fleet = self._dist_fleet_view()
+            if fleet is not None:
+                extra["dist"] = fleet
+            body = self.readiness.describe(**extra)
             return self.readiness.http_status, body
 
     def metrics_text(self) -> str:
@@ -507,6 +573,7 @@ class ServeApp:
             return {
                 "ready": self.readiness.is_ready,
                 "draining": self.readiness.draining,
+                "dist": self._dist_fleet_view(),
                 "uptime_s": round(max(0.0, now - self._started_at), 1),
                 "queue_depth": len(self._queue),
                 "in_flight": self.leases.live_count,
@@ -573,6 +640,25 @@ class ServeApp:
         ) or '<tr><td colspan="4"><em>no simulations yet</em></td></tr>'
         cells = view["cells"]
         sweep = view["sweep"]
+        dist = view.get("dist")
+        if dist is None:
+            dist_section = ""
+        else:
+            fleet_note = (
+                '<p><b style="color:#b35900">fleet degraded:</b> cells '
+                "pending with zero live workers — sweeps stall until a "
+                "worker returns</p>"
+                if dist["degraded"]
+                else ""
+            )
+            dist_cells = dist["cells"]
+            dist_section = f"""<h2>Distributed fleet</h2>
+<p><b>{esc(dist['workers_live'])}</b> live worker(s) &middot;
+{esc(dist_cells['queued'])} queued &middot;
+{esc(dist_cells['running'])} running &middot;
+{esc(dist_cells['done'])} done &middot;
+{esc(dist_cells['failed'])} failed</p>
+{fleet_note}"""
         return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -621,7 +707,7 @@ checkpoint {esc(cells['checkpoint'])}) &middot;
 <p>In-flight sweep: {esc(sweep['in_flight_cells'])} cell(s)
 &middot; mean cell {dash(sweep['mean_cell_s'])}s
 &middot; eta {dash(sweep['eta_s'])}s</p>
-</body>
+{dist_section}</body>
 </html>
 """
 
@@ -635,6 +721,10 @@ checkpoint {esc(cells['checkpoint'])}) &middot;
     def _tick(self) -> None:
         """One supervision step: expire leases, then fill free slots."""
         now = self.clock()
+        if self.coordinator is not None:
+            # Dist upkeep first (its own lock): expire worker leases,
+            # re-queue their cells, refresh fleet gauges.
+            self.coordinator.maintain()
         with self.lock:
             for lease in self.leases.expired():
                 self._on_lease_expired(lease)
@@ -923,8 +1013,25 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self.app._count_request(self.command, route, code)
 
+    def _dist(self, path: str, body: Any = None) -> None:
+        """Delegate a ``/dist/*`` request to the coordinator."""
+        coordinator = self.app.coordinator
+        if coordinator is None:
+            self._send_json(
+                404,
+                {"error": "distributed sharding is disabled "
+                 "(start the daemon with --dist-journal)"},
+                "/dist",
+            )
+            return
+        code, payload = coordinator.handle(self.command, path, body)
+        self._send_json(code, payload, "/dist")
+
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path.startswith("/dist/"):
+            self._dist(path)
+            return
         if path == "/healthz":
             self._send_json(200, {"status": "alive"}, "/healthz")
         elif path == "/readyz":
@@ -950,7 +1057,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0].rstrip("/")
-        if path != "/jobs":
+        if path != "/jobs" and not path.startswith("/dist/"):
             self._send_json(404, {"error": f"no route {path!r}"}, path)
             return
         try:
@@ -958,9 +1065,16 @@ class _Handler(BaseHTTPRequestHandler):
             raw = self.rfile.read(length) if length else b""
             body = json.loads(raw.decode("utf-8")) if raw else None
         except (ValueError, UnicodeDecodeError):
+            # A torn body (truncated upload, injected tear) is a 400 —
+            # never a half-parsed payload.
             self._send_json(
-                400, {"error": "request body is not valid JSON"}, "/jobs"
+                400,
+                {"error": "request body is not valid JSON"},
+                "/dist" if path.startswith("/dist/") else "/jobs",
             )
+            return
+        if path.startswith("/dist/"):
+            self._dist(path, body)
             return
         code, payload = self.app.submit(body)
         self._send_json(
@@ -994,6 +1108,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write-ahead job journal (JSONL); restarting on the same "
         "journal resumes every job exactly once",
+    )
+    parser.add_argument(
+        "--journal-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="compact the journal once it outgrows this size "
+        "(live entries are rewritten to a fresh segment atomically; "
+        "default: unbounded)",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
@@ -1070,11 +1193,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="seconds in-flight jobs get to finish on SIGTERM "
         "(default 30)",
     )
+    parser.add_argument(
+        "--dist-journal",
+        default=None,
+        metavar="PATH",
+        help="cell journal for the distributed sweep coordinator; "
+        "enables the /dist/* routes remote workers pull from",
+    )
+    parser.add_argument(
+        "--dist-lease-ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="worker lease lifetime; a worker silent past this is "
+        "presumed dead and its cell re-queued (default 30)",
+    )
+    parser.add_argument(
+        "--dist-max-attempts",
+        type=int,
+        default=3,
+        help="lease grants per cell before it fails structurally "
+        "(default 3)",
+    )
     args = parser.parse_args(argv)
     _log.configure_from_env()
 
     config = ServeConfig(
         journal=args.journal,
+        journal_max_mb=args.journal_max_mb,
         host=args.host,
         port=args.port,
         cache=args.cache,
@@ -1087,6 +1233,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_attempts=max(1, args.max_attempts),
         retries=max(0, args.retries),
         drain_grace_s=args.drain_grace,
+        dist_journal=args.dist_journal,
+        dist_lease_ttl_s=args.dist_lease_ttl,
+        dist_max_attempts=max(1, args.dist_max_attempts),
     )
     app = ServeApp(config)
     app.start()

@@ -19,18 +19,36 @@ Quickstart::
 Submissions are idempotent end to end: the job id is derived from the
 request content, so re-submitting after a lost response (or across a
 server restart on the same journal) returns the existing job instead
-of duplicating work.
+of duplicating work.  That idempotence is why the client transparently
+retries *connection-level* failures (refused, reset, timed out) on
+``GET`` and ``POST /jobs`` through the shared decorrelated-jitter
+:class:`~repro.parallel.backoff.Backoff` — re-delivering either is
+harmless.  HTTP-level errors (4xx/5xx) are never retried here; they
+are answers, and the caller branches on ``exc.status``.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Optional
 
+from repro.parallel.backoff import Backoff
+
 __all__ = ["ServeClient", "ServeHTTPError"]
+
+#: Exceptions that mean "the bytes never made it", not "the server said
+#: no" — the only failures the idempotent-retry path acts on.
+_CONNECTION_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
 
 
 class ServeHTTPError(RuntimeError):
@@ -58,11 +76,31 @@ class ServeHTTPError(RuntimeError):
 class ServeClient:
     """Talks to one ``repro.serve`` daemon."""
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        backoff_seed: int = 0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: Extra attempts for idempotent requests after a connection
+        #: failure (0 disables the retry path entirely).
+        self.retries = max(0, retries)
+        self._backoff_seed = backoff_seed
 
     # -- transport -----------------------------------------------------
+
+    def _open(self, request: urllib.request.Request):
+        """The socket seam (tests substitute a scripted opener)."""
+        return urllib.request.urlopen(request, timeout=self.timeout_s)
+
+    @staticmethod
+    def _idempotent(method: str, path: str) -> bool:
+        """Safe to re-deliver: every GET, and the content-addressed
+        ``POST /jobs`` (a duplicate submit dedups server-side)."""
+        return method == "GET" or (method == "POST" and path == "/jobs")
 
     def _request(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
@@ -77,11 +115,31 @@ class ServeClient:
             method=method,
             headers={"Content-Type": "application/json"},
         )
+        attempts = 1 + (
+            self.retries if self._idempotent(method, path) else 0
+        )
+        backoff = Backoff(seed=self._backoff_seed)
+        for attempt in range(attempts):
+            try:
+                raw = self._fetch(request, url)
+                break
+            except ServeHTTPError:
+                # An HTTP status is an answer, never a lost request.
+                raise
+            except _CONNECTION_ERRORS:
+                if attempt + 1 >= attempts:
+                    raise
+                backoff.sleep()
+        text = raw.decode("utf-8")
+        # /metrics is Prometheus text, everything else is JSON.
+        if path.startswith("/metrics"):
+            return text
+        return json.loads(text) if text else None
+
+    def _fetch(self, request: urllib.request.Request, url: str) -> bytes:
         try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout_s
-            ) as response:
-                raw = response.read()
+            with self._open(request) as response:
+                return response.read()
         except urllib.error.HTTPError as exc:
             raw = exc.read()
             try:
@@ -89,11 +147,6 @@ class ServeClient:
             except (ValueError, UnicodeDecodeError):
                 body = raw.decode("utf-8", errors="replace")
             raise ServeHTTPError(exc.code, body, url) from None
-        text = raw.decode("utf-8")
-        # /metrics is Prometheus text, everything else is JSON.
-        if path.startswith("/metrics"):
-            return text
-        return json.loads(text) if text else None
 
     # -- jobs ----------------------------------------------------------
 

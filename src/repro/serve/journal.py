@@ -19,10 +19,22 @@ instant leaves a journal whose replay reconstructs the server exactly:
   lost response across a restart) replays to the one existing job.
 
 Event vocabulary (the ``ev`` field): ``submit``, ``lease``,
-``requeue``, ``done``, ``fail``.  The journal is append-only and never
-compacted in place; :meth:`JobJournal.terminal_counts` exists so the
-chaos campaign can assert every job reached a terminal state exactly
-once across any number of crashes.
+``requeue``, ``done``, ``fail``.  The journal is append-only between
+compactions; :meth:`JobJournal.terminal_counts` exists so the chaos
+campaign can assert every job reached a terminal state exactly once
+across any number of crashes.
+
+The append-only mechanics live in :class:`WalFile` so other write-ahead
+logs (the distributed sweep's cell journal, :mod:`repro.dist.journal`)
+share one implementation of the crash-safety story: torn-tail repair at
+open, fsync'd appends, torn-line-tolerant replay, and size-triggered
+**compaction** — once the file outgrows ``max_bytes``, the live state
+is rewritten to a fresh segment via an atomic ``os.replace`` (a crash
+mid-compaction leaves the original segment untouched; a stale
+``*.compact.tmp`` from such a crash is discarded at the next open).
+Compaction preserves the replay contract exactly: every job replays to
+the same state, attempts, and result, and every terminal job still
+counts exactly one terminal event.
 """
 
 from __future__ import annotations
@@ -31,7 +43,7 @@ import json
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.serve.jobs import (
     Job,
@@ -41,32 +53,72 @@ from repro.serve.jobs import (
     STATE_RUNNING,
 )
 
-__all__ = ["JobJournal", "ReplayState"]
+__all__ = ["JobJournal", "ReplayState", "WalFile", "read_wal"]
 
 
-@dataclass
-class ReplayState:
-    """What a journal replay reconstructs."""
+def read_wal(
+    path: str,
+    label: str = "journal",
+    stats: Optional[Dict[str, int]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield every parseable JSON event in the WAL at ``path``.
 
-    jobs: Dict[str, Job] = field(default_factory=dict)
-    #: id → number of terminal (done/fail) events seen.  Exactly-once
-    #: means every value here is 1.
-    terminal_counts: Dict[str, int] = field(default_factory=dict)
-    #: ids that were mid-lease when the journal ended (crashed while
-    #: running); the server re-queues these on startup.
-    interrupted: List[str] = field(default_factory=list)
-    dropped_lines: int = 0
-    duplicate_submits: int = 0
+    Torn lines (a crash mid-append) are dropped with a
+    :class:`RuntimeWarning` naming the line — the transition a torn
+    line recorded simply re-happens, but dropping one *silently* would
+    make a corrupted file indistinguishable from a clean one.  Pass a
+    ``stats`` dict to additionally count drops under ``"dropped"``.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if stats is not None:
+                    stats["dropped"] = stats.get("dropped", 0) + 1
+                warnings.warn(
+                    f"{label} {path}: dropping truncated line {lineno} "
+                    f"(crash mid-append?); the transition it recorded "
+                    f"will re-happen",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                continue
+            if isinstance(event, dict):
+                yield event
 
 
-class JobJournal:
-    """Append-only, fsync'd JSONL record of every job transition."""
+class WalFile:
+    """Append-only, fsync'd JSONL write-ahead log with compaction.
 
-    def __init__(self, path: str):
+    Subclasses append events with :meth:`append` and may override
+    :meth:`live_events` to opt into size-triggered compaction: when an
+    append pushes the file past ``max_bytes``, the events returned by
+    :meth:`live_events` are written to a temporary segment (flushed and
+    fsync'd) which atomically replaces the log.  ``live_events``
+    returning ``None`` (the default) disables compaction.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None):
         self.path = path
-        self.replayed = self._load()
+        self.max_bytes = max_bytes
+        self.compactions = 0
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
+        # A compaction interrupted by a crash leaves its half-written
+        # temporary segment behind; the original log was never touched
+        # (os.replace is the commit point), so the leftover is garbage.
+        stale = self._tmp_path()
+        if os.path.exists(stale):
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
         # A crash mid-append can leave the file without a trailing
         # newline.  Terminate that torn line before appending, or the
         # first new event would concatenate onto the garbage and be
@@ -82,30 +134,108 @@ class JobJournal:
                     os.fsync(repair.fileno())
         self._file = open(path, "a", encoding="utf-8")
 
+    def _tmp_path(self) -> str:
+        return self.path + ".compact.tmp"
+
+    # -- appends (each one durable before it returns) ------------------
+
+    def append(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        if (
+            self.max_bytes is not None
+            and self._file.tell() > self.max_bytes
+        ):
+            self._compact()
+
+    # -- compaction ----------------------------------------------------
+
+    def live_events(self) -> Optional[List[Dict[str, Any]]]:
+        """The minimal event list reconstructing the current state.
+
+        ``None`` (the default) means this log does not compact.
+        """
+        return None
+
+    def _compact(self) -> None:
+        events = self.live_events()
+        if events is None:
+            return
+        tmp = self._tmp_path()
+        with open(tmp, "w", encoding="utf-8") as out:
+            for event in events:
+                out.write(json.dumps(event, sort_keys=True) + "\n")
+            out.flush()
+            os.fsync(out.fileno())
+        self._file.close()
+        # The commit point: a crash before this line leaves the old
+        # segment intact (plus a stale tmp the next open discards); a
+        # crash after it leaves the compacted segment, fully fsync'd.
+        os.replace(tmp, self.path)
+        try:
+            dir_fd = os.open(
+                os.path.dirname(os.path.abspath(self.path)) or ".",
+                os.O_RDONLY,
+            )
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass  # directory fsync is best-effort (non-POSIX hosts)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self.compactions += 1
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "WalFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class ReplayState:
+    """What a journal replay reconstructs."""
+
+    jobs: Dict[str, Job] = field(default_factory=dict)
+    #: id → number of terminal (done/fail) events seen.  Exactly-once
+    #: means every value here is 1.
+    terminal_counts: Dict[str, int] = field(default_factory=dict)
+    #: ids that were mid-lease when the journal ended (crashed while
+    #: running); the server re-queues these on startup.
+    interrupted: List[str] = field(default_factory=list)
+    duplicate_submits: int = 0
+    #: Torn lines dropped during replay (each also warns).
+    dropped_lines: int = 0
+
+
+class JobJournal(WalFile):
+    """Append-only, fsync'd JSONL record of every job transition.
+
+    ``max_bytes`` bounds the file's growth: once an append pushes past
+    it, the live state (one ``submit`` per job plus its latest
+    transition) is rewritten to a fresh segment atomically.  Superseded
+    churn — expired-lease re-queues, duplicate submits — is what gets
+    discarded; results, attempts, and terminal states survive verbatim.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None):
+        self.replayed = self._load(path)
+        super().__init__(path, max_bytes=max_bytes)
+
     # -- replay --------------------------------------------------------
 
-    def _load(self) -> ReplayState:
+    @classmethod
+    def _load(cls, path: str) -> ReplayState:
         state = ReplayState()
-        if not os.path.exists(self.path):
-            return state
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    event = json.loads(line)
-                except json.JSONDecodeError:
-                    state.dropped_lines += 1
-                    warnings.warn(
-                        f"job journal {self.path}: dropping truncated "
-                        f"line {lineno} (crash mid-append?); the "
-                        f"transition it recorded will re-happen",
-                        RuntimeWarning,
-                        stacklevel=3,
-                    )
-                    continue
-                self._apply(state, event)
+        stats: Dict[str, int] = {}
+        for event in read_wal(path, label="job journal", stats=stats):
+            cls._apply(state, event)
+        state.dropped_lines = stats.get("dropped", 0)
         for job in state.jobs.values():
             if job.state == STATE_RUNNING:
                 state.interrupted.append(job.id)
@@ -134,6 +264,7 @@ class JobJournal:
             job.attempts = int(event.get("attempt", job.attempts + 1))
         elif kind == "requeue":
             job.state = STATE_QUEUED
+            job.attempts = int(event.get("attempt", job.attempts))
         elif kind == "done":
             job.state = STATE_DONE
             job.result = event.get("result")
@@ -159,24 +290,72 @@ class JobJournal:
         Read-only (no append handle is opened); the chaos campaign
         calls this on a dead server's journal.
         """
-        probe = cls.__new__(cls)
-        probe.path = path
-        return probe._load().terminal_counts
+        return cls._load(path).terminal_counts
 
-    # -- appends (each one durable before it returns) ------------------
+    # -- compaction ----------------------------------------------------
 
-    def _append(self, event: Dict[str, Any]) -> None:
-        self._file.write(json.dumps(event, sort_keys=True) + "\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
+    def live_events(self) -> List[Dict[str, Any]]:
+        """One ``submit`` per job plus its latest transition.
+
+        Replaying the compacted segment reconstructs every job with the
+        same state, attempts, result, and error — and terminal jobs
+        keep exactly one terminal event, so
+        :meth:`terminal_counts`-based exactly-once assertions hold
+        across compactions.
+        """
+        state = self._load(self.path)
+        events: List[Dict[str, Any]] = []
+        for job in sorted(
+            state.jobs.values(), key=lambda j: j.submitted_unix
+        ):
+            events.append({"ev": "submit", "job": job.journal_dict()})
+            if job.state == STATE_DONE:
+                events.append(
+                    {"ev": "done", "id": job.id, "result": job.result}
+                )
+            elif job.state == STATE_FAILED:
+                error = job.error or {}
+                events.append(
+                    {
+                        "ev": "fail",
+                        "id": job.id,
+                        "error_type": error.get("type", "Error"),
+                        "error": error.get("message", ""),
+                        "attempts": error.get("attempts", job.attempts),
+                    }
+                )
+            elif job.state == STATE_RUNNING:
+                # Replay marks mid-lease jobs interrupted and re-queues
+                # them — exactly what the uncompacted journal does.
+                events.append(
+                    {
+                        "ev": "lease",
+                        "id": job.id,
+                        "attempt": job.attempts,
+                        "expires_unix": 0.0,
+                    }
+                )
+            elif job.attempts:
+                events.append(
+                    {
+                        "ev": "requeue",
+                        "id": job.id,
+                        "attempt": job.attempts,
+                        "reason": "compacted",
+                        "delay_s": 0.0,
+                    }
+                )
+        return events
+
+    # -- appends -------------------------------------------------------
 
     def record_submit(self, job: Job) -> None:
-        self._append({"ev": "submit", "job": job.journal_dict()})
+        self.append({"ev": "submit", "job": job.journal_dict()})
 
     def record_lease(
         self, job_id: str, attempt: int, expires_unix: float
     ) -> None:
-        self._append(
+        self.append(
             {
                 "ev": "lease",
                 "id": job_id,
@@ -188,7 +367,7 @@ class JobJournal:
     def record_requeue(
         self, job_id: str, attempt: int, reason: str, delay_s: float = 0.0
     ) -> None:
-        self._append(
+        self.append(
             {
                 "ev": "requeue",
                 "id": job_id,
@@ -204,12 +383,12 @@ class JobJournal:
         event: Dict[str, Any] = {"ev": "done", "id": job_id, "result": result}
         if elapsed_s is not None:
             event["elapsed_s"] = round(elapsed_s, 6)
-        self._append(event)
+        self.append(event)
 
     def record_fail(
         self, job_id: str, error_type: str, message: str, attempts: int
     ) -> None:
-        self._append(
+        self.append(
             {
                 "ev": "fail",
                 "id": job_id,
@@ -219,11 +398,5 @@ class JobJournal:
             }
         )
 
-    def close(self) -> None:
-        self._file.close()
-
     def __enter__(self) -> "JobJournal":
         return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

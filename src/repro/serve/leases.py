@@ -39,6 +39,9 @@ class Lease:
     job_id: str
     attempt: int
     expires_at: float  # monotonic seconds
+    #: Who holds the grant (a dist worker id; None for the in-process
+    #: executor).  Informational — fencing is by attempt, not owner.
+    owner: Optional[str] = None
 
 
 class LeaseTable:
@@ -74,10 +77,15 @@ class LeaseTable:
         self.granted = 0
         self.expired_total = 0
 
-    def grant(self, job_id: str, attempt: int) -> Lease:
+    def grant(
+        self, job_id: str, attempt: int, owner: Optional[str] = None
+    ) -> Lease:
         """Lease ``job_id`` to an executor for ``ttl`` seconds."""
         lease = Lease(
-            job_id=job_id, attempt=attempt, expires_at=self.clock() + self.ttl
+            job_id=job_id,
+            attempt=attempt,
+            expires_at=self.clock() + self.ttl,
+            owner=owner,
         )
         self._live[job_id] = lease
         self.granted += 1
@@ -91,9 +99,14 @@ class LeaseTable:
             job_id=lease.job_id,
             attempt=lease.attempt,
             expires_at=self.clock() + self.ttl,
+            owner=lease.owner,
         )
         self._live[lease.job_id] = renewed
         return renewed
+
+    def current(self, job_id: str) -> Optional[Lease]:
+        """The live grant for ``job_id``, if any (fencing lookups)."""
+        return self._live.get(job_id)
 
     def is_current(self, lease: Lease) -> bool:
         """Whether ``lease`` is the live grant for its job (fencing)."""

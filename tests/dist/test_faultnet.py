@@ -1,0 +1,146 @@
+"""The seeded fault injector: deterministic, and faithful to the wire.
+
+The injector sits on the ``request_raw`` byte seam, so a torn body is
+parsed exactly the way a real HTTP server would parse it (invalid JSON
+→ 400), and a one-way partition really does mutate the far side's
+state while the near side sees only a connection error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dist.faultnet import FaultSpec, FaultyTransport
+from repro.dist.transport import TransportError
+
+
+class Recorder:
+    """An inner transport that logs every delivered request."""
+
+    def __init__(self):
+        self.delivered = []
+
+    def request_raw(self, method, path, body):
+        parsed = None
+        if body is not None:
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.delivered.append((method, path, "TORN"))
+                return 400, {"error": "request body is not valid JSON"}
+        self.delivered.append((method, path, parsed))
+        return 200, {"ok": True, "echo": parsed}
+
+
+class TestFaultSpec:
+    def test_parse_round_trip(self):
+        spec = FaultSpec.parse("refuse=0.1, tear=0.05,drop_response=0.2")
+        assert spec.refuse == 0.1
+        assert spec.tear == 0.05
+        assert spec.drop_response == 0.2
+        assert spec.duplicate == 0.0
+
+    def test_parse_rejects_unknown_fault(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("gremlins=1.0")
+
+    def test_parse_rejects_missing_value(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("refuse")
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        spec = FaultSpec(refuse=0.3, tear=0.3, duplicate=0.3)
+
+        def run(seed):
+            inner = Recorder()
+            channel = FaultyTransport(
+                inner, spec, seed=seed, sleep=lambda _s: None
+            )
+            outcomes = []
+            for index in range(50):
+                try:
+                    status, _ = channel.request(
+                        "POST", "/x", {"i": index}
+                    )
+                    outcomes.append(status)
+                except TransportError:
+                    outcomes.append("refused")
+            return outcomes, dict(channel.injected)
+
+        first = run(42)
+        assert first == run(42)
+        assert first != run(43)
+
+
+class TestFaults:
+    def test_refuse_never_delivers(self):
+        inner = Recorder()
+        channel = FaultyTransport(inner, FaultSpec(refuse=1.0), seed=0)
+        with pytest.raises(TransportError):
+            channel.request("POST", "/x", {"a": 1})
+        assert inner.delivered == []
+        assert channel.injected["refuse"] == 1
+
+    def test_tear_delivers_invalid_json(self):
+        inner = Recorder()
+        channel = FaultyTransport(inner, FaultSpec(tear=1.0), seed=0)
+        status, body = channel.request("POST", "/x", {"payload": "x" * 64})
+        assert status == 400
+        assert inner.delivered == [("POST", "/x", "TORN")]
+
+    def test_duplicate_delivers_twice_one_response(self):
+        inner = Recorder()
+        channel = FaultyTransport(inner, FaultSpec(duplicate=1.0), seed=0)
+        status, body = channel.request("POST", "/x", {"a": 1})
+        assert status == 200
+        assert len(inner.delivered) == 2
+        assert inner.delivered[0] == inner.delivered[1]
+
+    def test_drop_response_delivers_but_raises(self):
+        inner = Recorder()
+        channel = FaultyTransport(
+            inner, FaultSpec(drop_response=1.0), seed=0
+        )
+        with pytest.raises(TransportError):
+            channel.request("POST", "/x", {"a": 1})
+        # The far side processed it — the at-least-once double-push case.
+        assert len(inner.delivered) == 1
+
+    def test_delay_sleeps_then_delivers(self):
+        inner = Recorder()
+        slept = []
+        channel = FaultyTransport(
+            inner,
+            FaultSpec(delay=1.0, delay_s=0.5),
+            seed=0,
+            sleep=slept.append,
+        )
+        status, _ = channel.request("POST", "/x", {"a": 1})
+        assert status == 200 and slept == [0.5]
+
+
+class TestPartitions:
+    def test_total_partition_blocks_both_ways(self):
+        inner = Recorder()
+        channel = FaultyTransport(inner, FaultSpec(), seed=0)
+        channel.partition()
+        with pytest.raises(TransportError):
+            channel.request("GET", "/x", None)
+        assert inner.delivered == []
+        channel.heal()
+        status, _ = channel.request("GET", "/x", None)
+        assert status == 200
+
+    def test_one_way_partition_mutates_far_side(self):
+        inner = Recorder()
+        channel = FaultyTransport(inner, FaultSpec(), seed=0)
+        channel.partition(one_way=True)
+        with pytest.raises(TransportError):
+            channel.request("POST", "/x", {"a": 1})
+        # The request LANDED; only the response was lost.
+        assert inner.delivered == [("POST", "/x", {"a": 1})]
+        assert channel.injected["partition_oneway"] == 1

@@ -1,0 +1,80 @@
+"""Wire protocol: cells round-trip exactly, garbage is rejected."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GPUConfig
+from repro.dist.protocol import (
+    ProtocolError,
+    cell_from_wire,
+    cell_to_wire,
+    result_digest,
+    wire_config_hash,
+)
+from repro.core.config import config_hash
+from repro.parallel.cells import Cell, key_of
+
+
+def _cell(preset="naive", workload="bfs", miss_scale=1.0):
+    return Cell(
+        label="t",
+        workload=workload,
+        config=GPUConfig.preset(
+            preset, num_cores=1, warps_per_core=8, warp_width=8
+        ),
+        miss_scale=miss_scale,
+    )
+
+
+class TestCellWire:
+    def test_round_trip_preserves_identity(self):
+        cell = _cell()
+        rebuilt = cell_from_wire(cell_to_wire(cell))
+        assert key_of(rebuilt) == key_of(cell)
+        assert rebuilt.workload == cell.workload
+        assert rebuilt.label == cell.label
+        assert rebuilt.miss_scale == cell.miss_scale
+        assert config_hash(rebuilt.config) == config_hash(cell.config)
+
+    def test_round_trip_preserves_miss_scale(self):
+        cell = _cell(miss_scale=0.5)
+        assert cell_from_wire(cell_to_wire(cell)).miss_scale == 0.5
+
+    def test_wire_config_hash_matches_local(self):
+        cell = _cell("augmented")
+        assert wire_config_hash(cell_to_wire(cell)) == config_hash(
+            cell.config
+        )
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w: w.pop("workload"),
+            lambda w: w.pop("config"),
+            lambda w: w.pop("label"),
+            lambda w: w.update(config="not-a-dict"),
+            lambda w: w.update(miss_scale="lots"),
+            lambda w: w.update(form="spiral"),
+        ],
+    )
+    def test_malformed_wire_raises_protocol_error(self, mutate):
+        wire = cell_to_wire(_cell())
+        mutate(wire)
+        with pytest.raises(ProtocolError):
+            cell_from_wire(wire)
+
+    def test_non_dict_wire_raises(self):
+        with pytest.raises(ProtocolError):
+            cell_from_wire(["not", "a", "cell"])
+
+
+class TestResultDigest:
+    def test_deterministic_and_prefixed(self):
+        digest = result_digest('{"a": 1}')
+        assert digest == result_digest('{"a": 1}')
+        assert digest.startswith("sha256:")
+
+    def test_sensitive_to_every_byte(self):
+        assert result_digest('{"a": 1}') != result_digest('{"a": 2}')
+        assert result_digest("x") != result_digest("x ")

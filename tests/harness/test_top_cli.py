@@ -89,7 +89,9 @@ class TestTopCLI:
     def test_once_with_missing_file_exits_1(self, tmp_path, capsys):
         missing = tmp_path / "nope.prom"
         assert top_main(["--file", str(missing), "--once"]) == 1
-        assert "scrape failed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "DISCONNECTED" in out
+        assert "no frame ever received" in out
 
     def test_url_or_file_required(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
